@@ -1,0 +1,234 @@
+// Command labrunner regenerates every table and figure of the paper's
+// evaluation on the simulated cluster:
+//
+//	labrunner -experiment table1        Table I   (13 Joe Security samples)
+//	labrunner -experiment table2        Table II  (Pafish × 3 environments)
+//	labrunner -experiment table3        Table III (wear-and-tear steering)
+//	labrunner -experiment figure4       Figure 4  (1,054-sample MalGene corpus)
+//	labrunner -experiment benign        §IV-C     (top-20 CNET programs)
+//	labrunner -experiment crawl         §II-C     (public-sandbox crawl)
+//	labrunner -experiment case1         Case I    (Kasidet)
+//	labrunner -experiment case2         Case II   (WannaCry + Locky)
+//	labrunner -experiment isolation     §VI-B     (profile isolation)
+//	labrunner -experiment overhead      §III      (hook overhead)
+//	labrunner -experiment all           everything above
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scarecrow/internal/analysis"
+	"scarecrow/internal/crawler"
+	"scarecrow/internal/malware"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of tables")
+	flag.Parse()
+	var err error
+	if *asJSON {
+		err = runJSON(*experiment, *seed)
+	} else {
+		err = run(*experiment, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labrunner:", err)
+		os.Exit(1)
+	}
+}
+
+// runJSON emits one experiment's report as JSON (for scripting around the
+// lab). Experiments that only print prose are not exposed here.
+func runJSON(experiment string, seed int64) error {
+	builders := map[string]func(int64) any{
+		"table1":    func(s int64) any { return analysis.Table1(analysis.NewLab(s)) },
+		"table2":    func(s int64) any { return analysis.Table2(s) },
+		"table3":    func(s int64) any { return analysis.Table3(s) },
+		"figure4":   func(s int64) any { return analysis.Figure4(analysis.NewLab(s), malware.MalGeneCorpus()) },
+		"benign":    func(s int64) any { return analysis.RunBenign(s) },
+		"kernel":    func(s int64) any { return analysis.KernelExtension(s) },
+		"fullstack": func(s int64) any { return analysis.FullStack(s) },
+		"crawl": func(s int64) any {
+			r := crawler.CrawlPublicSandboxes(s)
+			return map[string]any{
+				"files": len(r.Files), "processes": len(r.Processes),
+				"registry_keys": len(r.RegistryKeys), "configs": r.SandboxConfigs,
+			}
+		},
+	}
+	builder, ok := builders[experiment]
+	if !ok {
+		return fmt.Errorf("experiment %q has no JSON form", experiment)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(builder(seed))
+}
+
+func run(experiment string, seed int64) error {
+	runners := map[string]func(int64){
+		"table1":    table1,
+		"table2":    table2,
+		"table3":    table3,
+		"figure4":   figure4,
+		"benign":    benignImpact,
+		"crawl":     crawl,
+		"case1":     case1,
+		"case2":     case2,
+		"isolation": isolation,
+		"overhead":  overhead,
+		"kernel":    kernelExt,
+		"fullstack": fullStack,
+		"survey":    survey,
+		"baseline":  baseline,
+		"toolkill":  toolKill,
+	}
+	if experiment == "all" {
+		for _, name := range []string{
+			"table1", "figure4", "table2", "table3", "benign",
+			"crawl", "case1", "case2", "isolation", "toolkill",
+			"kernel", "fullstack", "baseline", "survey", "overhead",
+		} {
+			runners[name](seed)
+		}
+		return nil
+	}
+	runner, ok := runners[experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	runner(seed)
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func table1(seed int64) {
+	header("Table I — effectiveness on the Joe Security samples")
+	fmt.Print(analysis.Table1(analysis.NewLab(seed)))
+}
+
+func table2(seed int64) {
+	header("Table II — Pafish across three environments, with/without Scarecrow")
+	fmt.Print(analysis.Table2(seed))
+}
+
+func table3(seed int64) {
+	header("Table III — wear-and-tear artifacts faked by Scarecrow")
+	fmt.Print(analysis.Table3(seed))
+}
+
+func figure4(seed int64) {
+	header("Figure 4 — effectiveness on the MalGene corpus (this takes a while)")
+	start := time.Now()
+	report := analysis.Figure4(analysis.NewLab(seed), malware.MalGeneCorpus())
+	fmt.Print(report)
+	fmt.Printf("(corpus evaluated in %.1fs wall time)\n", time.Since(start).Seconds())
+}
+
+func benignImpact(seed int64) {
+	header("§IV-C — impact on the top-20 CNET programs")
+	fmt.Print(analysis.RunBenign(seed))
+}
+
+func crawl(seed int64) {
+	header("§II-C — public-sandbox crawl and diff")
+	start := time.Now()
+	r := crawler.CrawlPublicSandboxes(seed)
+	fmt.Println(analysis.CrawlReport{
+		Files: len(r.Files), Processes: len(r.Processes),
+		RegistryKeys: len(r.RegistryKeys), Elapsed: time.Since(start),
+	})
+	fmt.Println("example unique processes:", r.Processes[:5])
+	for _, cfg := range r.SandboxConfigs {
+		fmt.Printf("sandbox config: disk=%dGB ram=%dGB cores=%d host=%s user=%s\n",
+			cfg.DiskTotalBytes>>30, cfg.RAMBytes>>30, cfg.NumCores, cfg.ComputerName, cfg.UserName)
+	}
+}
+
+func case1(seed int64) {
+	header("Case I — Kasidet's comprehensive evasive disjunction")
+	lab := analysis.NewLab(seed)
+	res := lab.RunSample(malware.Kasidet(), 1)
+	fmt.Printf("without scarecrow: %s\n", res.BehaviourWithout())
+	fmt.Printf("with scarecrow:    %s\n", res.BehaviourWith())
+	fmt.Printf("deactivated: %v, first trigger: %s\n", res.Verdict.Deactivated, res.FirstTrigger())
+	fmt.Printf("the disjunction has %d propositions; one deceptive answer sufficed\n",
+		len(malware.Kasidet().Checks))
+}
+
+func case2(seed int64) {
+	header("Case II — deactivating ransomware")
+	fmt.Print(analysis.RunCaseStudy(malware.WannaCry(), seed))
+	fmt.Print(analysis.RunCaseStudy(malware.Locky(), seed))
+}
+
+func isolation(seed int64) {
+	header("§VI-B — profile isolation against a Scarecrow-aware detector")
+	detector := malware.ScarecrowAware()
+	stock := analysis.NewLab(seed)
+	res := stock.RunSample(detector, 1)
+	fmt.Printf("stock deployment:    deactivated=%v (conflicting vendors unmask the engine)\n",
+		res.Verdict.Deactivated)
+	iso := analysis.NewLab(seed)
+	iso.Config.ProfileIsolation = true
+	res = iso.RunSample(detector, 1)
+	fmt.Printf("profile isolation:   deactivated=%v (one consistent vendor identity)\n",
+		res.Verdict.Deactivated)
+}
+
+func kernelExt(seed int64) {
+	header("§VI-A extension — kernel syscall-gate hooking vs raw-syscall bypass")
+	fmt.Print(analysis.KernelExtension(seed))
+}
+
+func fullStack(seed int64) {
+	header("§VI-A ladder — user hooks vs kernel gate vs deception hypervisor (full corpus)")
+	fmt.Print(analysis.FullStack(seed))
+}
+
+func baseline(seed int64) {
+	header("Motivation — how much of the corpus evades stock analysis rigs (no Scarecrow)")
+	full := malware.MalGeneCorpus()
+	var slice []*malware.Specimen
+	for i := 0; i < len(full); i += 4 {
+		slice = append(slice, full[i])
+	}
+	report := analysis.EvasionBaseline(slice, seed)
+	fmt.Println(report)
+	for rig, n := range report.PerRig {
+		fmt.Printf("  evaded %s: %d\n", rig, n)
+	}
+}
+
+func survey(seed int64) {
+	header("§II-C learning at scale — MalGene signature survey over a corpus slice")
+	full := malware.MalGeneCorpus()
+	var slice []*malware.Specimen
+	for i := 0; i < len(full); i += 4 {
+		slice = append(slice, full[i])
+	}
+	fmt.Print(analysis.SurveySignatures(slice, seed))
+}
+
+func toolKill(seed int64) {
+	header("§II-B(b) — counter-forensic tool killing vs protected decoys")
+	res := analysis.NewLab(seed).RunSample(malware.ToolKiller(), 1)
+	fmt.Printf("without scarecrow: %s\n", res.BehaviourWithout())
+	fmt.Printf("with scarecrow:    %s (decoy tools refused termination)\n", res.BehaviourWith())
+	fmt.Printf("deactivated: %v\n", res.Verdict.Deactivated)
+}
+
+func overhead(int64) {
+	header("§III — per-call deception overhead (virtual time)")
+	unhooked, hooked := analysis.HookOverhead()
+	fmt.Printf("RegOpenKeyEx unhooked: %v, hooked: %v\n", unhooked, hooked)
+}

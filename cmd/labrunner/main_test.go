@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunEachLightExperiment(t *testing.T) {
+	// figure4 and baseline are exercised by the heavy suites; everything
+	// else runs quickly enough for a unit test.
+	for _, name := range []string{
+		"table1", "table2", "table3", "benign",
+		"case1", "case2", "isolation", "toolkill", "kernel", "overhead",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := run(name, 42); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := runJSON("table2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runJSON("case1", 1); err == nil {
+		t.Error("prose-only experiment should have no JSON form")
+	}
+}

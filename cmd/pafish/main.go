@@ -1,0 +1,63 @@
+// Command pafish runs the Pafish (Paranoid Fish) reimplementation on a
+// chosen simulated environment, optionally under Scarecrow, and prints the
+// per-category trigger counts of Table II.
+//
+//	pafish -profile cuckoo-vbox-sandbox
+//	pafish -profile end-user -scarecrow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/pafish"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+func main() {
+	profile := flag.String("profile", string(winsim.ProfileBareMetalSandbox),
+		"machine profile: clean-baremetal, baremetal-sandbox, cuckoo-vbox-sandbox, cuckoo-vbox-hardened, end-user")
+	protected := flag.Bool("scarecrow", false, "deploy Scarecrow before running")
+	verbose := flag.Bool("v", false, "list every triggered feature")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "pafish:", r)
+			os.Exit(1)
+		}
+	}()
+
+	m := winsim.NewProfileMachine(winsim.ProfileName(*profile), *seed)
+	sys := winapi.NewSystem(m)
+	var report pafish.Report
+	sys.RegisterProgram(`C:\pafish\pafish.exe`, func(ctx *winapi.Context) int {
+		report = pafish.Run(ctx)
+		return winapi.ExitOK
+	})
+	if *protected {
+		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(*profile)))
+		if _, err := ctrl.LaunchTarget(`C:\pafish\pafish.exe`, "pafish.exe"); err != nil {
+			fmt.Fprintln(os.Stderr, "pafish:", err)
+			os.Exit(1)
+		}
+	} else {
+		sys.Launch(`C:\pafish\pafish.exe`, "pafish.exe", m.Procs.FindByImage("explorer.exe")[0])
+	}
+	sys.Run(time.Minute)
+
+	fmt.Printf("pafish on %s (scarecrow=%v): %d/%d features triggered\n",
+		*profile, *protected, report.Triggered(), len(report.Results))
+	fmt.Print(report)
+	if *verbose {
+		fmt.Println("triggered features:")
+		for _, name := range report.TriggeredNames() {
+			fmt.Println(" ", name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command sandcrawl runs the §II-C public-sandbox crawler: it inventories
+// the VirusTotal and Malwr sandbox profiles, diffs them against the clean
+// bare-metal reference, and prints the unique resources that extend
+// Scarecrow's deception database.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/crawler"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	samples := flag.Int("show", 5, "how many example resources to print per class")
+	flag.Parse()
+
+	start := time.Now()
+	r := crawler.CrawlPublicSandboxes(*seed)
+	fmt.Printf("crawl finished in %.1fs\n", time.Since(start).Seconds())
+	fmt.Printf("unique files:            %d\n", len(r.Files))
+	fmt.Printf("unique processes:        %d\n", len(r.Processes))
+	fmt.Printf("unique registry entries: %d\n", len(r.RegistryKeys))
+
+	show := func(label string, items []string) {
+		n := *samples
+		if n > len(items) {
+			n = len(items)
+		}
+		fmt.Printf("%s (first %d):\n", label, n)
+		for _, item := range items[:n] {
+			fmt.Println(" ", item)
+		}
+	}
+	show("files", r.Files)
+	show("processes", r.Processes)
+	show("registry", r.RegistryKeys)
+
+	for _, cfg := range r.SandboxConfigs {
+		fmt.Printf("sandbox config: disk=%dGB ram=%dGB cores=%d host=%s user=%s\n",
+			cfg.DiskTotalBytes>>30, cfg.RAMBytes>>30, cfg.NumCores, cfg.ComputerName, cfg.UserName)
+	}
+
+	db := core.NewDB()
+	before := db.Counts()
+	r.ExtendDB(db)
+	after := db.Counts()
+	fmt.Printf("deception DB files: %d -> %d, processes: %d -> %d, registry: %d -> %d\n",
+		before[core.CategoryFile], after[core.CategoryFile],
+		before[core.CategoryProcess], after[core.CategoryProcess],
+		before[core.CategoryRegistry], after[core.CategoryRegistry])
+}

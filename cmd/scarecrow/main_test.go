@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestResolveSamples(t *testing.T) {
+	known := []string{"wannacry", "locky", "kasidet", "scaware", "spawner", "joe:cbdda64", "mg:mg0000"}
+	for _, name := range known {
+		if _, err := resolve(name); err != nil {
+			t.Errorf("resolve(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "nope", "joe:zzz", "mg:zzz"} {
+		if _, err := resolve(name); err == nil {
+			t.Errorf("resolve(%q) accepted", name)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Ransomware walkthrough: Case II of the paper in detail. Runs the
+// WannaCry variant and Locky on an end-user machine three ways — on a
+// sinkholing sandbox, unprotected, and under Scarecrow — and shows the
+// user's files before and after each run.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+func main() {
+	fmt.Println("== WannaCry variant (network-evasive kill switch) ==")
+	demo(malware.WannaCry())
+	fmt.Println("\n== Locky (anti-VM checks before encryption) ==")
+	demo(malware.Locky())
+}
+
+func demo(sample *malware.Specimen) {
+	fmt.Printf("-- unprotected end-user machine --\n")
+	runOn(sample, false)
+	fmt.Printf("-- same machine with Scarecrow --\n")
+	runOn(sample, true)
+}
+
+func runOn(sample *malware.Specimen, protected bool) {
+	m := winsim.NewEndUserMachine(7)
+	sys := winapi.NewSystem(m)
+	sample.Register(sys)
+	m.FS.Touch(sample.Image, 180<<10)
+
+	docs := `C:\Users\alice\Documents`
+	before := len(m.FS.List(docs))
+
+	if protected {
+		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		if _, err := ctrl.LaunchTarget(sample.Image, sample.ID); err != nil {
+			panic(err)
+		}
+		defer func() {
+			if first, ok := ctrl.Session.FirstTrigger(); ok {
+				fmt.Printf("  deactivated by: %s\n", first)
+			}
+		}()
+	} else {
+		sys.Launch(sample.Image, sample.ID, m.Procs.FindByImage("explorer.exe")[0])
+	}
+	sys.Run(time.Minute)
+
+	after := m.FS.List(docs)
+	encrypted := 0
+	for _, f := range after {
+		if hasRansomExt(f) {
+			encrypted++
+		}
+	}
+	fmt.Printf("  documents before: %d, after: %d, encrypted: %d\n", before, len(after), encrypted)
+}
+
+func hasRansomExt(f string) bool {
+	for _, ext := range []string{".WCRY", ".wcry", ".locky"} {
+		if len(f) > len(ext) && f[len(f)-len(ext):] == ext {
+			return true
+		}
+	}
+	return false
+}

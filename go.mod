@@ -1,0 +1,3 @@
+module scarecrow
+
+go 1.22

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scarecrow/internal/malware"
+)
+
+// Table1Row is one line of the paper's Table I.
+type Table1Row struct {
+	SampleID         string
+	WithoutScarecrow string
+	WithScarecrow    string
+	Trigger          string
+	Deactivated      bool
+}
+
+// Table1Report is the full Table I reproduction.
+type Table1Report struct {
+	Rows []Table1Row
+}
+
+// DeactivatedCount returns how many of the 13 samples were deactivated.
+func (r Table1Report) DeactivatedCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Deactivated {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the report like Table I.
+func (r Table1Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s | %-38s | %-38s | %-28s | %s\n", "Sample", "Without SCARECROW", "With SCARECROW", "Trigger", "Eff.")
+	sb.WriteString(strings.Repeat("-", 125) + "\n")
+	for _, row := range r.Rows {
+		eff := "Y"
+		if !row.Deactivated {
+			eff = "N"
+		}
+		fmt.Fprintf(&sb, "%-8s | %-38s | %-38s | %-28s | %s\n",
+			row.SampleID, clip(row.WithoutScarecrow, 38), clip(row.WithScarecrow, 38), clip(row.Trigger, 28), eff)
+	}
+	fmt.Fprintf(&sb, "deactivated: %d/%d\n", r.DeactivatedCount(), len(r.Rows))
+	return sb.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Table1 reproduces the Table I experiment: the 13 Joe Security samples
+// run with and without Scarecrow on the bare-metal cluster.
+func Table1(lab *Lab) Table1Report {
+	results := lab.RunCorpus(malware.JoeSecuritySamples())
+	report := Table1Report{}
+	for _, res := range results {
+		report.Rows = append(report.Rows, Table1Row{
+			SampleID:         res.Specimen.ID,
+			WithoutScarecrow: res.BehaviourWithout(),
+			WithScarecrow:    res.BehaviourWith(),
+			Trigger:          res.FirstTrigger(),
+			Deactivated:      res.Verdict.Deactivated,
+		})
+	}
+	return report
+}
+
+// FamilyOutcome aggregates Figure 4 per family.
+type FamilyOutcome struct {
+	Family      string
+	Total       int
+	Deactivated int
+	// SpawnLoops counts samples deactivated through the self-spawn loop.
+	SpawnLoops int
+	// CreatedProcesses counts deactivated samples whose raw run created
+	// new processes; ModifiedFilesReg counts those whose raw run modified
+	// files or registry (the stacked sub-bars of Figure 4).
+	CreatedProcesses int
+	ModifiedFilesReg int
+}
+
+// Figure4Report is the MalGene corpus evaluation (§IV-C + Figure 4).
+type Figure4Report struct {
+	Families []FamilyOutcome
+	// Aggregates over the whole corpus.
+	Total                   int
+	Deactivated             int
+	SpawnLoopSamples        int
+	SpawnersUsingIsDebugger int
+}
+
+// DeactivationRate returns the headline percentage (the paper's 89.56%).
+func (r Figure4Report) DeactivationRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Deactivated) / float64(r.Total)
+}
+
+// SpawnLoopRate returns the self-spawner percentage (the paper's 78.08%).
+func (r Figure4Report) SpawnLoopRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.SpawnLoopSamples) / float64(r.Total)
+}
+
+// Family returns the named family's outcome.
+func (r Figure4Report) Family(name string) (FamilyOutcome, bool) {
+	for _, f := range r.Families {
+		if f.Family == name {
+			return f, true
+		}
+	}
+	return FamilyOutcome{}, false
+}
+
+// TopFamilies returns the n largest families, by total then name.
+func (r Figure4Report) TopFamilies(n int) []FamilyOutcome {
+	out := make([]FamilyOutcome, len(r.Families))
+	copy(out, r.Families)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Family < out[j].Family
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// String renders the Figure 4 series: per-family totals and deactivation
+// bars for the top 10 families, plus corpus aggregates.
+func (r Figure4Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — effectiveness on the MalGene corpus (top 10 families)\n")
+	fmt.Fprintf(&sb, "%-12s %6s %12s %11s %10s %10s\n", "family", "total", "deactivated", "spawnloops", "proc-w/o", "filereg-w/o")
+	for _, f := range r.TopFamilies(10) {
+		fmt.Fprintf(&sb, "%-12s %6d %12d %11d %10d %10d\n",
+			f.Family, f.Total, f.Deactivated, f.SpawnLoops, f.CreatedProcesses, f.ModifiedFilesReg)
+	}
+	fmt.Fprintf(&sb, "corpus: %d samples, %d (%.2f%%) deactivated, %d (%.2f%%) self-spawn loops, %d spawners used IsDebuggerPresent\n",
+		r.Total, r.Deactivated, r.DeactivationRate(), r.SpawnLoopSamples, r.SpawnLoopRate(), r.SpawnersUsingIsDebugger)
+	return sb.String()
+}
+
+// Figure4 reproduces the §IV-C corpus experiment over the given samples
+// (pass malware.MalGeneCorpus() for the full 1,054).
+func Figure4(lab *Lab, corpus []*malware.Specimen) Figure4Report {
+	results := lab.RunCorpus(corpus)
+	byFamily := make(map[string]*FamilyOutcome)
+	report := Figure4Report{}
+	for _, res := range results {
+		fam, ok := byFamily[res.Specimen.Family]
+		if !ok {
+			fam = &FamilyOutcome{Family: res.Specimen.Family}
+			byFamily[res.Specimen.Family] = fam
+		}
+		fam.Total++
+		report.Total++
+		if !res.Verdict.Deactivated {
+			continue
+		}
+		fam.Deactivated++
+		report.Deactivated++
+		if res.Verdict.SpawnLoop {
+			fam.SpawnLoops++
+			report.SpawnLoopSamples++
+			if res.Verdict.UsedIsDebuggerPresent {
+				report.SpawnersUsingIsDebugger++
+			}
+		}
+		if len(res.Raw.Summary.ProcessesCreated) > 0 {
+			fam.CreatedProcesses++
+		}
+		if len(res.Raw.Summary.FilesWritten) > 0 || len(res.Raw.Summary.RegistryModified) > 0 ||
+			len(res.Raw.Summary.FilesDeleted) > 0 {
+			fam.ModifiedFilesReg++
+		}
+	}
+	for _, name := range malware.FamilyNames() {
+		if fam, ok := byFamily[name]; ok {
+			report.Families = append(report.Families, *fam)
+		}
+	}
+	// Families outside the generated layout (ad-hoc corpora) keep their
+	// outcomes too.
+	known := make(map[string]bool)
+	for _, f := range report.Families {
+		known[f.Family] = true
+	}
+	var extra []string
+	for name := range byFamily {
+		if !known[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		report.Families = append(report.Families, *byFamily[name])
+	}
+	return report
+}

@@ -1,0 +1,184 @@
+// Package analysis is the experiment environment of Figure 3: a cluster of
+// simulated bare-metal Windows machines, each reset to a clean state before
+// every sample (a fresh winsim.Machine per run models the Deep Freeze
+// reset), an agent that runs the sample for one virtual minute with or
+// without Scarecrow, and kernel-activity tracing throughout. On top of the
+// lab sit the verdict logic of §IV-C and runners that regenerate every
+// table and figure of the evaluation.
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/trace"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// ObservationWindow is how long the agent lets each sample run before the
+// machine is reset (the paper's one minute).
+const ObservationWindow = time.Minute
+
+// SpawnLoopThreshold is the self-spawn count above which a sample is
+// considered caught in a deception-induced respawn loop (§IV-C: "spawned
+// itself more than 10 times").
+const SpawnLoopThreshold = 10
+
+// Lab is the analysis cluster configuration.
+type Lab struct {
+	// Profile selects the cluster machines; the paper's evaluation runs on
+	// bare metal (anti-VM samples would short-circuit on VMs).
+	Profile winsim.ProfileName
+	// Seed drives machine construction; each run derives its own seed so
+	// machines vary like real cluster nodes while staying reproducible.
+	Seed int64
+	// Config is the Scarecrow deployment configuration for protected runs.
+	Config core.Config
+	// DB, when non-nil, replaces the stock deception database for
+	// protected runs (e.g. one extended by a config file or a crawl).
+	DB *core.DB
+	// Workers bounds run parallelism (the cluster width). Zero means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// NewLab returns the paper's evaluation setup: bare-metal machines and the
+// recommended Scarecrow configuration for them.
+func NewLab(seed int64) *Lab {
+	return &Lab{
+		Profile: winsim.ProfileBareMetalSandbox,
+		Seed:    seed,
+		Config:  core.RecommendedConfig(string(winsim.ProfileBareMetalSandbox)),
+	}
+}
+
+// Execution is one sample run on one freshly reset machine.
+type Execution struct {
+	// Summary condenses the kernel activities of the sample's process
+	// subtree.
+	Summary trace.Summary
+	// Triggers is the Scarecrow IPC trigger stream (empty for raw runs).
+	Triggers []core.TriggerReport
+	// Alerts carries the mitigation alarms raised (protected runs only).
+	Alerts []string
+	// HookDetectionLikely marks protected runs where the sample went
+	// quiet without any trigger report: the deception that fired was a
+	// direct-memory artifact (prologue bytes) Scarecrow plants but cannot
+	// observe being read.
+	HookDetectionLikely bool
+}
+
+// runRaw executes the specimen without Scarecrow: the agent (python.exe)
+// launches it, as in the real cluster.
+func (l *Lab) runRaw(s *malware.Specimen, seed int64) Execution {
+	m := winsim.NewProfileMachine(l.Profile, seed)
+	sys := winapi.NewSystem(m)
+	s.Register(sys)
+	m.FS.Touch(s.Image, 180<<10)
+	parent := agentProcess(m)
+	root := sys.Launch(s.Image, s.ID, parent)
+	sys.Run(ObservationWindow)
+	return Execution{Summary: subtreeSummary(m, root.PID)}
+}
+
+// runProtected executes the specimen under the Scarecrow controller.
+func (l *Lab) runProtected(s *malware.Specimen, seed int64) Execution {
+	m := winsim.NewProfileMachine(l.Profile, seed)
+	sys := winapi.NewSystem(m)
+	s.Register(sys)
+	m.FS.Touch(s.Image, 180<<10)
+	db := l.DB
+	if db == nil {
+		db = core.NewDB()
+	}
+	ctrl := core.Deploy(sys, core.NewEngine(db, l.Config))
+	root, err := ctrl.LaunchTarget(s.Image, s.ID)
+	if err != nil {
+		panic("analysis: " + err.Error())
+	}
+	sys.Run(ObservationWindow)
+	return Execution{
+		Summary:  subtreeSummary(m, root.PID),
+		Triggers: ctrl.Session.Triggers(),
+		Alerts:   ctrl.Session.Alerts(),
+	}
+}
+
+// agentProcess returns the machine's analysis agent when present (the
+// bare-metal cluster) and explorer otherwise.
+func agentProcess(m *winsim.Machine) *winsim.Process {
+	if agents := m.Procs.FindByImage("python.exe"); len(agents) > 0 {
+		return agents[0]
+	}
+	if agents := m.Procs.FindByImage("pythonw.exe"); len(agents) > 0 {
+		return agents[0]
+	}
+	return m.Procs.FindByImage("explorer.exe")[0]
+}
+
+// subtreeSummary condenses the kernel events attributable to the sample's
+// process tree. PIDs allocate monotonically, so everything at or above the
+// root PID belongs to the sample's subtree.
+func subtreeSummary(m *winsim.Machine, rootPID int) trace.Summary {
+	return trace.Summarize(m.Tracer.Filter(func(e trace.Event) bool {
+		return e.PID >= rootPID
+	}))
+}
+
+// SampleResult is the paired-execution outcome for one sample.
+type SampleResult struct {
+	Specimen  *malware.Specimen
+	Raw       Execution
+	Protected Execution
+	Verdict   Verdict
+}
+
+// RunSample executes a sample with and without Scarecrow on freshly reset
+// machines ("at about the same time", §IV-C) and computes the verdict.
+func (l *Lab) RunSample(s *malware.Specimen, runSeed int64) SampleResult {
+	raw := l.runRaw(s, l.Seed^runSeed)
+	prot := l.runProtected(s, l.Seed^runSeed)
+	if len(prot.Triggers) == 0 {
+		// No hooked API observed a probe; if the sample still changed
+		// behaviour, the planted prologue bytes are the only deception it
+		// can have read.
+		prot.HookDetectionLikely = true
+	}
+	return SampleResult{
+		Specimen:  s,
+		Raw:       raw,
+		Protected: prot,
+		Verdict:   Judge(raw, prot),
+	}
+}
+
+// RunCorpus evaluates many samples in parallel (the machine cluster of
+// Figure 3). Results keep corpus order.
+func (l *Lab) RunCorpus(samples []*malware.Specimen) []SampleResult {
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]SampleResult, len(samples))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = l.RunSample(samples[i], int64(i+1))
+			}
+		}()
+	}
+	for i := range samples {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

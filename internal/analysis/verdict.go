@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"scarecrow/internal/trace"
+)
+
+// Verdict is the §IV-C deactivation decision for one sample, computed
+// purely from the two executions' traces.
+type Verdict struct {
+	// Deactivated is the headline outcome: Scarecrow stopped the sample's
+	// malicious behaviour.
+	Deactivated bool
+	// SpawnLoop marks samples that respawned themselves more than the
+	// threshold under Scarecrow (counted as deactivated: the loop never
+	// reaches code beyond the evasive logic).
+	SpawnLoop bool
+	// Suppressed lists the baseline activities missing from the protected
+	// run (the trace-comparison criterion).
+	Suppressed trace.Diff
+	// UsedIsDebuggerPresent records whether the protected run invoked
+	// IsDebuggerPresent (the §IV-C statistic: 815 of 823 spawners did).
+	UsedIsDebuggerPresent bool
+	// RawMutations and ProtectedMutations count durable changes per run.
+	RawMutations       int
+	ProtectedMutations int
+}
+
+// Judge derives the verdict from a raw/protected execution pair.
+func Judge(raw, prot Execution) Verdict {
+	v := Verdict{
+		SpawnLoop:             prot.Summary.SelfSpawns > SpawnLoopThreshold,
+		Suppressed:            trace.Compare(raw.Summary, prot.Summary),
+		UsedIsDebuggerPresent: prot.Summary.APICalls["IsDebuggerPresent"] > 0,
+		RawMutations:          raw.Summary.Mutations(),
+		ProtectedMutations:    prot.Summary.Mutations(),
+	}
+	v.Deactivated = v.SpawnLoop || !v.Suppressed.Empty()
+	return v
+}
+
+// FirstTrigger renders the sample's first fingerprinting trigger the way
+// Table I prints it: the reporting API, or "Hook detection" when the
+// deception that fired was the planted prologue bytes, or "N/A" when
+// Scarecrow never came into play.
+func (r SampleResult) FirstTrigger() string {
+	if len(r.Protected.Triggers) > 0 {
+		t := r.Protected.Triggers[0]
+		if t.Category == "network" {
+			return t.API + "() [sinkhole " + t.Resource + "]"
+		}
+		if t.API == "GetModuleFileName" {
+			return "The name of malware"
+		}
+		return t.API + "()"
+	}
+	if r.Verdict.Deactivated && r.Protected.HookDetectionLikely {
+		return "Hook detection"
+	}
+	return "N/A"
+}
+
+// BehaviourWithout summarizes the raw run for Table I's second column.
+func (r SampleResult) BehaviourWithout() string {
+	return describe(r.Raw.Summary)
+}
+
+// BehaviourWith summarizes the protected run for Table I's third column.
+func (r SampleResult) BehaviourWith() string {
+	if r.Verdict.SpawnLoop {
+		return "self-spawn loop"
+	}
+	return describe(r.Protected.Summary)
+}
+
+func describe(s trace.Summary) string {
+	var parts []string
+	if len(s.ProcessesCreated) > 0 {
+		names := make([]string, 0, len(s.ProcessesCreated))
+		for n := range s.ProcessesCreated {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts = append(parts, "create "+strings.Join(names, ", "))
+	}
+	if s.SelfSpawns > 0 {
+		parts = append(parts, "spawn itself")
+	}
+	if len(s.FilesWritten) > 0 {
+		parts = append(parts, plural(len(s.FilesWritten), "file write"))
+	}
+	if len(s.FilesDeleted) > 0 {
+		parts = append(parts, plural(len(s.FilesDeleted), "file delete"))
+	}
+	if len(s.RegistryModified) > 0 {
+		parts = append(parts, plural(len(s.RegistryModified), "registry mod"))
+	}
+	if s.Injections > 0 {
+		parts = append(parts, plural(s.Injections, "injection"))
+	}
+	if len(parts) == 0 {
+		return "no durable activity"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func plural(n int, noun string) string {
+	if n == 1 {
+		return "1 " + noun
+	}
+	return strconv.Itoa(n) + " " + noun + "s"
+}

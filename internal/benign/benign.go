@@ -1,0 +1,157 @@
+// Package benign models the top-20 most-popular CNET Windows programs the
+// paper uses to evaluate Scarecrow's impact on legitimate software
+// (§IV-C): each program installs (files + registry), then operates
+// (configuration reads, logging, an update check). The benign-impact
+// experiment runs every program with and without Scarecrow and diffs the
+// behaviour.
+//
+// Benign software does not probe for analysis environments, so almost none
+// of Scarecrow's deceptive answers are on its execution path; the notable
+// exception is the hardware fakes (disk/RAM), which these programs only
+// consult during installation space checks — mirroring the paper's
+// observation that "hardware resources were typically queried only during
+// the installation step".
+package benign
+
+import (
+	"fmt"
+	"strings"
+
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// Program is one benign application: an installer plus a normal-operation
+// routine.
+type Program struct {
+	// Name is the product name.
+	Name string
+	// Vendor is the publisher.
+	Vendor string
+	// InstallerImage is the downloaded setup executable path.
+	InstallerImage string
+	// MinFreeBytes is the free disk space the installer requires.
+	MinFreeBytes uint64
+	// MinRAMBytes is the memory floor the installer checks.
+	MinRAMBytes uint64
+	// UpdateDomain is the vendor domain the program contacts for updates.
+	UpdateDomain string
+	// PayloadFiles is how many files installation writes.
+	PayloadFiles int
+	// AutoStart installs a Run-key entry.
+	AutoStart bool
+}
+
+// slug derives the install directory name.
+func (p Program) slug() string {
+	return strings.ReplaceAll(p.Name, " ", "")
+}
+
+// InstallDir is the program's target directory.
+func (p Program) InstallDir() string {
+	return `C:\Program Files\` + p.slug()
+}
+
+// MainExecutable is the installed program binary.
+func (p Program) MainExecutable() string {
+	return p.InstallDir() + `\` + strings.ToLower(p.slug()) + `.exe`
+}
+
+// Install runs the setup routine: a disk/memory requirement check, file
+// deployment, and registry registration. It returns false when a
+// requirement check fails — the error case the paper acknowledges
+// deceptive hardware answers could cause.
+func (p Program) Install(ctx *winapi.Context) bool {
+	disk, st := ctx.GetDiskFreeSpaceEx(`C:\`)
+	if !st.OK() || disk.FreeBytes < p.MinFreeBytes {
+		return false
+	}
+	if mem := ctx.GlobalMemoryStatusEx(); mem.TotalPhysBytes < p.MinRAMBytes {
+		return false
+	}
+	for i := 0; i < p.PayloadFiles; i++ {
+		ctx.WriteFile(fmt.Sprintf(`%s\file%02d.dll`, p.InstallDir(), i+1), []byte("MZ benign"))
+	}
+	ctx.WriteFile(p.MainExecutable(), []byte("MZ "+p.Name))
+	uninstall := winsim.RegUninstallKey + `\` + p.slug()
+	ctx.RegCreateKeyEx(uninstall)
+	ctx.RegSetValueEx(uninstall, "DisplayName", winsim.StringValue(p.Name))
+	ctx.RegSetValueEx(uninstall, "Publisher", winsim.StringValue(p.Vendor))
+	if p.AutoStart {
+		ctx.RegSetValueEx(winsim.RegRunKey, p.slug(), winsim.StringValue(p.MainExecutable()))
+	}
+	return true
+}
+
+// Operate runs a normal session: configuration read, an update check
+// against the vendor domain, and activity logging. It returns false on a
+// functional failure (missing own files).
+func (p Program) Operate(ctx *winapi.Context) bool {
+	if _, st := ctx.GetFileAttributes(p.MainExecutable()); !st.OK() {
+		return false
+	}
+	if _, st := ctx.RegQueryValueEx(winsim.RegUninstallKey+`\`+p.slug(), "DisplayName"); !st.OK() {
+		return false
+	}
+	if addr, st := ctx.DnsQuery(p.UpdateDomain); st.OK() {
+		_, _ = ctx.InternetOpenUrl(addr)
+	}
+	ctx.WriteFile(p.InstallDir()+`\session.log`, []byte("session ok"))
+	return true
+}
+
+// Run performs install followed by operation, returning overall success.
+func (p Program) Run(ctx *winapi.Context) bool {
+	if !p.Install(ctx) {
+		return false
+	}
+	return p.Operate(ctx)
+}
+
+// Top20 returns the modeled CNET top-20 Windows programs (the 2017-era
+// download chart: AV suites, cleaners, media players, archivers,
+// browsers, and remote-desktop tools).
+func Top20() []Program {
+	mk := func(name, vendor, domain string, files int, minFree uint64, autostart bool) Program {
+		return Program{
+			Name: name, Vendor: vendor,
+			InstallerImage: `C:\Users\john\Downloads\` + strings.ToLower(strings.ReplaceAll(name, " ", "_")) + `_setup.exe`,
+			MinFreeBytes:   minFree,
+			MinRAMBytes:    256 << 20,
+			UpdateDomain:   domain,
+			PayloadFiles:   files,
+			AutoStart:      autostart,
+		}
+	}
+	return []Program{
+		mk("Avast Free Antivirus", "Avast Software", "updates.avast.example", 24, 1<<30, true),
+		mk("AVG AntiVirus Free", "AVG Technologies", "updates.avg.example", 22, 1<<30, true),
+		mk("CCleaner", "Piriform", "updates.ccleaner.example", 8, 100<<20, false),
+		mk("Malwarebytes", "Malwarebytes", "updates.mbam.example", 18, 500<<20, true),
+		mk("Advanced SystemCare", "IObit", "updates.iobit.example", 14, 300<<20, true),
+		mk("Driver Booster", "IObit", "drivers.iobit.example", 12, 300<<20, false),
+		mk("VLC Media Player", "VideoLAN", "updates.videolan.example", 16, 200<<20, false),
+		mk("7-Zip", "Igor Pavlov", "updates.7zip.example", 4, 10<<20, false),
+		mk("WinRAR", "RARLAB", "updates.rarlab.example", 5, 20<<20, false),
+		mk("uTorrent", "BitTorrent Inc", "updates.utorrent.example", 6, 50<<20, true),
+		mk("Google Chrome", "Google", "updates.chrome.example", 30, 500<<20, true),
+		mk("Mozilla Firefox", "Mozilla", "updates.firefox.example", 26, 400<<20, false),
+		mk("Skype", "Microsoft", "updates.skype.example", 15, 300<<20, true),
+		mk("TeamViewer", "TeamViewer GmbH", "updates.teamviewer.example", 10, 200<<20, false),
+		mk("CDBurnerXP", "Canneverbe", "updates.cdburnerxp.example", 7, 50<<20, false),
+		mk("Recuva", "Piriform", "updates.recuva.example", 5, 50<<20, false),
+		mk("Speccy", "Piriform", "updates.speccy.example", 5, 50<<20, false),
+		mk("Defraggler", "Piriform", "updates.defraggler.example", 5, 50<<20, false),
+		mk("IObit Uninstaller", "IObit", "uninstaller.iobit.example", 9, 100<<20, false),
+		mk("WinZip", "Corel", "updates.winzip.example", 8, 60<<20, false),
+	}
+}
+
+// ProvisionDomains adds the programs' vendor update domains to a machine's
+// DNS so update checks resolve genuinely (they are real, existing domains,
+// not the NX domains Scarecrow sinkholes).
+func ProvisionDomains(m *winsim.Machine, programs []Program) {
+	for _, p := range programs {
+		m.Net.AddRecord(p.UpdateDomain, winsim.SyntheticAddr(p.UpdateDomain))
+	}
+}

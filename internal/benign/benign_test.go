@@ -1,0 +1,147 @@
+package benign
+
+import (
+	"testing"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/trace"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+func TestTop20Shape(t *testing.T) {
+	programs := Top20()
+	if len(programs) != 20 {
+		t.Fatalf("programs = %d, want 20 (CNET top-20)", len(programs))
+	}
+	seen := map[string]bool{}
+	for _, p := range programs {
+		if seen[p.Name] {
+			t.Errorf("duplicate program %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.UpdateDomain == "" || p.MinFreeBytes == 0 || p.PayloadFiles == 0 {
+			t.Errorf("program %s incomplete: %+v", p.Name, p)
+		}
+		// Every program must fit within Scarecrow's deceptive 20 GB free:
+		// the paper found no benign install tripped the disk fake.
+		if p.MinFreeBytes > 20<<30 {
+			t.Errorf("program %s requires more than the deceptive free space", p.Name)
+		}
+	}
+}
+
+// run installs and operates a program, returning success and the mutation
+// summary of its process subtree.
+func run(t *testing.T, m *winsim.Machine, p Program, protected bool) (bool, trace.Summary) {
+	t.Helper()
+	sys := winapi.NewSystem(m)
+	ProvisionDomains(m, []Program{p})
+	ok := false
+	sys.RegisterProgram(p.InstallerImage, func(ctx *winapi.Context) int {
+		ok = p.Run(ctx)
+		return winapi.ExitOK
+	})
+	m.FS.Touch(p.InstallerImage, 40<<20)
+	var rootPID int
+	if protected {
+		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		root, err := ctrl.LaunchTarget(p.InstallerImage, p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootPID = root.PID
+	} else {
+		parent := m.Procs.FindByImage("explorer.exe")[0]
+		rootPID = sys.Launch(p.InstallerImage, p.Name, parent).PID
+	}
+	sys.Run(time.Minute)
+	return ok, trace.Summarize(m.Tracer.Filter(func(e trace.Event) bool {
+		return e.PID >= rootPID
+	}))
+}
+
+// TestBenignImpact is §IV-C's benign-software evaluation: all 20 programs
+// install and operate without issues under Scarecrow, with exactly the
+// same durable system changes as without it.
+func TestBenignImpact(t *testing.T) {
+	for _, p := range Top20() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			okRaw, raw := run(t, winsim.NewEndUserMachine(1), p, false)
+			okProt, prot := run(t, winsim.NewEndUserMachine(1), p, true)
+			if !okRaw {
+				t.Fatal("program failed without Scarecrow")
+			}
+			if !okProt {
+				t.Fatal("program failed under Scarecrow")
+			}
+			if d := trace.Compare(raw, prot); !d.Empty() {
+				t.Errorf("behaviour suppressed under Scarecrow: %v", d)
+			}
+			if d := trace.Compare(prot, raw); !d.Empty() {
+				t.Errorf("extra behaviour under Scarecrow: %v", d)
+			}
+		})
+	}
+}
+
+// TestInstallerChecksDeceptiveHardware verifies that installation space
+// checks read the deceptive values and still pass — the "hardware queried
+// only during install" observation.
+func TestInstallerChecksDeceptiveHardware(t *testing.T) {
+	p := Top20()[0] // Avast: the largest requirement (1 GB)
+	okProt, _ := run(t, winsim.NewEndUserMachine(1), p, true)
+	if !okProt {
+		t.Error("install failed against deceptive 20 GB free")
+	}
+}
+
+// TestOversizedRequirementFails documents the error case the paper
+// acknowledges: software demanding more space than the deceptive answer
+// reports will refuse to install.
+func TestOversizedRequirementFails(t *testing.T) {
+	big := Top20()[0]
+	big.Name = "Enormous Game"
+	big.MinFreeBytes = 60 << 30
+	okRaw, _ := run(t, winsim.NewEndUserMachine(1), big, false)
+	if !okRaw {
+		t.Fatal("60 GB requirement should pass on the real 120 GB free disk")
+	}
+	okProt, _ := run(t, winsim.NewEndUserMachine(1), big, true)
+	if okProt {
+		t.Error("60 GB requirement should fail against the deceptive 20 GB free")
+	}
+}
+
+// TestSelfPathCaveat documents a genuine Scarecrow limitation the paper's
+// "little or no impact" phrasing allows for: a benign program that records
+// its own executable path (via GetModuleFileName) persists the deceptive
+// C:\sample.exe answer instead of its real location. The top-20 programs
+// do not do this, which is why the headline evaluation is unaffected.
+func TestSelfPathCaveat(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	const image = `C:\Users\alice\Downloads\pathwriter.exe`
+	var recorded string
+	sys.RegisterProgram(image, func(ctx *winapi.Context) int {
+		recorded = ctx.GetModuleFileName()
+		ctx.RegSetValueEx(`HKCU\Software\PathWriter`, "InstallLocation",
+			winsim.StringValue(recorded))
+		return winapi.ExitOK
+	})
+	m.FS.Touch(image, 1<<20)
+	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+	if _, err := ctrl.LaunchTarget(image, "pathwriter.exe"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+	if recorded != `C:\sample.exe` {
+		t.Errorf("program saw %q, expected the deceptive sample path", recorded)
+	}
+	v, ok := m.Registry.QueryValue(`HKCU\Software\PathWriter`, "InstallLocation")
+	if !ok || v.Str != `C:\sample.exe` {
+		t.Errorf("persisted path = %+v — the documented self-path caveat", v)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import "time"
+
+// Config selects which deception features a Scarecrow deployment enables.
+type Config struct {
+	// SinkholeNXDomains resolves every non-existent domain to the
+	// controller proxy, imitating sandbox DNS sinkholes (§II-B network
+	// resources; deactivates the WannaCry variant of Case II).
+	SinkholeNXDomains bool
+
+	// FakeHardware enables the deceptive disk/RAM/core answers. The paper
+	// notes these are the only fakes with any benign-software risk, so
+	// they are independently switchable.
+	FakeHardware bool
+
+	// TimingDiscrepancy slows the deceptive tick stream (§II-B(g):
+	// "deceptive timing discrepancies in default exception processing").
+	// Deployments on machines that already sit behind a timer-virtualizing
+	// layer (a hypervisor on the host) leave it off to avoid compounding
+	// two timing distortions; the paper's bare-metal deployment ran with
+	// it on, which is why the sleep-consistency Pafish check fired there
+	// and nowhere else (Table II: Generic sandbox 10 vs 9).
+	TimingDiscrepancy bool
+
+	// TickSlowFactor is the divisor TimingDiscrepancy applies to elapsed
+	// tick time.
+	TickSlowFactor uint64
+
+	// WearAndTear enables the Table III extension: deceptive answers for
+	// the wear-and-tear artifacts of Miramirkhani et al.
+	WearAndTear bool
+
+	// ProfileIsolation enables the §VI-B countermeasure: once malware
+	// probes one VM vendor's artifact, all other VM vendor profiles go
+	// dark so conflicting answers never coexist.
+	ProfileIsolation bool
+
+	// Mitigation selects what to do about self-spawning loops (§VI-C).
+	Mitigation MitigationPolicy
+
+	// SpawnAlarmThreshold is the per-image CreateProcess count that raises
+	// a mitigation alarm.
+	SpawnAlarmThreshold int
+
+	// FollowChildren injects scarecrow.dll into processes the target
+	// spawns (the CreateProcess suspend-inject-resume flow of §III-B).
+	FollowChildren bool
+
+	// KernelHooks additionally deploys deception at the system-call
+	// dispatch gate (the paper's §VI-A future work). Kernel hooks are
+	// machine-wide, leave prologues untouched, and close the raw-syscall
+	// bypass that defeats user-level hooking.
+	KernelHooks bool
+
+	// DisabledCategories turns off whole deceptive-resource classes
+	// (registry, file, library, window, process, debugger, network,
+	// hardware) for ablation studies: a disabled category's probes pass
+	// through to the genuine system.
+	DisabledCategories []Category
+
+	// HypervisorDeception slides a thin deception hypervisor under the
+	// machine (the rest of §VI-A): CPUID reports a hypervisor identity and
+	// traps with VM-exit latency, closing the rdtsc/cpuid timing channel —
+	// at the cost of being machine-wide and process-unselective.
+	HypervisorDeception bool
+}
+
+// MitigationPolicy is the §VI-C response to fork-bomb style side effects.
+type MitigationPolicy int
+
+// Mitigation policies.
+const (
+	// MitigationRecordOnly logs and raises alarms without interrupting
+	// anything — the paper's deployed behaviour.
+	MitigationRecordOnly MitigationPolicy = iota + 1
+	// MitigationKillOnFork terminates the spawning process once the alarm
+	// threshold is crossed.
+	MitigationKillOnFork
+)
+
+// DefaultConfig returns the paper's evaluated configuration: every
+// deception on, record-only mitigation, timing discrepancy decided by the
+// deployment (see Deployment.timingFor).
+func DefaultConfig() Config {
+	return Config{
+		SinkholeNXDomains:   true,
+		FakeHardware:        true,
+		TimingDiscrepancy:   false,
+		TickSlowFactor:      8,
+		WearAndTear:         false,
+		ProfileIsolation:    false,
+		Mitigation:          MitigationRecordOnly,
+		SpawnAlarmThreshold: 10,
+		FollowChildren:      true,
+	}
+}
+
+// CategoryEnabled reports whether a resource category is active under
+// this configuration.
+func (cfg Config) CategoryEnabled(cat Category) bool {
+	for _, d := range cfg.DisabledCategories {
+		if d == cat {
+			return false
+		}
+	}
+	return true
+}
+
+// RecommendedConfig returns the paper's evaluated configuration for a
+// deployment on the named environment profile. The timing-discrepancy
+// module is enabled only on bare metal, where no other layer owns timer
+// virtualization (see Config.TimingDiscrepancy).
+func RecommendedConfig(profile string) Config {
+	cfg := DefaultConfig()
+	cfg.TimingDiscrepancy = profile == "baremetal-sandbox" || profile == "clean-baremetal"
+	return cfg
+}
+
+// deceptiveTick converts elapsed virtual time since injection into the
+// deceptive tick stream: a small base uptime plus (optionally slowed)
+// elapsed milliseconds.
+func (cfg Config) deceptiveTick(base uint64, elapsed time.Duration) uint64 {
+	ms := uint64(elapsed / time.Millisecond)
+	if cfg.TimingDiscrepancy && cfg.TickSlowFactor > 1 {
+		ms /= cfg.TickSlowFactor
+	}
+	return base + ms
+}

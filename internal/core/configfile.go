@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File-based deployment configuration. The paper notes the deceptive
+// system-configuration values "are easily adjustable by users if needed"
+// (§II-B, hardware resources); this file format is that adjustment knob:
+// a JSON document selecting features and overriding deceptive values.
+//
+//	{
+//	  "sinkhole_nx_domains": true,
+//	  "fake_hardware": true,
+//	  "wear_and_tear": true,
+//	  "profile_isolation": false,
+//	  "kernel_hooks": false,
+//	  "hypervisor_deception": false,
+//	  "mitigation": "record-only",
+//	  "spawn_alarm_threshold": 10,
+//	  "hardware": {
+//	    "disk_total_gb": 50, "disk_free_gb": 20,
+//	    "ram_mb": 1024, "num_cores": 1,
+//	    "computer_name": "SANDBOX-PC", "user_name": "currentuser"
+//	  },
+//	  "extra_registry_keys": ["HKLM\\SOFTWARE\\MyLab\\Agent"],
+//	  "extra_files": ["C:\\mylab\\monitor.dll"],
+//	  "extra_processes": ["mymonitor.exe"]
+//	}
+
+// FileConfig is the on-disk deployment configuration.
+type FileConfig struct {
+	SinkholeNXDomains   *bool  `json:"sinkhole_nx_domains"`
+	FakeHardware        *bool  `json:"fake_hardware"`
+	TimingDiscrepancy   *bool  `json:"timing_discrepancy"`
+	WearAndTear         *bool  `json:"wear_and_tear"`
+	ProfileIsolation    *bool  `json:"profile_isolation"`
+	KernelHooks         *bool  `json:"kernel_hooks"`
+	HypervisorDeception *bool  `json:"hypervisor_deception"`
+	FollowChildren      *bool  `json:"follow_children"`
+	Mitigation          string `json:"mitigation"` // "record-only" | "kill-on-fork"
+	SpawnAlarmThreshold *int   `json:"spawn_alarm_threshold"`
+
+	Hardware *HardwareOverrides `json:"hardware"`
+
+	ExtraRegistryKeys []string `json:"extra_registry_keys"`
+	ExtraFiles        []string `json:"extra_files"`
+	ExtraProcesses    []string `json:"extra_processes"`
+}
+
+// HardwareOverrides adjusts the deceptive hardware answers.
+type HardwareOverrides struct {
+	DiskTotalGB  *uint64 `json:"disk_total_gb"`
+	DiskFreeGB   *uint64 `json:"disk_free_gb"`
+	RAMMB        *uint64 `json:"ram_mb"`
+	NumCores     *int    `json:"num_cores"`
+	ComputerName string  `json:"computer_name"`
+	UserName     string  `json:"user_name"`
+	SamplePath   string  `json:"sample_path"`
+}
+
+// ParseConfig reads a FileConfig from JSON.
+func ParseConfig(r io.Reader) (FileConfig, error) {
+	var fc FileConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return FileConfig{}, fmt.Errorf("core: parsing config: %w", err)
+	}
+	switch fc.Mitigation {
+	case "", "record-only", "kill-on-fork":
+	default:
+		return FileConfig{}, fmt.Errorf("core: unknown mitigation %q", fc.Mitigation)
+	}
+	return fc, nil
+}
+
+// LoadConfigFile reads a FileConfig from disk.
+func LoadConfigFile(path string) (FileConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FileConfig{}, fmt.Errorf("core: opening config: %w", err)
+	}
+	defer f.Close()
+	return ParseConfig(f)
+}
+
+// Apply folds the file configuration into a base Config and deception DB,
+// returning the adjusted Config. Unset fields keep the base values.
+func (fc FileConfig) Apply(base Config, db *DB) Config {
+	setBool := func(dst *bool, src *bool) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setBool(&base.SinkholeNXDomains, fc.SinkholeNXDomains)
+	setBool(&base.FakeHardware, fc.FakeHardware)
+	setBool(&base.TimingDiscrepancy, fc.TimingDiscrepancy)
+	setBool(&base.WearAndTear, fc.WearAndTear)
+	setBool(&base.ProfileIsolation, fc.ProfileIsolation)
+	setBool(&base.KernelHooks, fc.KernelHooks)
+	setBool(&base.HypervisorDeception, fc.HypervisorDeception)
+	setBool(&base.FollowChildren, fc.FollowChildren)
+	switch fc.Mitigation {
+	case "record-only":
+		base.Mitigation = MitigationRecordOnly
+	case "kill-on-fork":
+		base.Mitigation = MitigationKillOnFork
+	}
+	if fc.SpawnAlarmThreshold != nil {
+		base.SpawnAlarmThreshold = *fc.SpawnAlarmThreshold
+	}
+
+	if hw := fc.Hardware; hw != nil {
+		if hw.DiskTotalGB != nil {
+			db.HW.DiskTotalBytes = *hw.DiskTotalGB << 30
+		}
+		if hw.DiskFreeGB != nil {
+			db.HW.DiskFreeBytes = *hw.DiskFreeGB << 30
+		}
+		if hw.RAMMB != nil {
+			db.HW.RAMBytes = *hw.RAMMB << 20
+		}
+		if hw.NumCores != nil {
+			db.HW.NumCores = *hw.NumCores
+		}
+		if hw.ComputerName != "" {
+			db.HW.ComputerName = hw.ComputerName
+		}
+		if hw.UserName != "" {
+			db.HW.UserName = hw.UserName
+		}
+		if hw.SamplePath != "" {
+			db.HW.SamplePath = hw.SamplePath
+		}
+	}
+	for _, k := range fc.ExtraRegistryKeys {
+		db.AddRegKey(k, VendorGeneric)
+	}
+	for _, f := range fc.ExtraFiles {
+		db.AddFile(f, VendorGeneric)
+	}
+	for _, p := range fc.ExtraProcesses {
+		db.AddProcess(p, VendorGeneric)
+	}
+	return base
+}

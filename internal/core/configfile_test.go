@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigAndApply(t *testing.T) {
+	const doc = `{
+		"wear_and_tear": true,
+		"kernel_hooks": true,
+		"mitigation": "kill-on-fork",
+		"spawn_alarm_threshold": 5,
+		"hardware": {
+			"disk_total_gb": 40, "ram_mb": 512, "num_cores": 2,
+			"computer_name": "LAB-PC", "user_name": "analyst"
+		},
+		"extra_registry_keys": ["HKLM\\SOFTWARE\\MyLab\\Agent"],
+		"extra_files": ["C:\\mylab\\monitor.dll"],
+		"extra_processes": ["mymonitor.exe"]
+	}`
+	fc, err := ParseConfig(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	cfg := fc.Apply(DefaultConfig(), db)
+
+	if !cfg.WearAndTear || !cfg.KernelHooks {
+		t.Error("feature toggles not applied")
+	}
+	if cfg.Mitigation != MitigationKillOnFork || cfg.SpawnAlarmThreshold != 5 {
+		t.Error("mitigation not applied")
+	}
+	if !cfg.SinkholeNXDomains {
+		t.Error("unset field should keep the base value")
+	}
+	if db.HW.DiskTotalBytes != 40<<30 || db.HW.RAMBytes != 512<<20 || db.HW.NumCores != 2 {
+		t.Errorf("hardware overrides: %+v", db.HW)
+	}
+	if db.HW.ComputerName != "LAB-PC" || db.HW.UserName != "analyst" {
+		t.Errorf("identity overrides: %+v", db.HW)
+	}
+	if db.HW.SamplePath != `C:\sample.exe` {
+		t.Error("unset sample path should keep default")
+	}
+	if _, ok := db.MatchRegKey(`HKLM\SOFTWARE\MyLab\Agent`); !ok {
+		t.Error("extra registry key not learned")
+	}
+	if _, ok := db.MatchFile(`c:\mylab\monitor.dll`); !ok {
+		t.Error("extra file not learned")
+	}
+	if _, ok := db.MatchProcess("mymonitor.exe"); !ok {
+		t.Error("extra process not learned")
+	}
+}
+
+func TestParseConfigRejectsGarbage(t *testing.T) {
+	if _, err := ParseConfig(strings.NewReader(`{"mitigation":"nuke-it"}`)); err == nil {
+		t.Error("bogus mitigation accepted")
+	}
+	if _, err := ParseConfig(strings.NewReader(`{"unknown_knob": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseConfig(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadConfigFileMissing(t *testing.T) {
+	if _, err := LoadConfigFile("/nonexistent/scarecrow.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestConfigFileEndToEnd adjusts a deceptive value through the file and
+// observes the adjusted answer from a protected process.
+func TestConfigFileEndToEnd(t *testing.T) {
+	fc, err := ParseConfig(strings.NewReader(`{"hardware": {"disk_total_gb": 7}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	cfg := fc.Apply(DefaultConfig(), db)
+
+	m := newTestEndUser()
+	_, ctx := deployWith(t, m, db, cfg)
+	disk, st := ctx.GetDiskFreeSpaceEx(`C:\`)
+	if !st.OK() || disk.TotalBytes != 7<<30 {
+		t.Errorf("adjusted deceptive disk = %d bytes", disk.TotalBytes)
+	}
+}

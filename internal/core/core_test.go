@@ -1,0 +1,701 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// deployOnEndUser deploys a default-config Scarecrow on an end-user machine
+// and launches a registered no-op target under it, returning the target's
+// context for direct probing.
+func deployOnEndUser(t *testing.T, cfg Config) (*Controller, *winapi.Context) {
+	t.Helper()
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\Users\alice\Downloads\target.exe`, func(ctx *winapi.Context) int {
+		return winapi.ExitOK
+	})
+	ctrl := Deploy(sys, NewEngine(NewDB(), cfg))
+	target, err := ctrl.LaunchTarget(`C:\Users\alice\Downloads\target.exe`, "target.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, sys.Context(target)
+}
+
+func TestHookedAPIsIsExactly29(t *testing.T) {
+	if len(HookedAPIs) != 29 {
+		t.Fatalf("len(HookedAPIs) = %d, want 29 (paper §III-A)", len(HookedAPIs))
+	}
+	seen := make(map[string]bool)
+	for _, api := range HookedAPIs {
+		if seen[api] {
+			t.Errorf("duplicate hooked API %s", api)
+		}
+		seen[api] = true
+		if !winapi.APIKnown(api) {
+			t.Errorf("hooked API %s missing from the catalog", api)
+		}
+	}
+}
+
+func TestDBStockCounts(t *testing.T) {
+	db := NewDB()
+	counts := db.Counts()
+	if counts[CategoryProcess] != 24 {
+		t.Errorf("deceptive processes = %d, want 24 (§II-B(b))", counts[CategoryProcess])
+	}
+	if counts[CategoryLibrary] != 15 {
+		t.Errorf("deceptive DLLs = %d, want 15 (§II-B(c))", counts[CategoryLibrary])
+	}
+	if counts[CategoryWindow] != 10 {
+		t.Errorf("deceptive windows = %d, want 10 = 6 debugger + 4 sandbox (§II-B(d))", counts[CategoryWindow])
+	}
+}
+
+func TestRegistryDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if st := ctx.RegOpenKeyEx(`HKEY_LOCAL_MACHINE\SOFTWARE\Oracle\VirtualBox Guest Additions`); !st.OK() {
+		t.Error("VirtualBox guest additions key not deceived")
+	}
+	if st := ctx.NtOpenKeyEx(`SOFTWARE\VMware, Inc.\VMware Tools`); !st.OK() {
+		t.Error("VMware Tools key not deceived (implicit HKLM)")
+	}
+	v, st := ctx.RegQueryValueEx(`HKLM\HARDWARE\Description\System`, "SystemBiosVersion")
+	if !st.OK() || !strings.Contains(v.Str, "VBOX") || !strings.Contains(v.Str, "BOCHS") {
+		t.Errorf("SystemBiosVersion fake = %q (should combine VM names, §II-B(e))", v.Str)
+	}
+	id, st := ctx.NtQueryValueKey(`HKLM\HARDWARE\DEVICEMAP\Scsi\Scsi Port 0\Scsi Bus 0\Target Id 0\Logical Unit Id 0`, "Identifier")
+	if !st.OK() || !strings.Contains(id.Str, "QEMU") {
+		t.Errorf("SCSI identifier fake = %q", id.Str)
+	}
+	// Unrelated keys still answer genuinely.
+	if st := ctx.RegOpenKeyEx(`HKLM\SOFTWARE\NoSuchVendor`); st.OK() {
+		t.Error("unrelated missing key fabricated")
+	}
+	if st := ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`); !st.OK() {
+		t.Error("genuine key broken")
+	}
+}
+
+func TestFileAndDeviceDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	for _, path := range []string{
+		`C:\Windows\System32\drivers\vmmouse.sys`,
+		`C:\Windows\System32\drivers\VBoxMouse.sys`,
+		`C:\analysis\run.log`,
+	} {
+		if _, st := ctx.NtQueryAttributesFile(path); !st.OK() {
+			t.Errorf("file probe %q not deceived", path)
+		}
+	}
+	if st := ctx.CreateFile(`C:\Users\alice\real-missing.txt`); st.OK() {
+		t.Error("unrelated missing file fabricated")
+	}
+}
+
+func TestDebuggerAndIdentityDeception(t *testing.T) {
+	ctrl, ctx := deployOnEndUser(t, DefaultConfig())
+	if !ctx.IsDebuggerPresent() {
+		t.Error("IsDebuggerPresent not deceived")
+	}
+	if dbg, st := ctx.NtQuerySystemInformation(winapi.SystemKernelDebuggerInformation); !st.OK() || dbg != 1 {
+		t.Error("kernel-debugger information not deceived")
+	}
+	if got := ctx.GetComputerName(); got != "SANDBOX-PC" {
+		t.Errorf("computer name = %q", got)
+	}
+	if got := ctx.GetUserName(); got != "currentuser" {
+		t.Errorf("user name = %q", got)
+	}
+	if got := ctx.GetModuleFileName(); got != `C:\sample.exe` {
+		t.Errorf("module path = %q", got)
+	}
+	first, ok := ctrl.Session.FirstTrigger()
+	if !ok {
+		t.Fatal("no triggers reported over IPC")
+	}
+	if first.API != "IsDebuggerPresent" {
+		t.Errorf("first trigger = %s, want IsDebuggerPresent", first.API)
+	}
+}
+
+func TestPEBReadBypassesDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	// The API lies; direct memory tells the truth (Table I, sample
+	// cbdda64: Scarecrow's single failure).
+	if got := ctx.GetSystemInfo().NumberOfProcessors; got != 1 {
+		t.Errorf("API cores = %d, want deceptive 1", got)
+	}
+	if got := ctx.ReadPEB().NumberOfProcessors; got != 8 {
+		t.Errorf("PEB cores = %d, want genuine 8", got)
+	}
+	if ctx.ReadPEB().BeingDebugged {
+		t.Error("PEB.BeingDebugged must stay genuine")
+	}
+}
+
+func TestHardwareDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	disk, st := ctx.GetDiskFreeSpaceEx(`C:\`)
+	if !st.OK() || disk.TotalBytes != 50<<30 {
+		t.Errorf("disk = %+v", disk)
+	}
+	if mem := ctx.GlobalMemoryStatusEx(); mem.TotalPhysBytes != 1<<30 {
+		t.Errorf("ram = %d", mem.TotalPhysBytes)
+	}
+}
+
+func TestModuleWindowAndExportDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if _, st := ctx.GetModuleHandle("SbieDll.dll"); !st.OK() {
+		t.Error("SbieDll not deceived")
+	}
+	if _, st := ctx.GetModuleHandle("totally-benign.dll"); st.OK() {
+		t.Error("unrelated module fabricated")
+	}
+	if _, st := ctx.GetProcAddress("kernel32.dll", "wine_get_unix_file_name"); !st.OK() {
+		t.Error("wine export not deceived")
+	}
+	if _, st := ctx.FindWindow("OLLYDBG", ""); !st.OK() {
+		t.Error("OllyDbg window not deceived")
+	}
+	if _, st := ctx.FindWindow("RealAppWindow", ""); st.OK() {
+		t.Error("unrelated window fabricated")
+	}
+}
+
+func TestSnapshotPlantsProtectedDecoys(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	entries := ctx.CreateToolhelp32Snapshot()
+	var olly *winapi.ProcessEntry
+	for i := range entries {
+		if entries[i].Image == "olydbg.exe" {
+			olly = &entries[i]
+		}
+	}
+	if olly == nil {
+		t.Fatal("olydbg.exe decoy missing from snapshot")
+	}
+	if st := ctx.TerminateProcess(olly.PID); st != winapi.StatusAccessDenied {
+		t.Errorf("decoy termination = %v, want ACCESS_DENIED (§II-B(b))", st)
+	}
+	if st := ctx.OpenProcess(olly.PID); !st.OK() {
+		t.Errorf("decoy OpenProcess = %v", st)
+	}
+}
+
+func TestTickDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	tick := ctx.GetTickCount()
+	// Genuine uptime is 9 days; the deceptive answer is minutes.
+	if tick > 10*60*1000 {
+		t.Errorf("deceptive tick = %d ms, want sandbox-fresh uptime", tick)
+	}
+	t0 := ctx.GetTickCount()
+	ctx.Sleep(500 * time.Millisecond)
+	t1 := ctx.GetTickCount()
+	if d := t1 - t0; d < 450 || d > 550 {
+		t.Errorf("tick delta without timing discrepancy = %d, want ~500", d)
+	}
+}
+
+func TestTimingDiscrepancySlowsTicks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimingDiscrepancy = true
+	_, ctx := deployOnEndUser(t, cfg)
+	t0 := ctx.GetTickCount()
+	ctx.Sleep(800 * time.Millisecond)
+	t1 := ctx.GetTickCount()
+	if d := t1 - t0; d >= 450 {
+		t.Errorf("tick delta with discrepancy = %d, want < 450 (sleep-patch signal)", d)
+	}
+}
+
+func TestDNSSinkholeDeception(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	addr, st := ctx.DnsQuery("iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com")
+	if !st.OK() {
+		t.Fatal("NX domain should be sinkholed")
+	}
+	if code, st := ctx.InternetOpenUrl(addr); !st.OK() || code != 200 {
+		t.Errorf("sinkhole HTTP = %d, %v", code, st)
+	}
+	// Real domains resolve genuinely.
+	real, st := ctx.DnsQuery("site001.example.com")
+	if !st.OK() || real == addr {
+		t.Errorf("real domain = %q, %v", real, st)
+	}
+}
+
+func TestCursorFrozen(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	m.Mouse = winsim.NewMouse(true, 10, 10) // an active human
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sys.Context(target)
+	x1, y1 := ctx.GetCursorPos()
+	ctx.Sleep(5 * time.Second)
+	x2, y2 := ctx.GetCursorPos()
+	if x1 != x2 || y1 != y2 {
+		t.Error("cursor not frozen under deception")
+	}
+}
+
+func TestProloguesPatchedOnlyInTarget(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx := sys.Context(target)
+	for _, api := range []string{"DeleteFile", "ShellExecuteExW", "IsDebuggerPresent"} {
+		if tctx.PrologueIntact(api) {
+			t.Errorf("%s prologue intact in target", api)
+		}
+	}
+	if !target.HasModule("scarecrow.dll") {
+		t.Error("scarecrow.dll not in target module list")
+	}
+	bystander := sys.Launch(`C:\bystander.exe`, "", nil)
+	if !sys.Context(bystander).PrologueIntact("DeleteFile") {
+		t.Error("hooks leaked into a non-target process")
+	}
+}
+
+func TestParentProcessIsController(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if got := ctx.ParentProcessImage(); got != "scarecrow.exe" {
+		t.Errorf("parent = %q, want scarecrow.exe (§III-B)", got)
+	}
+}
+
+func TestFollowChildrenInjection(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	var childPID int
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int {
+		child, _ := ctx.CreateProcess(`C:\dropped.exe`, "")
+		childPID = child.PID
+		return 0
+	})
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+	if childPID == 0 {
+		t.Fatal("child not created")
+	}
+	if !ctrl.Injected(childPID) {
+		t.Error("descendant did not receive scarecrow.dll")
+	}
+	child, _ := m.Procs.Get(childPID)
+	if !child.HasModule("scarecrow.dll") {
+		t.Error("descendant module list missing scarecrow.dll")
+	}
+}
+
+func TestProfileIsolationDisablesConflictingVendors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProfileIsolation = true
+	ctrl, ctx := deployOnEndUser(t, cfg)
+	// Probe VMware first: it becomes the active vendor.
+	if st := ctx.RegOpenKeyEx(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`); !st.OK() {
+		t.Fatal("first vendor probe not deceived")
+	}
+	if ctrl.Session.ActiveVendor() != VendorVMware {
+		t.Fatalf("active vendor = %q", ctrl.Session.ActiveVendor())
+	}
+	// VirtualBox artifacts must now be dark: no conflicting identities.
+	if st := ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`); st.OK() {
+		t.Error("conflicting VirtualBox key still deceived under isolation")
+	}
+	if _, st := ctx.NtQueryAttributesFile(`C:\Windows\System32\drivers\VBoxMouse.sys`); st.OK() {
+		t.Error("conflicting VirtualBox file still deceived under isolation")
+	}
+	// VMware artifacts keep answering.
+	if _, st := ctx.NtQueryAttributesFile(`C:\Windows\System32\drivers\vmmouse.sys`); !st.OK() {
+		t.Error("active vendor went dark")
+	}
+	// Vendor-neutral deceptions (debugger) are unaffected.
+	if !ctx.IsDebuggerPresent() {
+		t.Error("debugger deception affected by isolation")
+	}
+}
+
+func TestWithoutIsolationVendorsConflict(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	vm := ctx.RegOpenKeyEx(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`).OK()
+	vb := ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`).OK()
+	if !vm || !vb {
+		t.Error("stock engine should answer both vendors (the detectable conflict of §VI-B)")
+	}
+}
+
+func TestMitigationAlertOnSelfSpawnLoop(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\w.exe`, func(ctx *winapi.Context) int {
+		if ctx.IsDebuggerPresent() {
+			_, _ = ctx.CreateProcess(`C:\w.exe`, "")
+			return 1
+		}
+		return 0
+	})
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	if _, err := ctrl.LaunchTarget(`C:\w.exe`, ""); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+	alerts := ctrl.Session.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no fork-bomb alert raised")
+	}
+	if ctrl.Session.SpawnCount("w.exe") <= 10 {
+		t.Errorf("spawn count = %d, want > threshold", ctrl.Session.SpawnCount("w.exe"))
+	}
+}
+
+func TestMitigationKillStopsLoop(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\w.exe`, func(ctx *winapi.Context) int {
+		if ctx.IsDebuggerPresent() {
+			_, _ = ctx.CreateProcess(`C:\w.exe`, "")
+			return 1
+		}
+		return 0
+	})
+	cfg := DefaultConfig()
+	cfg.Mitigation = MitigationKillOnFork
+	ctrl := Deploy(sys, NewEngine(NewDB(), cfg))
+	if _, err := ctrl.LaunchTarget(`C:\w.exe`, ""); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+	if got := ctrl.Session.SpawnCount("w.exe"); got > cfg.SpawnAlarmThreshold+1 {
+		t.Errorf("spawns after kill policy = %d, want <= threshold+1", got)
+	}
+}
+
+func TestWearAndTearDeception(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WearAndTear = true
+	_, ctx := deployOnEndUser(t, cfg)
+	// End-user machine has 130 cached DNS entries; deceived view shows 4.
+	if got := len(ctx.DnsGetCacheDataTable()); got != 4 {
+		t.Errorf("dns cache entries = %d, want 4 (Table III)", got)
+	}
+	_, total := ctx.EvtNext(0, 100)
+	if total != 8000 {
+		t.Errorf("event total = %d, want 8000", total)
+	}
+	quota, st := ctx.NtQuerySystemInformation(winapi.SystemRegistryQuotaInformation)
+	if !st.OK() || quota != 53<<20 {
+		t.Errorf("regSize = %d, want 53MB", quota)
+	}
+	info, st := ctx.NtQueryKey(winsim.RegDeviceClassesKey)
+	if !st.OK() || info.SubkeyCount != 29 {
+		t.Errorf("deviceClsCount = %d, want 29", info.SubkeyCount)
+	}
+	run, st := ctx.NtQueryKey(winsim.RegRunKey)
+	if !st.OK() || run.ValueCount != 3 {
+		t.Errorf("autoRunCount = %d, want 3", run.ValueCount)
+	}
+	ua, st := ctx.NtQueryKey(winsim.RegUserAssistKey + `\{guid-0001}\Count`)
+	if !st.OK() || ua.ValueCount != 7 {
+		t.Errorf("usrassistCount = %d, want 7", ua.ValueCount)
+	}
+}
+
+func TestWearAndTearOffByDefault(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if got := len(ctx.DnsGetCacheDataTable()); got != 130 {
+		t.Errorf("dns cache without extension = %d, want genuine 130", got)
+	}
+}
+
+func TestLaunchTargetRequiresRegisteredProgram(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	if _, err := ctrl.LaunchTarget(`C:\unknown.exe`, ""); err == nil {
+		t.Error("launching an unregistered image should fail")
+	}
+}
+
+func TestDBExtension(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.MatchFile(`c:\vxstream\tools\vt_00001.bin`); ok {
+		t.Fatal("crawled file matched before extension")
+	}
+	db.AddFile(`c:\vxstream\tools\vt_00001.bin`, VendorCuckoo)
+	if _, ok := db.MatchFile(`C:\VXSTREAM\TOOLS\VT_00001.BIN`); !ok {
+		t.Error("extension lookup failed")
+	}
+	db.AddRegKey(`HKLM\SOFTWARE\vtAnalysis\Component0001`, VendorCuckoo)
+	if _, ok := db.MatchRegKey(`software\vtanalysis\component0001`); !ok {
+		t.Error("extended registry key lookup failed")
+	}
+	db.AddProcess("vt_tool01.exe", VendorCuckoo)
+	if _, ok := db.MatchProcess("VT_TOOL01.EXE"); !ok {
+		t.Error("extended process lookup failed")
+	}
+}
+
+func TestTriggerReportString(t *testing.T) {
+	r := TriggerReport{API: "IsDebuggerPresent", Category: CategoryDebugger,
+		Vendor: VendorDebugger, Resource: "PEB.BeingDebugged"}
+	s := r.String()
+	if !strings.Contains(s, "IsDebuggerPresent()") || !strings.Contains(s, "debugger") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestKernelHooksCloseDirectSyscallBypass(t *testing.T) {
+	const key = `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`
+
+	// Stock deployment: the raw syscall sees the genuine registry.
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if got := ctx.DirectSyscall("NtOpenKeyEx", key); got != winapi.StatusFileNotFound {
+		t.Errorf("user-only deployment: direct syscall = %v, want genuine FILE_NOT_FOUND", got)
+	}
+
+	// Kernel-extended deployment (§VI-A): the syscall gate answers
+	// deceptively even for raw stubs.
+	cfg := DefaultConfig()
+	cfg.KernelHooks = true
+	ctrl, kctx := deployOnEndUser(t, cfg)
+	if got := kctx.DirectSyscall("NtOpenKeyEx", key); got != winapi.StatusSuccess {
+		t.Errorf("kernel deployment: direct syscall = %v, want deceptive SUCCESS", got)
+	}
+	found := false
+	for _, tr := range ctrl.Session.Triggers() {
+		if tr.API == "NtOpenKeyEx [kernel]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("kernel-layer trigger not reported over IPC")
+	}
+	// Kernel hooks rewrite no prologues: the anti-hook byte check cannot
+	// see them (only the user-mode inline hooks patch bytes).
+	bystander := kctx.System().Launch(`C:\bystander.exe`, "", nil)
+	bctx := kctx.System().Context(bystander)
+	if !bctx.PrologueIntact("NtOpenKeyEx") {
+		t.Error("kernel hook patched a prologue")
+	}
+	// ...but they are machine-wide: the unhooked bystander is deceived
+	// too when it crosses the syscall gate.
+	if st := bctx.NtOpenKeyEx(key); !st.OK() {
+		t.Error("kernel hook did not cover the bystander process")
+	}
+}
+
+func TestKernelHooksRejectWin32Names(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	if err := sys.InstallKernelHook("GetTickCount", nil); err == nil {
+		t.Error("Win32 export accepted as a kernel hook")
+	}
+	if err := sys.InstallKernelHook("NtNoSuchCall", nil); err == nil {
+		t.Error("unknown syscall accepted")
+	}
+}
+
+func TestExceptionDispatchDeception(t *testing.T) {
+	// Without the timing-discrepancy module, exception dispatch runs at
+	// native cost.
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if d := ctx.RaiseException(); d > time.Millisecond {
+		t.Errorf("native dispatch = %v, want sub-millisecond", d)
+	}
+	// With it, dispatch carries the deceptive analysis-system latency
+	// malware measures for (§II-B(g)).
+	cfg := DefaultConfig()
+	cfg.TimingDiscrepancy = true
+	ctrl, slow := deployOnEndUser(t, cfg)
+	if d := slow.RaiseException(); d < time.Millisecond {
+		t.Errorf("deceptive dispatch = %v, want milliseconds", d)
+	}
+	found := false
+	for _, tr := range ctrl.Session.Triggers() {
+		if tr.Resource == "exception-dispatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("exception probe not reported")
+	}
+}
+
+func TestControllerAccessors(t *testing.T) {
+	ctrl, ctx := deployOnEndUser(t, DefaultConfig())
+	if ctrl.InjectedCount() != 1 {
+		t.Errorf("injected = %d", ctrl.InjectedCount())
+	}
+	if ctrl.Process().ImageBase() != "scarecrow.exe" {
+		t.Error("controller process image")
+	}
+	if ctrl.Session.TriggerCount() != 0 {
+		t.Error("triggers before any probe")
+	}
+	ctx.IsDebuggerPresent()
+	if ctrl.Session.TriggerCount() != 1 {
+		t.Error("trigger count after probe")
+	}
+	// Watch is idempotent and protects already-running processes.
+	bystander := ctx.System().Launch(`C:\late.exe`, "", nil)
+	if err := ctrl.Watch(bystander); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Watch(bystander); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.InjectedCount() != 2 {
+		t.Errorf("injected after watch = %d", ctrl.InjectedCount())
+	}
+	if !ctx.System().Context(bystander).IsDebuggerPresent() {
+		t.Error("watched process not deceived")
+	}
+}
+
+func TestRecommendedConfigTiming(t *testing.T) {
+	if !RecommendedConfig("baremetal-sandbox").TimingDiscrepancy {
+		t.Error("bare metal should run the timing module")
+	}
+	if RecommendedConfig("end-user").TimingDiscrepancy {
+		t.Error("end-user deployments must not double-virtualize timing")
+	}
+}
+
+func TestRegQueryValueFallbackOnDeceptiveKey(t *testing.T) {
+	// Querying a value under a deceptive KEY (no specific value fake)
+	// returns a generic answer rather than failing: the key "exists".
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	v, st := ctx.RegQueryValueEx(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`, "InstallPath")
+	if !st.OK() || v.Str == "" {
+		t.Errorf("fallback value = %+v, %v", v, st)
+	}
+}
+
+func TestHypervisorDeceptionClosesTimingChannel(t *testing.T) {
+	// Stock deployment: raw instructions stay genuine on the end-user
+	// machine (the paper's unhandled channel). The end-user CPU sits above
+	// the vmexit threshold already (the noisy-timing false positive), so
+	// use the hypervisor bit and vendor as discriminators.
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	if ctx.CPUID().HypervisorBit {
+		t.Error("stock deployment exposed a hypervisor bit")
+	}
+
+	cfg := DefaultConfig()
+	cfg.HypervisorDeception = true
+	_, hctx := deployOnEndUser(t, cfg)
+	res := hctx.CPUID()
+	if !res.HypervisorBit || res.HypervisorVendor != "VBoxVBoxVBox" {
+		t.Errorf("virtualized CPUID = %+v", res)
+	}
+	c1 := hctx.RDTSC()
+	hctx.CPUID()
+	c2 := hctx.RDTSC()
+	if c2-c1 < 4000 {
+		t.Errorf("CPUID trap cost = %d cycles, want VM-exit scale", c2-c1)
+	}
+}
+
+func TestInstallHypervisorRestore(t *testing.T) {
+	m := winsim.NewBareMetalSandbox(1)
+	wasCycles := m.HW.CPUIDCycles
+	restore := InstallHypervisor(m, DefaultHypervisorFakes())
+	if !m.HW.HypervisorPresent {
+		t.Fatal("hypervisor not installed")
+	}
+	restore()
+	if m.HW.HypervisorPresent || m.HW.CPUIDCycles != wasCycles {
+		t.Error("restore did not eject the hypervisor")
+	}
+}
+
+// newTestEndUser and deployWith support config-variation tests.
+func newTestEndUser() *winsim.Machine { return winsim.NewEndUserMachine(1) }
+
+func deployWith(t *testing.T, m *winsim.Machine, db *DB, cfg Config) (*Controller, *winapi.Context) {
+	t.Helper()
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return winapi.ExitOK })
+	ctrl := Deploy(sys, NewEngine(db, cfg))
+	target, err := ctrl.LaunchTarget(`C:\t.exe`, "t.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, sys.Context(target)
+}
+
+// TestDynamicDBUpdatePropagatesLive models Figure 2's IPC loop: the
+// controller "dynamically updates the hooks and configurations" of an
+// already-injected target. Resources learned mid-run (from a crawl or a
+// MalGene signature) take effect on the very next probe.
+func TestDynamicDBUpdatePropagatesLive(t *testing.T) {
+	ctrl, ctx := deployOnEndUser(t, DefaultConfig())
+	const novel = `HKLM\SOFTWARE\FreshlyLearned\Sandbox`
+	if st := ctx.RegOpenKeyEx(novel); st.OK() {
+		t.Fatal("unknown key deceived before learning")
+	}
+	ctrl.Engine.DB.AddRegKey(novel, VendorCuckoo)
+	if st := ctx.RegOpenKeyEx(novel); !st.OK() {
+		t.Error("learned key not deceived on the next probe")
+	}
+	// Config updates propagate the same way: flip the hardware fakes off.
+	ctrl.Engine.Config.FakeHardware = false
+	if disk, st := ctx.GetDiskFreeSpaceEx(`C:\`); !st.OK() || disk.TotalBytes == 50<<30 {
+		t.Errorf("hardware fake survived a live config update: %+v", disk)
+	}
+	ctrl.Engine.Config.FakeHardware = true
+	if disk, _ := ctx.GetDiskFreeSpaceEx(`C:\`); disk.TotalBytes != 50<<30 {
+		t.Error("hardware fake did not re-enable")
+	}
+}
+
+func TestTriggerHistogram(t *testing.T) {
+	ctrl, ctx := deployOnEndUser(t, DefaultConfig())
+	ctx.IsDebuggerPresent()
+	ctx.IsDebuggerPresent()
+	ctx.RegOpenKeyEx(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`)
+	hist := ctrl.Session.TriggerHistogram()
+	if hist[CategoryDebugger] != 2 || hist[CategoryRegistry] != 1 {
+		t.Errorf("histogram = %v", hist)
+	}
+}
+
+func TestCategoryAblationToggles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisabledCategories = []Category{CategoryRegistry, CategoryDebugger}
+	_, ctx := deployOnEndUser(t, cfg)
+	if ctx.RegOpenKeyEx(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`).OK() {
+		t.Error("registry deception active despite ablation")
+	}
+	if ctx.IsDebuggerPresent() {
+		t.Error("debugger deception active despite ablation")
+	}
+	// Other categories keep working.
+	if _, st := ctx.NtQueryAttributesFile(`C:\Windows\System32\drivers\vmmouse.sys`); !st.OK() {
+		t.Error("file deception should remain active")
+	}
+	if _, st := ctx.GetModuleHandle("SbieDll.dll"); !st.OK() {
+		t.Error("library deception should remain active")
+	}
+}

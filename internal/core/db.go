@@ -1,0 +1,343 @@
+// Package core implements the Scarecrow deception engine: the deceptive
+// resource database (Section II-B/II-C of the paper), the 29 API hook
+// handlers that project an analysis-like environment into a target process
+// (Section III-A), and the deployment framework — controller, DLL
+// injection, descendant follow-injection, and IPC trigger reporting
+// (Section III-B) — plus the wear-and-tear extension (Table III), the
+// profile-isolation countermeasure sketched in §VI-B, and the active
+// mitigation policy of §VI-C.
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// Category classifies a deceptive resource by the evasion family it
+// deceives, mirroring the taxonomy of Section II-B.
+type Category string
+
+// Resource categories.
+const (
+	CategoryFile     Category = "file"
+	CategoryProcess  Category = "process"
+	CategoryLibrary  Category = "library"
+	CategoryWindow   Category = "window"
+	CategoryRegistry Category = "registry"
+	CategoryHardware Category = "hardware"
+	CategoryNetwork  Category = "network"
+	CategoryDebugger Category = "debugger"
+	CategoryHook     Category = "hook"
+	CategoryWearTear Category = "weartear"
+)
+
+// VendorProfile tags a deceptive resource with the analysis-environment
+// vendor it imitates, enabling the §VI-B profile-isolation countermeasure
+// (never present two vendors' artifacts after one is probed).
+type VendorProfile string
+
+// Vendor profiles.
+const (
+	VendorVMware    VendorProfile = "vmware"
+	VendorVBox      VendorProfile = "virtualbox"
+	VendorQemu      VendorProfile = "qemu"
+	VendorBochs     VendorProfile = "bochs"
+	VendorWine      VendorProfile = "wine"
+	VendorSandboxie VendorProfile = "sandboxie"
+	VendorCuckoo    VendorProfile = "cuckoo"
+	VendorDebugger  VendorProfile = "debugger"
+	VendorGeneric   VendorProfile = "generic"
+)
+
+// HardwareFakes are the deceptive system-configuration answers of §II-B
+// (hardware resources). The values mirror public sandbox statistics, per
+// the paper's footnote: 50 GB disk, 1 GB RAM, one core.
+type HardwareFakes struct {
+	DiskTotalBytes uint64
+	DiskFreeBytes  uint64
+	RAMBytes       uint64
+	NumCores       int
+	// TickBaseMillis is the deceptive uptime base GetTickCount reports at
+	// injection time (a freshly rebooted sandbox).
+	TickBaseMillis uint64
+	// ComputerName, UserName, and SamplePath are the deceptive identity
+	// answers (sandboxes run samples as generic users from fixed paths).
+	ComputerName string
+	UserName     string
+	SamplePath   string
+}
+
+// DB is the deceptive resource database Scarecrow's hooks consult. All
+// lookups are case-insensitive. The stock database carries the resources
+// Section II-B enumerates; Extend merges crawled public-sandbox resources
+// (Section II-C) or MalGene-derived signatures.
+type DB struct {
+	// files maps lowercased file base names AND full paths to vendor tags.
+	files map[string]VendorProfile
+	// processes maps lowercased process image base names to vendor tags.
+	processes map[string]VendorProfile
+	// libraries maps lowercased DLL base names to vendor tags.
+	libraries map[string]VendorProfile
+	// exports is the set of fake GetProcAddress export names.
+	exports map[string]VendorProfile
+	// windows maps lowercased window class names to vendor tags.
+	windows map[string]VendorProfile
+	// regKeys maps lowercased registry key paths to vendor tags.
+	regKeys map[string]VendorProfile
+	// regValues maps "key|value" (lowercased) to a deceptive string.
+	regValues map[string]regFake
+	// HW carries the deceptive hardware configuration.
+	HW HardwareFakes
+	// SinkholeIP is the proxy address all non-existent domains resolve to.
+	SinkholeIP string
+}
+
+type regFake struct {
+	vendor VendorProfile
+	value  string
+}
+
+// NewDB builds the stock deceptive resource database of Section II-B:
+// VM guest artifacts, 24 analysis-tool processes, 15 monitor DLLs, 10 GUI
+// windows, registry references, hardware fakes, and the DNS sinkhole.
+func NewDB() *DB {
+	db := &DB{
+		files:     make(map[string]VendorProfile),
+		processes: make(map[string]VendorProfile),
+		libraries: make(map[string]VendorProfile),
+		exports:   make(map[string]VendorProfile),
+		windows:   make(map[string]VendorProfile),
+		regKeys:   make(map[string]VendorProfile),
+		regValues: make(map[string]regFake),
+		HW: HardwareFakes{
+			DiskTotalBytes: 50 << 30,
+			DiskFreeBytes:  20 << 30,
+			RAMBytes:       1 << 30,
+			NumCores:       1,
+			TickBaseMillis: 3 * 60 * 1000, // three minutes after "boot"
+			ComputerName:   "SANDBOX-PC",
+			UserName:       "currentuser",
+			SamplePath:     `C:\sample.exe`,
+		},
+		SinkholeIP: "198.18.0.99",
+	}
+
+	// (a) Files and folders: VM guest drivers and sandbox/forensic tools.
+	for _, f := range []string{
+		`vmmouse.sys`, `vmhgfs.sys`, `vm3dgl.dll`, `vmtray.dll`, `vmGuestLib.dll`,
+	} {
+		db.files[strings.ToLower(f)] = VendorVMware
+	}
+	for _, f := range []string{
+		`vboxmouse.sys`, `vboxguest.sys`, `vboxsf.sys`, `vboxvideo.sys`, `vboxdisp.dll`,
+	} {
+		db.files[strings.ToLower(f)] = VendorVBox
+	}
+	for _, f := range []string{
+		`c:\analysis`, `c:\sandbox`, `c:\cuckoo`, `c:\tools\sysinternals`, `c:\ida`,
+	} {
+		db.files[f] = VendorGeneric
+	}
+
+	// (b) Processes: 24 analysis-tool and VM-service processes, protected
+	// from termination (§II-B(b): "We include 24 processes, such as
+	// olydbg.exe, idap.exe, and PETools.exe").
+	for _, p := range []string{
+		"olydbg.exe", "ollydbg.exe", "idap.exe", "idaq.exe", "petools.exe",
+		"windbg.exe", "x64dbg.exe", "immunitydebugger.exe", "procmon.exe",
+		"procexp.exe", "wireshark.exe", "dumpcap.exe", "fiddler.exe",
+		"regmon.exe", "filemon.exe", "autoruns.exe", "tcpview.exe",
+		"pestudio.exe", "lordpe.exe", "sysanalyzer.exe", "joeboxcontrol.exe",
+		"joeboxserver.exe",
+	} {
+		db.processes[p] = VendorDebugger
+	}
+	db.processes["vboxservice.exe"] = VendorVBox
+	db.processes["vboxtray.exe"] = VendorVBox
+
+	// (c) Libraries: 15 monitor/sandbox DLLs whose presence marks an
+	// instrumented process.
+	for _, l := range []string{
+		"sbiedll.dll", "dbghelp.dll", "api_log.dll", "dir_watch.dll",
+		"pstorec.dll", "vmcheck.dll", "wpespy.dll", "cmdvrt32.dll",
+		"snxhk.dll", "sxin.dll", "sf2.dll", "deploy.dll", "avghookx.dll",
+		"avghooka.dll", "cuckoomon.dll",
+	} {
+		vendor := VendorSandboxie
+		if l != "sbiedll.dll" {
+			vendor = VendorGeneric
+		}
+		if l == "cuckoomon.dll" {
+			vendor = VendorCuckoo
+		}
+		db.libraries[l] = vendor
+	}
+	db.exports["wine_get_unix_file_name"] = VendorWine
+
+	// (d) GUI windows: 6 debugger windows + 4 sandbox-related windows.
+	for _, w := range []string{
+		"ollydbg", "windbgframeclass", "id", "zeta debugger",
+		"rock debugger", "obsidian gui",
+	} {
+		db.windows[w] = VendorDebugger
+	}
+	for _, w := range []string{
+		"sandboxiecontrolwndclass", "cuckoowindowclass",
+		"vboxtraytoolwndclass", "afx:400000:0",
+	} {
+		db.windows[w] = VendorSandboxie
+	}
+	db.windows["vboxtraytoolwndclass"] = VendorVBox
+
+	// (e) Registry: VM, tool, and Wine references, plus deceptive
+	// configuration values (SystemBiosVersion combines multiple VM names,
+	// as §II-B(e) describes).
+	for _, k := range []string{
+		`hklm\software\vmware, inc.\vmware tools`,
+		`hklm\system\currentcontrolset\services\vmtools`,
+		`hklm\system\currentcontrolset\services\vmmouse`,
+	} {
+		db.regKeys[k] = VendorVMware
+	}
+	for _, k := range []string{
+		`hklm\software\oracle\virtualbox guest additions`,
+		`hklm\system\currentcontrolset\services\vboxguest`,
+		`hklm\system\currentcontrolset\services\vboxservice`,
+		`hklm\hardware\acpi\dsdt\vbox__`,
+	} {
+		db.regKeys[k] = VendorVBox
+	}
+	db.regKeys[`hkcu\software\wine`] = VendorWine
+	db.regKeys[`hklm\software\wine`] = VendorWine
+	db.regKeys[`hkcu\software\sandboxie`] = VendorSandboxie
+
+	db.regValues[regValKey(`hklm\hardware\description\system`, "systembiosversion")] =
+		regFake{vendor: VendorVBox, value: "VBOX BOCHS - 6.23"}
+	db.regValues[regValKey(`hklm\hardware\description\system`, "videobiosversion")] =
+		regFake{vendor: VendorVBox, value: "VIRTUALBOX - 6.23 VGA BIOS"}
+	db.regValues[regValKey(
+		`hklm\hardware\devicemap\scsi\scsi port 0\scsi bus 0\target id 0\logical unit id 0`,
+		"identifier")] = regFake{vendor: VendorQemu, value: "QEMU HARDDISK"}
+
+	return db
+}
+
+func regValKey(key, value string) string {
+	return strings.ToLower(key) + "|" + strings.ToLower(value)
+}
+
+// MatchFile reports whether a probed path names a deceptive file, matching
+// on the full path or its base name.
+func (db *DB) MatchFile(path string) (VendorProfile, bool) {
+	lower := strings.ToLower(strings.ReplaceAll(path, "/", `\`))
+	if v, ok := db.files[lower]; ok {
+		return v, true
+	}
+	if i := strings.LastIndexByte(lower, '\\'); i >= 0 {
+		if v, ok := db.files[lower[i+1:]]; ok {
+			return v, true
+		}
+	}
+	// Directory prefixes: probing C:\analysis\x.bin matches C:\analysis.
+	for dir, v := range db.files {
+		if strings.HasPrefix(dir, `c:\`) && strings.HasPrefix(lower, dir+`\`) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// MatchProcess reports whether a process image base name is deceptive.
+func (db *DB) MatchProcess(image string) (VendorProfile, bool) {
+	v, ok := db.processes[strings.ToLower(image)]
+	return v, ok
+}
+
+// MatchLibrary reports whether a DLL base name is deceptive.
+func (db *DB) MatchLibrary(name string) (VendorProfile, bool) {
+	v, ok := db.libraries[strings.ToLower(name)]
+	return v, ok
+}
+
+// MatchExport reports whether an export name is deceptively present.
+func (db *DB) MatchExport(name string) (VendorProfile, bool) {
+	v, ok := db.exports[strings.ToLower(name)]
+	return v, ok
+}
+
+// MatchWindow reports whether a window class or title is deceptive.
+func (db *DB) MatchWindow(classOrTitle string) (VendorProfile, bool) {
+	v, ok := db.windows[strings.ToLower(classOrTitle)]
+	return v, ok
+}
+
+// MatchRegKey reports whether a registry key path is deceptive.
+func (db *DB) MatchRegKey(path string) (VendorProfile, bool) {
+	v, ok := db.regKeys[normalizeRegPath(path)]
+	return v, ok
+}
+
+// MatchRegValue returns the deceptive value for key\name, if any.
+func (db *DB) MatchRegValue(key, name string) (string, VendorProfile, bool) {
+	f, ok := db.regValues[regValKey(normalizeRegPath(key), name)]
+	if !ok {
+		return "", "", false
+	}
+	return f.value, f.vendor, true
+}
+
+// normalizeRegPath lowercases a registry path and canonicalizes hive
+// abbreviations so DB lookups match however the caller spells the hive.
+func normalizeRegPath(path string) string {
+	lower := strings.ToLower(strings.Trim(path, `\`))
+	for abbrev, full := range map[string]string{
+		"hkey_local_machine": "hklm", "hkey_current_user": "hkcu",
+		"hkey_classes_root": "hkcr", "hkey_users": "hku",
+	} {
+		if strings.HasPrefix(lower, abbrev) {
+			return full + lower[len(abbrev):]
+		}
+	}
+	if !strings.HasPrefix(lower, "hklm") && !strings.HasPrefix(lower, "hkcu") &&
+		!strings.HasPrefix(lower, "hkcr") && !strings.HasPrefix(lower, "hku") {
+		return "hklm\\" + lower
+	}
+	return lower
+}
+
+// DeceptiveProcesses returns the sorted deceptive process image names —
+// the entries the Toolhelp snapshot hook plants.
+func (db *DB) DeceptiveProcesses() []string {
+	out := make([]string, 0, len(db.processes))
+	for p := range db.processes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddFile registers an extra deceptive file (crawled or learned).
+func (db *DB) AddFile(path string, vendor VendorProfile) {
+	db.files[strings.ToLower(strings.ReplaceAll(path, "/", `\`))] = vendor
+}
+
+// AddProcess registers an extra deceptive process image.
+func (db *DB) AddProcess(image string, vendor VendorProfile) {
+	db.processes[strings.ToLower(image)] = vendor
+}
+
+// AddRegKey registers an extra deceptive registry key.
+func (db *DB) AddRegKey(path string, vendor VendorProfile) {
+	db.regKeys[normalizeRegPath(path)] = vendor
+}
+
+// Counts reports the database sizes per resource class.
+func (db *DB) Counts() map[Category]int {
+	return map[Category]int{
+		CategoryFile:     len(db.files),
+		CategoryProcess:  len(db.processes),
+		CategoryLibrary:  len(db.libraries),
+		CategoryWindow:   len(db.windows),
+		CategoryRegistry: len(db.regKeys) + len(db.regValues),
+	}
+}

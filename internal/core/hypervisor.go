@@ -1,0 +1,52 @@
+package core
+
+import (
+	"scarecrow/internal/winsim"
+)
+
+// Hypervisor-level deception: the second half of §VI-A's future work
+// ("kernel/hypervisor-based hooking"). A thin deception hypervisor slides
+// underneath the whole machine and steers the raw-instruction observables
+// user-mode hooks can never reach:
+//
+//   - CPUID reports the hypervisor-present bit and a VirtualBox vendor
+//     leaf, so cpuid_hv_bit and cpu_known_vm_vendors read "VM";
+//   - CPUID traps like a hardware-assisted hypervisor's VM exit, so
+//     rdtsc_diff_vmexit-style timing probes read "VM" too — the timing
+//     channel the paper explicitly leaves unhandled at user level.
+//
+// Unlike DLL-injected hooks, a hypervisor is machine-wide and
+// per-process scoping is impossible: every program on the host sees the
+// virtualized identity. That trade-off (full timing coverage vs. zero
+// process selectivity) is why the paper's deployed system stops at user
+// level; this extension exists to measure the other side of the trade.
+
+// HypervisorFakes are the virtualized instruction observables.
+type HypervisorFakes struct {
+	// Vendor is the CPUID leaf 0x40000000 vendor string to expose.
+	Vendor string
+	// CPUIDTrapCycles is the modeled VM-exit cost added to each CPUID.
+	CPUIDTrapCycles uint64
+}
+
+// DefaultHypervisorFakes mimics a VirtualBox host.
+func DefaultHypervisorFakes() HypervisorFakes {
+	return HypervisorFakes{
+		Vendor:          "VBoxVBoxVBox",
+		CPUIDTrapCycles: 4200,
+	}
+}
+
+// InstallHypervisor slides the deception hypervisor under a machine,
+// mutating its instruction-level identity. It returns a restore function
+// (ejecting the hypervisor on an end-user machine is a reboot-time
+// operation in reality; the closure stands in for it).
+func InstallHypervisor(m *winsim.Machine, fakes HypervisorFakes) (restore func()) {
+	prev := *m.HW
+	m.HW.HypervisorPresent = true
+	m.HW.HypervisorVendor = fakes.Vendor
+	if m.HW.CPUIDCycles < fakes.CPUIDTrapCycles {
+		m.HW.CPUIDCycles = fakes.CPUIDTrapCycles
+	}
+	return func() { *m.HW = prev }
+}

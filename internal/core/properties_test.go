@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// TestPropertyEveryDBRegistryKeyIsDeceived: by construction, every
+// registry key in the deception database must answer SUCCESS to a probe
+// from a protected process, under any casing.
+func TestPropertyEveryDBRegistryKeyIsDeceived(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	db := NewDB()
+	keys := []string{
+		`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`,
+		`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`,
+		`HKLM\SYSTEM\CurrentControlSet\Services\VBoxGuest`,
+		`HKCU\Software\Wine`,
+		`HKCU\Software\Sandboxie`,
+		`HKLM\HARDWARE\ACPI\DSDT\VBOX__`,
+	}
+	for _, key := range keys {
+		if _, ok := db.MatchRegKey(key); !ok {
+			t.Fatalf("fixture key %q not in DB", key)
+		}
+		for _, variant := range []string{key, strings.ToUpper(key), strings.ToLower(key)} {
+			if st := ctx.RegOpenKeyEx(variant); !st.OK() {
+				t.Errorf("RegOpenKeyEx(%q) = %v, want deceived SUCCESS", variant, st)
+			}
+			if st := ctx.NtOpenKeyEx(variant); !st.OK() {
+				t.Errorf("NtOpenKeyEx(%q) = %v, want deceived SUCCESS", variant, st)
+			}
+		}
+	}
+}
+
+// TestPropertyEveryDeceptiveProcessInSnapshot: all 24 deceptive processes
+// appear in the Toolhelp snapshot of a protected process and resist
+// termination.
+func TestPropertyEveryDeceptiveProcessInSnapshot(t *testing.T) {
+	_, ctx := deployOnEndUser(t, DefaultConfig())
+	inSnapshot := make(map[string]int)
+	for _, e := range ctx.CreateToolhelp32Snapshot() {
+		inSnapshot[e.Image] = e.PID
+	}
+	for _, img := range NewDB().DeceptiveProcesses() {
+		pid, ok := inSnapshot[img]
+		if !ok {
+			t.Errorf("deceptive process %s missing from snapshot", img)
+			continue
+		}
+		if st := ctx.TerminateProcess(pid); st != winapi.StatusAccessDenied {
+			t.Errorf("TerminateProcess(%s) = %v, want ACCESS_DENIED", img, st)
+		}
+	}
+}
+
+// TestPropertyHooksNeverLeakAcrossProcesses: launching arbitrary numbers
+// of unprotected processes never exposes patched prologues or deceptive
+// answers outside the protected target.
+func TestPropertyHooksNeverLeakAcrossProcesses(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint8) bool {
+		p := sys.Launch(`C:\bystander.exe`, "", nil)
+		ctx := sys.Context(p)
+		if !ctx.PrologueIntact("IsDebuggerPresent") {
+			return false
+		}
+		if ctx.IsDebuggerPresent() {
+			return false
+		}
+		// Deceptive registry answers must not reach the bystander.
+		return !ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministicDeployments: identical (profile, seed, config)
+// deployments produce identical trigger streams for identical probe
+// sequences.
+func TestPropertyDeterministicDeployments(t *testing.T) {
+	probe := func() []TriggerReport {
+		m := winsim.NewEndUserMachine(9)
+		sys := winapi.NewSystem(m)
+		sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
+		ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+		target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := sys.Context(target)
+		ctx.IsDebuggerPresent()
+		ctx.RegOpenKeyEx(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`)
+		ctx.GetTickCount()
+		ctx.DnsQuery("nxdomain-deterministic.invalid")
+		return ctrl.Session.Triggers()
+	}
+	a, b := probe(), probe()
+	if len(a) != len(b) {
+		t.Fatalf("trigger counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("trigger %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPropertyGenuineAnswersPassThroughUnchanged: for resources outside
+// the database, a protected process and an unprotected process observe
+// identical results (the transparency requirement (b) of Section III).
+func TestPropertyGenuineAnswersPassThroughUnchanged(t *testing.T) {
+	m := winsim.NewEndUserMachine(3)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
+	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := sys.Context(target)
+	plain := sys.Context(sys.Launch(`C:\plain.exe`, "", nil))
+
+	keys := []string{
+		`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`,
+		`HKLM\SYSTEM\CurrentControlSet\Enum\IDE`,
+		winsim.RegRunKey,
+		`HKLM\SOFTWARE\DoesNotExist`,
+	}
+	for _, key := range keys {
+		if a, b := protected.RegOpenKeyEx(key), plain.RegOpenKeyEx(key); a != b {
+			t.Errorf("RegOpenKeyEx(%q): protected %v vs plain %v", key, a, b)
+		}
+	}
+	files := []string{
+		`C:\Windows\System32\kernel32.dll`,
+		`C:\Windows\explorer.exe`,
+		`C:\missing\nothing.bin`,
+	}
+	for _, f := range files {
+		_, a := protected.GetFileAttributes(f)
+		_, b := plain.GetFileAttributes(f)
+		if a != b {
+			t.Errorf("GetFileAttributes(%q): protected %v vs plain %v", f, a, b)
+		}
+	}
+	// Version, command line, PID remain genuine.
+	if protected.GetVersionEx() != plain.GetVersionEx() {
+		t.Error("OS version faked")
+	}
+}
+
+// TestPropertySpawnLedgerMonotonic: the mitigation ledger counts every
+// CreateProcess exactly once, regardless of image casing.
+func TestPropertySpawnLedgerMonotonic(t *testing.T) {
+	f := func(spawnCount uint8) bool {
+		n := int(spawnCount%32) + 1
+		m := winsim.NewEndUserMachine(1)
+		sys := winapi.NewSystem(m)
+		sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int {
+			for i := 0; i < n; i++ {
+				img := `C:\CHILD.exe`
+				if i%2 == 0 {
+					img = `C:\child.exe`
+				}
+				if _, st := ctx.CreateProcess(img, ""); !st.OK() {
+					return 1
+				}
+			}
+			return 0
+		})
+		cfg := DefaultConfig()
+		cfg.SpawnAlarmThreshold = 1 << 30 // never alarm; just count
+		ctrl := Deploy(sys, NewEngine(NewDB(), cfg))
+		if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err != nil {
+			return false
+		}
+		sys.Run(time.Minute)
+		return ctrl.Session.SpawnCount("child.exe") == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

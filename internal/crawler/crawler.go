@@ -1,0 +1,184 @@
+// Package crawler reimplements the deceptive-resource collection of §II-C:
+// a crawler binary is "submitted" to public online sandboxes (VirusTotal
+// and Malwr profiles), inventories the system resources it can see — files,
+// processes, registry keys, and system configuration — and ships the
+// inventory home. Diffing each sandbox inventory against a clean bare-metal
+// reference yields the resources unique to analysis environments, which
+// extend Scarecrow's deception database: the paper's run added 17,540
+// files, 24 processes, and 1,457 registry entries.
+package crawler
+
+import (
+	"sort"
+	"strings"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// Inventory is everything one crawl observed.
+type Inventory struct {
+	// Files holds normalized paths of regular files.
+	Files map[string]struct{}
+	// Processes holds lowercased image base names of running processes.
+	Processes map[string]struct{}
+	// RegistryKeys holds normalized full registry key paths.
+	RegistryKeys map[string]struct{}
+	// Config captures system configuration observables.
+	Config SystemConfig
+}
+
+// SystemConfig is the hardware/identity snapshot a crawl records.
+type SystemConfig struct {
+	DiskTotalBytes uint64
+	RAMBytes       uint64
+	NumCores       int
+	ComputerName   string
+	UserName       string
+}
+
+// Collect inventories a machine through a process context, exactly as the
+// crawler binary would: breadth-first file walks via FindFirstFile,
+// a Toolhelp process snapshot, and a full registry enumeration.
+func Collect(ctx *winapi.Context) Inventory {
+	inv := Inventory{
+		Files:        make(map[string]struct{}),
+		Processes:    make(map[string]struct{}),
+		RegistryKeys: make(map[string]struct{}),
+	}
+
+	// Files: BFS from every volume root.
+	queue := []string{`C:\`}
+	for len(queue) > 0 {
+		dir := queue[0]
+		queue = queue[1:]
+		names, st := ctx.FindFirstFile(strings.TrimRight(dir, `\`) + `\*`)
+		if !st.OK() {
+			continue
+		}
+		for _, name := range names {
+			info, st := ctx.GetFileAttributes(name)
+			if !st.OK() {
+				continue
+			}
+			if info.Kind == winsim.FileDirectory {
+				queue = append(queue, name)
+				continue
+			}
+			inv.Files[winsim.NormalizePath(name)] = struct{}{}
+		}
+	}
+
+	for _, e := range ctx.CreateToolhelp32Snapshot() {
+		inv.Processes[e.Image] = struct{}{}
+	}
+
+	for _, hive := range []string{"HKLM", "HKCU", "HKCR", "HKU"} {
+		collectKeys(ctx, hive, &inv)
+	}
+
+	if disk, st := ctx.GetDiskFreeSpaceEx(`C:\`); st.OK() {
+		inv.Config.DiskTotalBytes = disk.TotalBytes
+	}
+	inv.Config.RAMBytes = ctx.GlobalMemoryStatusEx().TotalPhysBytes
+	inv.Config.NumCores = ctx.GetSystemInfo().NumberOfProcessors
+	inv.Config.ComputerName = ctx.GetComputerName()
+	inv.Config.UserName = ctx.GetUserName()
+	return inv
+}
+
+func collectKeys(ctx *winapi.Context, path string, inv *Inventory) {
+	for i := 0; ; i++ {
+		name, st := ctx.RegEnumKeyEx(path, i)
+		if !st.OK() {
+			return
+		}
+		full := path + `\` + name
+		inv.RegistryKeys[strings.ToLower(full)] = struct{}{}
+		collectKeys(ctx, full, inv)
+	}
+}
+
+// CollectFrom runs the crawler binary on a machine and returns its
+// inventory.
+func CollectFrom(m *winsim.Machine) Inventory {
+	sys := winapi.NewSystem(m)
+	p := sys.Launch(`C:\crawler.exe`, "crawler.exe", nil)
+	return Collect(sys.Context(p))
+}
+
+// Resources is a crawl-and-diff result: what the sandboxes expose that the
+// clean reference does not.
+type Resources struct {
+	Files        []string
+	Processes    []string
+	RegistryKeys []string
+	// SandboxConfigs keeps each sandbox's configuration snapshot (the
+	// source of the deceptive disk/RAM/core values).
+	SandboxConfigs []SystemConfig
+}
+
+// Diff returns the resources present in any sandbox inventory but absent
+// from the clean one.
+func Diff(clean Inventory, sandboxes ...Inventory) Resources {
+	files := make(map[string]struct{})
+	procs := make(map[string]struct{})
+	keys := make(map[string]struct{})
+	var res Resources
+	for _, sb := range sandboxes {
+		for f := range sb.Files {
+			if _, ok := clean.Files[f]; !ok {
+				files[f] = struct{}{}
+			}
+		}
+		for p := range sb.Processes {
+			if _, ok := clean.Processes[p]; !ok {
+				procs[p] = struct{}{}
+			}
+		}
+		for k := range sb.RegistryKeys {
+			if _, ok := clean.RegistryKeys[k]; !ok {
+				keys[k] = struct{}{}
+			}
+		}
+		res.SandboxConfigs = append(res.SandboxConfigs, sb.Config)
+	}
+	res.Files = sortedKeys(files)
+	res.Processes = sortedKeys(procs)
+	res.RegistryKeys = sortedKeys(keys)
+	return res
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExtendDB merges the crawled resources into a Scarecrow deception
+// database, tagging them as Cuckoo-sandbox artifacts.
+func (r Resources) ExtendDB(db *core.DB) {
+	for _, f := range r.Files {
+		db.AddFile(f, core.VendorCuckoo)
+	}
+	for _, p := range r.Processes {
+		db.AddProcess(p, core.VendorCuckoo)
+	}
+	for _, k := range r.RegistryKeys {
+		db.AddRegKey(k, core.VendorCuckoo)
+	}
+}
+
+// CrawlPublicSandboxes reproduces the §II-C pipeline end to end: crawl the
+// VirusTotal and Malwr profiles, diff against the clean bare-metal
+// reference, and return the unique resources.
+func CrawlPublicSandboxes(seed int64) Resources {
+	clean := CollectFrom(winsim.NewCleanBareMetal(seed))
+	vt := CollectFrom(winsim.NewVirusTotalSandbox(seed))
+	malwr := CollectFrom(winsim.NewMalwrSandbox(seed))
+	return Diff(clean, vt, malwr)
+}

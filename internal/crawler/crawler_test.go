@@ -1,0 +1,102 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/winsim"
+)
+
+// TestSectionIICResourceCounts reproduces the §II-C crawl: the resources
+// unique to the two public sandboxes number exactly 17,540 files, 24
+// processes, and 1,457 registry entries.
+func TestSectionIICResourceCounts(t *testing.T) {
+	r := CrawlPublicSandboxes(1)
+	if got := len(r.Files); got != 17540 {
+		t.Errorf("unique files = %d, want 17540", got)
+	}
+	if got := len(r.Processes); got != 24 {
+		t.Errorf("unique processes = %d, want 24", got)
+	}
+	if got := len(r.RegistryKeys); got != 1457 {
+		t.Errorf("unique registry entries = %d, want 1457", got)
+	}
+}
+
+func TestCrawlObservesSandboxConfig(t *testing.T) {
+	r := CrawlPublicSandboxes(1)
+	if len(r.SandboxConfigs) != 2 {
+		t.Fatalf("configs = %d", len(r.SandboxConfigs))
+	}
+	// The Malwr profile carries the paper's distinctive 5 GB C: drive.
+	found5GB := false
+	for _, cfg := range r.SandboxConfigs {
+		if cfg.DiskTotalBytes == 5<<30 {
+			found5GB = true
+		}
+	}
+	if !found5GB {
+		t.Error("Malwr's 5 GB disk not observed")
+	}
+}
+
+func TestDiffExcludesSharedResources(t *testing.T) {
+	clean := CollectFrom(winsim.NewCleanBareMetal(1))
+	vt := CollectFrom(winsim.NewVirusTotalSandbox(1))
+	r := Diff(clean, vt)
+	for _, f := range r.Files {
+		if strings.Contains(f, `c:\windows\system32\kernel32.dll`) {
+			t.Errorf("shared OS file reported unique: %s", f)
+		}
+	}
+	for _, p := range r.Processes {
+		if p == "explorer.exe" || p == "svchost.exe" {
+			t.Errorf("shared OS process reported unique: %s", p)
+		}
+	}
+	// Deceptive resources actually unique to the sandbox must be present.
+	foundVBoxProc := false
+	for _, p := range r.Processes {
+		if p == "vboxservice.exe" {
+			foundVBoxProc = true
+		}
+	}
+	if !foundVBoxProc {
+		t.Error("vboxservice.exe missing from diff")
+	}
+}
+
+func TestExtendDBMakesCrawledResourcesDeceptive(t *testing.T) {
+	r := CrawlPublicSandboxes(1)
+	db := core.NewDB()
+	before := db.Counts()
+	r.ExtendDB(db)
+	after := db.Counts()
+	if after[core.CategoryFile]-before[core.CategoryFile] != len(r.Files) {
+		t.Errorf("file extension: %d -> %d", before[core.CategoryFile], after[core.CategoryFile])
+	}
+	// vboxservice.exe and vboxtray.exe are already stock deceptive
+	// processes, so growth is two short of the crawled count.
+	if after[core.CategoryProcess]-before[core.CategoryProcess] != len(r.Processes)-2 {
+		t.Errorf("process extension: %d -> %d (crawled %d)", before[core.CategoryProcess], after[core.CategoryProcess], len(r.Processes))
+	}
+	// A crawled file is now matched by the engine's probes.
+	if _, ok := db.MatchFile(r.Files[0]); !ok {
+		t.Errorf("crawled file %s not deceptive after extension", r.Files[0])
+	}
+	if _, ok := db.MatchProcess("vt_tool01.exe"); !ok {
+		t.Error("crawled process not deceptive after extension")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a := CollectFrom(winsim.NewVirusTotalSandbox(3))
+	b := CollectFrom(winsim.NewVirusTotalSandbox(3))
+	if len(a.Files) != len(b.Files) || len(a.RegistryKeys) != len(b.RegistryKeys) {
+		t.Error("collection not deterministic")
+	}
+	if a.Config != b.Config {
+		t.Errorf("configs differ: %+v vs %+v", a.Config, b.Config)
+	}
+}

@@ -1,0 +1,422 @@
+// Package evasion catalogs the environment-fingerprinting techniques
+// evasive malware uses (Section II-B of the paper groups them into
+// software, hardware, and network resources). The same probes are shared
+// by the malware specimens (internal/malware), Pafish (internal/pafish),
+// and the wear-and-tear fingerprinter (internal/weartear), so a deception
+// that steers one consumer steers them all — exactly the paper's point
+// about evasive techniques being "standardized and modularized".
+package evasion
+
+import (
+	"strings"
+	"time"
+
+	"scarecrow/internal/winapi"
+)
+
+// Technique classifies how a check observes the environment, which
+// determines whether user-level hooking can deceive it.
+type Technique string
+
+// Techniques.
+const (
+	TechRegistry      Technique = "registry"
+	TechFile          Technique = "file"
+	TechProcess       Technique = "process"
+	TechModule        Technique = "module"
+	TechWindow        Technique = "window"
+	TechDebuggerAPI   Technique = "debugger-api"
+	TechHardwareAPI   Technique = "hardware-api"
+	TechIdentity      Technique = "identity"
+	TechParent        Technique = "parent-process"
+	TechHookDetect    Technique = "hook-detection"
+	TechNetwork       Technique = "network"
+	TechTiming        Technique = "timing"
+	TechCPUID         Technique = "cpuid"
+	TechPEB           Technique = "peb-memory"
+	TechDirectSyscall Technique = "direct-syscall"
+	TechWearTear      Technique = "wear-and-tear"
+)
+
+// Check is one evasion probe: it returns true when the environment looks
+// like an analysis environment to the malware.
+type Check struct {
+	// Name identifies the probe (e.g. "reg:vmware-tools").
+	Name string
+	// Technique classifies the observation channel.
+	Technique Technique
+	// Probe runs the check in a process context.
+	Probe func(ctx *winapi.Context) bool
+}
+
+// Detect runs the check.
+func (c Check) Detect(ctx *winapi.Context) bool { return c.Probe(ctx) }
+
+// AnyDetects evaluates the logical disjunction of checks (the ⋁ of Case I):
+// it returns the first check that fires, if any. Evaluation is
+// short-circuit, like compiled evasive logic.
+func AnyDetects(ctx *winapi.Context, checks []Check) (Check, bool) {
+	for _, c := range checks {
+		if c.Probe(ctx) {
+			return c, true
+		}
+	}
+	return Check{}, false
+}
+
+// RegistryKey probes a key's existence via RegOpenKeyEx.
+func RegistryKey(name, key string) Check {
+	return Check{Name: name, Technique: TechRegistry, Probe: func(ctx *winapi.Context) bool {
+		return ctx.RegOpenKeyEx(key).OK()
+	}}
+}
+
+// NtRegistryKey probes a key via the native NtOpenKeyEx layer.
+func NtRegistryKey(name, key string) Check {
+	return Check{Name: name, Technique: TechRegistry, Probe: func(ctx *winapi.Context) bool {
+		return ctx.NtOpenKeyEx(key).OK()
+	}}
+}
+
+// RegistryValueContains probes whether a registry value contains a marker
+// substring (case-insensitive), e.g. "VBOX" in SystemBiosVersion.
+func RegistryValueContains(name, key, value, marker string) Check {
+	return Check{Name: name, Technique: TechRegistry, Probe: func(ctx *winapi.Context) bool {
+		v, st := ctx.RegQueryValueEx(key, value)
+		return st.OK() && strings.Contains(strings.ToLower(v.Str), strings.ToLower(marker))
+	}}
+}
+
+// FileExists probes a path via NtQueryAttributesFile (the system call Table
+// I's sample 9437eab uses).
+func FileExists(name, path string) Check {
+	return Check{Name: name, Technique: TechFile, Probe: func(ctx *winapi.Context) bool {
+		_, st := ctx.NtQueryAttributesFile(path)
+		return st.OK()
+	}}
+}
+
+// DeviceOpens probes a device object via CreateFile.
+func DeviceOpens(name, device string) Check {
+	return Check{Name: name, Technique: TechFile, Probe: func(ctx *winapi.Context) bool {
+		return ctx.CreateFile(device).OK()
+	}}
+}
+
+// ProcessRunning scans the Toolhelp snapshot for any of the given image
+// names.
+func ProcessRunning(name string, images ...string) Check {
+	want := make(map[string]bool, len(images))
+	for _, img := range images {
+		want[strings.ToLower(img)] = true
+	}
+	return Check{Name: name, Technique: TechProcess, Probe: func(ctx *winapi.Context) bool {
+		for _, e := range ctx.CreateToolhelp32Snapshot() {
+			if want[e.Image] {
+				return true
+			}
+		}
+		return false
+	}}
+}
+
+// ModuleLoaded probes for a loaded DLL via GetModuleHandle.
+func ModuleLoaded(name, dll string) Check {
+	return Check{Name: name, Technique: TechModule, Probe: func(ctx *winapi.Context) bool {
+		_, st := ctx.GetModuleHandle(dll)
+		return st.OK()
+	}}
+}
+
+// ExportResolves probes for a vendor-specific export (the classic Wine
+// check resolves wine_get_unix_file_name from kernel32).
+func ExportResolves(name, module, export string) Check {
+	return Check{Name: name, Technique: TechModule, Probe: func(ctx *winapi.Context) bool {
+		_, st := ctx.GetProcAddress(module, export)
+		return st.OK()
+	}}
+}
+
+// WindowPresent probes FindWindow by class name.
+func WindowPresent(name, class string) Check {
+	return Check{Name: name, Technique: TechWindow, Probe: func(ctx *winapi.Context) bool {
+		_, st := ctx.FindWindow(class, "")
+		return st.OK()
+	}}
+}
+
+// DebuggerAPI is the IsDebuggerPresent() probe — the most common evasion
+// call in the paper's corpus.
+func DebuggerAPI() Check {
+	return Check{Name: "IsDebuggerPresent", Technique: TechDebuggerAPI,
+		Probe: func(ctx *winapi.Context) bool { return ctx.IsDebuggerPresent() }}
+}
+
+// RemoteDebugger is the CheckRemoteDebuggerPresent() probe.
+func RemoteDebugger() Check {
+	return Check{Name: "CheckRemoteDebuggerPresent", Technique: TechDebuggerAPI,
+		Probe: func(ctx *winapi.Context) bool { return ctx.CheckRemoteDebuggerPresent() }}
+}
+
+// LowUptime flags tick counts below the threshold (freshly reset sandbox).
+func LowUptime(threshold time.Duration) Check {
+	return Check{Name: "GetTickCount", Technique: TechTiming, Probe: func(ctx *winapi.Context) bool {
+		return ctx.GetTickCount() < uint64(threshold.Milliseconds())
+	}}
+}
+
+// SmallDisk flags volumes smaller than min bytes.
+func SmallDisk(min uint64) Check {
+	return Check{Name: "GetDiskFreeSpaceEx", Technique: TechHardwareAPI, Probe: func(ctx *winapi.Context) bool {
+		disk, st := ctx.GetDiskFreeSpaceEx(`C:\`)
+		return st.OK() && disk.TotalBytes < min
+	}}
+}
+
+// SmallRAM flags physical memory at or below max bytes.
+func SmallRAM(max uint64) Check {
+	return Check{Name: "GlobalMemoryStatusEx", Technique: TechHardwareAPI, Probe: func(ctx *winapi.Context) bool {
+		return ctx.GlobalMemoryStatusEx().TotalPhysBytes <= max
+	}}
+}
+
+// FewCoresAPI flags processor counts below min as seen through
+// GetSystemInfo.
+func FewCoresAPI(min int) Check {
+	return Check{Name: "GetSystemInfo", Technique: TechHardwareAPI, Probe: func(ctx *winapi.Context) bool {
+		return ctx.GetSystemInfo().NumberOfProcessors < min
+	}}
+}
+
+// FewCoresPEB reads NumberOfProcessors directly from the PEB, bypassing
+// every user-level hook — the probe Scarecrow cannot deceive (Table I,
+// sample cbdda64).
+func FewCoresPEB(min int) Check {
+	return Check{Name: "PEB.NumberOfProcessors", Technique: TechPEB, Probe: func(ctx *winapi.Context) bool {
+		return ctx.ReadPEB().NumberOfProcessors < min
+	}}
+}
+
+// PEBBeingDebugged reads the debugger flag directly from memory.
+func PEBBeingDebugged() Check {
+	return Check{Name: "PEB.BeingDebugged", Technique: TechPEB, Probe: func(ctx *winapi.Context) bool {
+		return ctx.ReadPEB().BeingDebugged
+	}}
+}
+
+// SuspiciousUserName flags sandbox-typical account names.
+func SuspiciousUserName(names ...string) Check {
+	bad := make(map[string]bool, len(names))
+	for _, n := range names {
+		bad[strings.ToLower(n)] = true
+	}
+	return Check{Name: "GetUserName", Technique: TechIdentity, Probe: func(ctx *winapi.Context) bool {
+		return bad[strings.ToLower(ctx.GetUserName())]
+	}}
+}
+
+// SuspiciousComputerName flags sandbox-typical host names.
+func SuspiciousComputerName(markers ...string) Check {
+	return Check{Name: "GetComputerName", Technique: TechIdentity, Probe: func(ctx *winapi.Context) bool {
+		host := strings.ToLower(ctx.GetComputerName())
+		for _, m := range markers {
+			if strings.Contains(host, strings.ToLower(m)) {
+				return true
+			}
+		}
+		return false
+	}}
+}
+
+// SamplePath flags executables run from canonical sandbox sample paths.
+func SamplePath() Check {
+	return Check{Name: "GetModuleFileName", Technique: TechIdentity, Probe: func(ctx *winapi.Context) bool {
+		p := strings.ToLower(ctx.GetModuleFileName())
+		return strings.Contains(p, `\sample`) || strings.Contains(p, `\virus`) ||
+			strings.Contains(p, `\malware`) || p == `c:\sample.exe`
+	}}
+}
+
+// SandboxParent flags parent processes other than the usual interactive
+// launchers — how malware spots analysis daemons (and the Scarecrow
+// controller, deliberately).
+func SandboxParent() Check {
+	interactive := map[string]bool{"explorer.exe": true, "cmd.exe": true, "": true}
+	return Check{Name: "NtQueryInformationProcess", Technique: TechParent, Probe: func(ctx *winapi.Context) bool {
+		return !interactive[ctx.ParentProcessImage()]
+	}}
+}
+
+// InlineHook reads the first bytes of the named APIs directly from memory
+// and flags any missing hot-patch prologue — Figure 1's check_hook.
+func InlineHook(apis ...string) Check {
+	return Check{Name: "prologue:" + strings.Join(apis, ","), Technique: TechHookDetect,
+		Probe: func(ctx *winapi.Context) bool {
+			for _, api := range apis {
+				if !ctx.PrologueIntact(api) {
+					return true
+				}
+			}
+			return false
+		}}
+}
+
+// NXDomainResolves flags environments where a non-existent domain answers:
+// DNS sinkholes (WannaCry's kill switch, Case II).
+func NXDomainResolves(domain string) Check {
+	return Check{Name: "DnsQuery:" + domain, Technique: TechNetwork, Probe: func(ctx *winapi.Context) bool {
+		addr, st := ctx.DnsQuery(domain)
+		if !st.OK() {
+			return false
+		}
+		code, st := ctx.InternetOpenUrl(addr)
+		return st.OK() && code == 200
+	}}
+}
+
+// SleepPatch measures a Sleep against the tick stream and flags
+// environments where slept time does not pass (sleep skipping or tick
+// manipulation).
+func SleepPatch(d time.Duration) Check {
+	return Check{Name: "Sleep/GetTickCount", Technique: TechTiming, Probe: func(ctx *winapi.Context) bool {
+		t0 := ctx.GetTickCount()
+		ctx.Sleep(d)
+		t1 := ctx.GetTickCount()
+		return t1-t0 < uint64(d.Milliseconds())*9/10
+	}}
+}
+
+// RDTSCVMExit measures the cycle cost of CPUID between two RDTSCs and
+// flags trap-and-emulate hypervisors.
+func RDTSCVMExit(thresholdCycles uint64) Check {
+	return Check{Name: "rdtsc_diff_vmexit", Technique: TechCPUID, Probe: func(ctx *winapi.Context) bool {
+		c1 := ctx.RDTSC()
+		ctx.CPUID()
+		c2 := ctx.RDTSC()
+		return c2-c1 > thresholdCycles
+	}}
+}
+
+// CPUIDHypervisorBit tests bit 31 of ECX for CPUID leaf 1.
+func CPUIDHypervisorBit() Check {
+	return Check{Name: "cpuid_hv_bit", Technique: TechCPUID, Probe: func(ctx *winapi.Context) bool {
+		return ctx.CPUID().HypervisorBit
+	}}
+}
+
+// CPUIDVendor flags known hypervisor vendor strings from leaf 0x40000000.
+func CPUIDVendor(vendors ...string) Check {
+	return Check{Name: "cpu_known_vm_vendors", Technique: TechCPUID, Probe: func(ctx *winapi.Context) bool {
+		got := strings.ToLower(ctx.CPUID().HypervisorVendor)
+		if got == "" {
+			return false
+		}
+		for _, v := range vendors {
+			if strings.Contains(got, strings.ToLower(v)) {
+				return true
+			}
+		}
+		return false
+	}}
+}
+
+// VMMAC flags adapters with virtual-machine MAC prefixes.
+func VMMAC(prefixes ...string) Check {
+	return Check{Name: "GetAdaptersInfo", Technique: TechHardwareAPI, Probe: func(ctx *winapi.Context) bool {
+		for _, a := range ctx.GetAdaptersInfo() {
+			mac := strings.ToLower(a.MAC)
+			for _, p := range prefixes {
+				if strings.HasPrefix(mac, strings.ToLower(p)) {
+					return true
+				}
+			}
+		}
+		return false
+	}}
+}
+
+// DiskModelContains flags VM identity strings in the SCSI disk identifier.
+func DiskModelContains(name string, markers ...string) Check {
+	const scsiKey = `HKLM\HARDWARE\DEVICEMAP\Scsi\Scsi Port 0\Scsi Bus 0\Target Id 0\Logical Unit Id 0`
+	return Check{Name: name, Technique: TechRegistry, Probe: func(ctx *winapi.Context) bool {
+		v, st := ctx.RegQueryValueEx(scsiKey, "Identifier")
+		if !st.OK() {
+			return false
+		}
+		id := strings.ToLower(v.Str)
+		for _, m := range markers {
+			if strings.Contains(id, strings.ToLower(m)) {
+				return true
+			}
+		}
+		return false
+	}}
+}
+
+// MouseInactive samples the cursor across a short sleep and flags a frozen
+// pointer.
+func MouseInactive(wait time.Duration) Check {
+	return Check{Name: "GetCursorPos", Technique: TechHardwareAPI, Probe: func(ctx *winapi.Context) bool {
+		x1, y1 := ctx.GetCursorPos()
+		ctx.Sleep(wait)
+		x2, y2 := ctx.GetCursorPos()
+		return x1 == x2 && y1 == y2
+	}}
+}
+
+// WMIIdentity flags a WMI identity property equal to or containing a
+// marker. WMI rides COM, not the hooked Win32 exports, so Scarecrow's
+// user-level deception cannot steer it.
+func WMIIdentity(name, class, property, marker string) Check {
+	return Check{Name: name, Technique: TechDirectSyscall, Probe: func(ctx *winapi.Context) bool {
+		v, st := ctx.WMIQuery(class, property)
+		return st.OK() && strings.Contains(strings.ToLower(v), strings.ToLower(marker))
+	}}
+}
+
+// NtRegistryValueContains probes a registry value through NtQueryValueKey
+// for a marker substring.
+func NtRegistryValueContains(name, key, value, marker string) Check {
+	return Check{Name: name, Technique: TechRegistry, Probe: func(ctx *winapi.Context) bool {
+		v, st := ctx.NtQueryValueKey(key, value)
+		return st.OK() && strings.Contains(strings.ToLower(v.Str), strings.ToLower(marker))
+	}}
+}
+
+// KernelDebugger asks NtQuerySystemInformation whether a kernel debugger
+// is attached.
+func KernelDebugger() Check {
+	return Check{Name: "NtQuerySystemInformation", Technique: TechDebuggerAPI,
+		Probe: func(ctx *winapi.Context) bool {
+			n, st := ctx.NtQuerySystemInformation(winapi.SystemKernelDebuggerInformation)
+			return st.OK() && n != 0
+		}}
+}
+
+// WMIIdentityEquals flags a WMI identity property exactly equal to a
+// marker (e.g. VirtualBox's default BIOS serial "0").
+func WMIIdentityEquals(name, class, property, want string) Check {
+	return Check{Name: name, Technique: TechDirectSyscall, Probe: func(ctx *winapi.Context) bool {
+		v, st := ctx.WMIQuery(class, property)
+		return st.OK() && strings.EqualFold(v, want)
+	}}
+}
+
+// DirectSyscallRegistryKey probes a registry key through a raw syscall
+// stub, bypassing user-level hooks entirely (§VI-A's acknowledged bypass).
+func DirectSyscallRegistryKey(name, key string) Check {
+	return Check{Name: name, Technique: TechDirectSyscall, Probe: func(ctx *winapi.Context) bool {
+		st, _ := ctx.DirectSyscall("NtOpenKeyEx", key).(winapi.Status)
+		return st.OK()
+	}}
+}
+
+// SlowExceptionDispatch measures the round-trip cost of raising and
+// handling a software exception. Debuggers and shadow-page analysis
+// systems inflate it far beyond the native dispatch path — and so does
+// Scarecrow's §II-B(g) deceptive timing discrepancy.
+func SlowExceptionDispatch(threshold time.Duration) Check {
+	return Check{Name: "RaiseException", Technique: TechTiming, Probe: func(ctx *winapi.Context) bool {
+		return ctx.RaiseException() > threshold
+	}}
+}

@@ -1,0 +1,165 @@
+// Package malgene reimplements the evasion-signature extraction pipeline
+// of MalGene (Kirat & Vigna, CCS 2015) that §II-C proposes as Scarecrow's
+// continuous source of new deceptive resources: given two kernel traces of
+// the same sample — one from an environment it evaded, one from an
+// environment where it exposed malicious activity — align the traces,
+// locate the first behavioural divergence, and report the last
+// environment-query event before it. That query is the evasion signature;
+// its resource extends the deception database.
+//
+// The paper notes MalGene's caveat, which this implementation preserves:
+// only the FIRST diverging resource is reported per trace pair, so samples
+// combining several evasive techniques yield one signature at a time.
+package malgene
+
+import (
+	"fmt"
+	"strings"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/trace"
+)
+
+// maxAlign caps the alignment window; kernel traces of respawning samples
+// run to hundreds of thousands of events while divergence is always near
+// the front.
+const maxAlign = 4096
+
+// Signature is one extracted evasion signature.
+type Signature struct {
+	// Kind is the query event class (RegOpenKey, FileQuery, APICall, ...).
+	Kind trace.Kind
+	// Resource is the probed object (key path, file path, API name).
+	Resource string
+	// EvadedOutcome records whether the probe succeeded in the evaded
+	// environment.
+	EvadedOutcome bool
+	// DivergeIndex is the position in the evaded trace where behaviour
+	// split.
+	DivergeIndex int
+}
+
+// String renders the signature.
+func (s Signature) String() string {
+	return fmt.Sprintf("%s(%s) succeeded=%v @%d", s.Kind, s.Resource, s.EvadedOutcome, s.DivergeIndex)
+}
+
+// eventKey canonicalizes an event for alignment: the kind plus target,
+// ignoring PIDs and timestamps (machines differ across environments).
+func eventKey(e trace.Event) string {
+	return e.Kind.String() + "|" + strings.ToLower(e.Target)
+}
+
+// Align computes the longest common subsequence alignment of two event
+// sequences and returns, for each sequence, the index of the first event
+// not part of the common alignment (len(...) when the sequences never
+// diverge).
+func Align(a, b []trace.Event) (int, int) {
+	if len(a) > maxAlign {
+		a = a[:maxAlign]
+	}
+	if len(b) > maxAlign {
+		b = b[:maxAlign]
+	}
+	n, m := len(a), len(b)
+	// dp[i][j] = LCS length of a[i:], b[j:].
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		ka := eventKey(a[i])
+		for j := m - 1; j >= 0; j-- {
+			if ka == eventKey(b[j]) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	// Walk the alignment; the first skip is the divergence point.
+	i, j := 0, 0
+	for i < n && j < m {
+		if eventKey(a[i]) == eventKey(b[j]) {
+			i, j = i+1, j+1
+			continue
+		}
+		return i, j
+	}
+	return i, j
+}
+
+// queryKinds are the environment-probe event classes a signature can name.
+var queryKinds = map[trace.Kind]bool{
+	trace.KindRegOpenKey:    true,
+	trace.KindRegQueryValue: true,
+	trace.KindRegEnumKey:    true,
+	trace.KindFileQuery:     true,
+	trace.KindWindowQuery:   true,
+	trace.KindDNSQuery:      true,
+	trace.KindAPICall:       true,
+	trace.KindImageLoad:     true,
+}
+
+// apiProbes are APICall targets that constitute environment probes (as
+// opposed to utility calls every program makes).
+var apiProbes = map[string]bool{
+	"IsDebuggerPresent": true, "CheckRemoteDebuggerPresent": true,
+	"GetTickCount": true, "GlobalMemoryStatusEx": true,
+	"GetSystemInfo": true, "GetDiskFreeSpaceEx": true,
+	"GetModuleHandle": true, "GetProcAddress": true,
+	"GetAdaptersInfo": true, "NtQuerySystemInformation": true,
+	"GetUserName": true, "GetComputerName": true, "GetCursorPos": true,
+	"GetModuleFileName": true,
+}
+
+// ExtractSignature aligns the evaded and exposed traces of one sample and
+// returns the evasion signature: the last environment query in the evaded
+// trace at or before the divergence point.
+func ExtractSignature(evaded, exposed []trace.Event) (Signature, bool) {
+	di, _ := Align(evaded, exposed)
+	if di >= len(evaded) && di >= len(exposed) {
+		return Signature{}, false // traces identical: nothing diverged
+	}
+	if di > len(evaded) {
+		di = len(evaded)
+	}
+	for i := min(di, len(evaded)-1); i >= 0; i-- {
+		e := evaded[i]
+		if !queryKinds[e.Kind] {
+			continue
+		}
+		if e.Kind == trace.KindAPICall && !apiProbes[e.Target] {
+			continue
+		}
+		return Signature{
+			Kind:          e.Kind,
+			Resource:      e.Target,
+			EvadedOutcome: e.Success,
+			DivergeIndex:  di,
+		}, true
+	}
+	return Signature{}, false
+}
+
+// ExtendDB folds a signature into a deception database, returning false
+// when the signature names a probe class the database cannot express
+// (timing or pure API probes need no new resource: the hooks already cover
+// them).
+func (s Signature) ExtendDB(db *core.DB) bool {
+	switch s.Kind {
+	case trace.KindRegOpenKey, trace.KindRegQueryValue, trace.KindRegEnumKey:
+		db.AddRegKey(s.Resource, core.VendorCuckoo)
+		return true
+	case trace.KindFileQuery:
+		db.AddFile(s.Resource, core.VendorCuckoo)
+		return true
+	case trace.KindImageLoad:
+		db.AddFile(s.Resource, core.VendorCuckoo)
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,158 @@
+package malgene
+
+import (
+	"testing"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/evasion"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/trace"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// novelSample evades on a registry key the stock deception database does
+// not know, so Scarecrow initially fails to deactivate it.
+func novelSample() *malware.Specimen {
+	const novelKey = `HKLM\SOFTWARE\VxStream\AnalysisAgent`
+	return &malware.Specimen{
+		ID: "novel01", Family: "test", Source: malware.SourceMalGene,
+		Image:   malware.ImagePath("novel01"),
+		Checks:  []evasion.Check{evasion.NtRegistryKey("ntreg:vxstream", novelKey)},
+		React:   malware.ReactTerminate(),
+		Payload: malware.PayloadDropper("payload.exe"),
+	}
+}
+
+// runOn executes the sample on a machine, optionally making the probed key
+// genuinely present (the "other environment" MalGene compares against).
+func runOn(m *winsim.Machine, s *malware.Specimen, plantKey bool) []trace.Event {
+	if plantKey {
+		if _, err := m.Registry.CreateKey(`HKLM\SOFTWARE\VxStream\AnalysisAgent`); err != nil {
+			panic(err)
+		}
+	}
+	sys := winapi.NewSystem(m)
+	s.Register(sys)
+	m.FS.Touch(s.Image, 64<<10)
+	root := sys.Launch(s.Image, s.ID, nil)
+	sys.Run(time.Minute)
+	return m.Tracer.Filter(func(e trace.Event) bool { return e.PID >= root.PID })
+}
+
+func TestAlignIdenticalTraces(t *testing.T) {
+	s := novelSample()
+	a := runOn(winsim.NewBareMetalSandbox(1), s, false)
+	b := runOn(winsim.NewBareMetalSandbox(2), s, false)
+	if _, ok := ExtractSignature(a, b); ok {
+		t.Error("identical behaviours yielded a signature")
+	}
+}
+
+func TestExtractSignatureFindsNovelResource(t *testing.T) {
+	s := novelSample()
+	// Environment A: the VxStream-like sandbox (key present) — evaded.
+	evaded := runOn(winsim.NewBareMetalSandbox(1), s, true)
+	// Environment B: clean machine — malicious activity exposed.
+	exposed := runOn(winsim.NewBareMetalSandbox(1), s, false)
+
+	sig, ok := ExtractSignature(evaded, exposed)
+	if !ok {
+		t.Fatal("no signature extracted")
+	}
+	if sig.Kind != trace.KindRegOpenKey {
+		t.Errorf("signature kind = %v", sig.Kind)
+	}
+	if got := sig.Resource; got != `HKLM\SOFTWARE\VxStream\AnalysisAgent` {
+		t.Errorf("signature resource = %q", got)
+	}
+	if !sig.EvadedOutcome {
+		t.Error("probe should have succeeded in the evaded environment")
+	}
+	if sig.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// TestContinuousLearningPipeline is the §II-C loop end to end: Scarecrow
+// misses a novel sample, MalGene's comparison surfaces the evasion
+// signature, the database learns it, and the sample is deactivated on the
+// next encounter.
+func TestContinuousLearningPipeline(t *testing.T) {
+	s := novelSample()
+
+	runProtected := func(db *core.DB) trace.Summary {
+		m := winsim.NewEndUserMachine(5)
+		sys := winapi.NewSystem(m)
+		s.Register(sys)
+		m.FS.Touch(s.Image, 64<<10)
+		ctrl := core.Deploy(sys, core.NewEngine(db, core.RecommendedConfig(m.Profile)))
+		root, err := ctrl.LaunchTarget(s.Image, s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(time.Minute)
+		return trace.Summarize(m.Tracer.Filter(func(e trace.Event) bool {
+			return e.PID >= root.PID
+		}))
+	}
+
+	// Stock database: the novel key is unknown, the probe fails, the
+	// payload runs — Scarecrow misses.
+	stock := core.NewDB()
+	if sum := runProtected(stock); len(sum.FilesWritten) == 0 {
+		t.Fatal("sample should act under the stock database")
+	}
+
+	// Learn from a MalGene trace pair.
+	evaded := runOn(winsim.NewBareMetalSandbox(1), s, true)
+	exposed := runOn(winsim.NewBareMetalSandbox(1), s, false)
+	sig, ok := ExtractSignature(evaded, exposed)
+	if !ok {
+		t.Fatal("no signature")
+	}
+	learned := core.NewDB()
+	if !sig.ExtendDB(learned) {
+		t.Fatal("signature not foldable into the database")
+	}
+
+	// Extended database: the probe is deceived, the sample deactivates.
+	if sum := runProtected(learned); len(sum.FilesWritten) != 0 {
+		t.Error("sample still acts after learning the signature")
+	}
+}
+
+func TestAlignDivergencePosition(t *testing.T) {
+	mk := func(targets ...string) []trace.Event {
+		var out []trace.Event
+		for _, tg := range targets {
+			out = append(out, trace.Event{Kind: trace.KindFileQuery, Target: tg, Success: true})
+		}
+		return out
+	}
+	a := mk("x", "y", "z", "q")
+	b := mk("x", "y", "w", "q")
+	ai, bi := Align(a, b)
+	if ai != 2 || bi != 2 {
+		t.Errorf("divergence = %d,%d, want 2,2", ai, bi)
+	}
+	// Prefix-aligned sequences diverge at the shorter's end.
+	ai, bi = Align(mk("x"), mk("x", "y"))
+	if ai != 1 || bi != 1 {
+		t.Errorf("prefix divergence = %d,%d", ai, bi)
+	}
+}
+
+func TestSignatureExtendDBKinds(t *testing.T) {
+	db := core.NewDB()
+	if (Signature{Kind: trace.KindAPICall, Resource: "IsDebuggerPresent"}).ExtendDB(db) {
+		t.Error("API probes need no resource extension")
+	}
+	if !(Signature{Kind: trace.KindFileQuery, Resource: `C:\vxstream\agent.dll`}).ExtendDB(db) {
+		t.Error("file signature rejected")
+	}
+	if _, ok := db.MatchFile(`C:\vxstream\agent.dll`); !ok {
+		t.Error("file signature not learned")
+	}
+}

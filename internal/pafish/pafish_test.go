@@ -1,0 +1,158 @@
+package pafish
+
+import (
+	"testing"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// runRaw executes Pafish directly on a machine (no Scarecrow), launched
+// from explorer like a user double-click.
+func runRaw(t *testing.T, profile winsim.ProfileName) Report {
+	t.Helper()
+	m := winsim.NewProfileMachine(profile, 1)
+	sys := winapi.NewSystem(m)
+	var report Report
+	sys.RegisterProgram(`C:\pafish\pafish.exe`, func(ctx *winapi.Context) int {
+		report = Run(ctx)
+		return winapi.ExitOK
+	})
+	parent := m.Procs.FindByImage("explorer.exe")[0]
+	sys.Launch(`C:\pafish\pafish.exe`, "pafish.exe", parent)
+	sys.Run(time.Minute)
+	return report
+}
+
+// runProtected executes Pafish under the Scarecrow controller on a machine.
+func runProtected(t *testing.T, profile winsim.ProfileName) Report {
+	t.Helper()
+	m := winsim.NewProfileMachine(profile, 1)
+	sys := winapi.NewSystem(m)
+	var report Report
+	sys.RegisterProgram(`C:\pafish\pafish.exe`, func(ctx *winapi.Context) int {
+		report = Run(ctx)
+		return winapi.ExitOK
+	})
+	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(string(profile))))
+	if _, err := ctrl.LaunchTarget(`C:\pafish\pafish.exe`, "pafish.exe"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+	return report
+}
+
+func TestFeatureBatteryShape(t *testing.T) {
+	feats := Features()
+	if len(feats) != 56 {
+		t.Fatalf("features = %d, want 56 (Table II row sums)", len(feats))
+	}
+	wantPerCat := map[string]int{
+		CatDebuggers: 1, CatCPU: 4, CatGeneric: 12, CatHook: 2,
+		CatSandboxie: 1, CatWine: 2, CatVirtualBox: 17, CatVMware: 8,
+		CatQemu: 3, CatBochs: 3, CatCuckoo: 3,
+	}
+	got := make(map[string]int)
+	for _, f := range feats {
+		got[f.Category]++
+	}
+	for cat, want := range wantPerCat {
+		if got[cat] != want {
+			t.Errorf("%s: %d features, want %d", cat, got[cat], want)
+		}
+	}
+}
+
+// TestTableII asserts every cell of the paper's Table II: trigger counts
+// per category on the three environments, with and without Scarecrow.
+func TestTableII(t *testing.T) {
+	want := map[string]struct {
+		rawProfile winsim.ProfileName
+		scProfile  winsim.ProfileName
+		cells      map[string][2]int // category -> [with, without]
+	}{
+		"bare-metal sandbox": {
+			rawProfile: winsim.ProfileBareMetalSandbox,
+			scProfile:  winsim.ProfileBareMetalSandbox,
+			cells: map[string][2]int{
+				CatDebuggers: {1, 0}, CatCPU: {0, 0}, CatGeneric: {10, 1},
+				CatHook: {2, 0}, CatSandboxie: {1, 0}, CatWine: {2, 0},
+				CatVirtualBox: {14, 0}, CatVMware: {4, 0}, CatQemu: {1, 0},
+				CatBochs: {1, 0}, CatCuckoo: {0, 0},
+			},
+		},
+		// The with-Scarecrow VM column uses the hardened guest: the paper
+		// "modified CPUID instruction results and updated the MAC address
+		// of the Cuckoo sandbox" alongside deploying Scarecrow.
+		"virtual machine sandbox": {
+			rawProfile: winsim.ProfileCuckooSandbox,
+			scProfile:  winsim.ProfileCuckooHardened,
+			cells: map[string][2]int{
+				CatDebuggers: {1, 0}, CatCPU: {0, 3}, CatGeneric: {9, 3},
+				CatHook: {2, 1}, CatSandboxie: {1, 0}, CatWine: {2, 0},
+				CatVirtualBox: {14, 16}, CatVMware: {4, 0}, CatQemu: {1, 0},
+				CatBochs: {1, 0}, CatCuckoo: {0, 0},
+			},
+		},
+		"end-user machine": {
+			rawProfile: winsim.ProfileEndUser,
+			scProfile:  winsim.ProfileEndUser,
+			cells: map[string][2]int{
+				CatDebuggers: {1, 0}, CatCPU: {1, 1}, CatGeneric: {9, 1},
+				CatHook: {2, 0}, CatSandboxie: {1, 0}, CatWine: {2, 0},
+				CatVirtualBox: {14, 0}, CatVMware: {4, 1}, CatQemu: {1, 0},
+				CatBochs: {1, 0}, CatCuckoo: {0, 0},
+			},
+		},
+	}
+	for env, spec := range want {
+		t.Run(env, func(t *testing.T) {
+			raw := runRaw(t, spec.rawProfile).CategoryCounts()
+			protected := runProtected(t, spec.scProfile).CategoryCounts()
+			for cat, cells := range spec.cells {
+				if got := protected[cat]; got != cells[0] {
+					t.Errorf("%s with Scarecrow: %d, want %d", cat, got, cells[0])
+				}
+				if got := raw[cat]; got != cells[1] {
+					t.Errorf("%s without Scarecrow: %d, want %d", cat, got, cells[1])
+				}
+			}
+		})
+	}
+}
+
+// TestEnvironmentsIndistinguishableUnderScarecrow verifies the paper's
+// headline Table II claim: with Scarecrow enabled, the three environments
+// present the same fingerprint except for the CPU timing features
+// Scarecrow does not handle.
+func TestEnvironmentsIndistinguishableUnderScarecrow(t *testing.T) {
+	bm := runProtected(t, winsim.ProfileBareMetalSandbox)
+	vm := runProtected(t, winsim.ProfileCuckooHardened)
+	eu := runProtected(t, winsim.ProfileEndUser)
+	bmC, vmC, euC := bm.CategoryCounts(), vm.CategoryCounts(), eu.CategoryCounts()
+	for _, cat := range CategoryOrder {
+		if cat == CatCPU || cat == CatGeneric {
+			continue // timing features differ; everything else must align
+		}
+		if bmC[cat] != vmC[cat] || bmC[cat] != euC[cat] {
+			t.Errorf("%s: bm=%d vm=%d eu=%d — environments distinguishable", cat, bmC[cat], vmC[cat], euC[cat])
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := runRaw(t, winsim.ProfileCuckooSandbox)
+	if r.Triggered() == 0 {
+		t.Fatal("stock VM triggered nothing")
+	}
+	s := r.String()
+	if s == "" {
+		t.Error("empty rendering")
+	}
+	names := r.TriggeredNames()
+	if len(names) != r.Triggered() {
+		t.Errorf("TriggeredNames len = %d, Triggered = %d", len(names), r.Triggered())
+	}
+}

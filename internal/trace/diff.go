@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a trace into the significant-activity sets the paper's
+// verdict logic works with (Section IV-C): processes created, files
+// written/created/deleted, and registry keys/values modified. Self-spawn
+// counts are tracked separately because a self-spawning loop is itself a
+// deactivation signal under Scarecrow.
+type Summary struct {
+	// ProcessesCreated maps child image name (lowercased) to creation count,
+	// excluding self-spawns of the root image.
+	ProcessesCreated map[string]int
+	// SelfSpawns counts creations of processes whose image equals the
+	// spawning process's own image.
+	SelfSpawns int
+	// FilesWritten maps file paths (lowercased) written or created.
+	FilesWritten map[string]int
+	// FilesDeleted maps file paths (lowercased) deleted.
+	FilesDeleted map[string]int
+	// RegistryModified maps modified registry keys (lowercased) to the
+	// number of set/create/delete operations against them.
+	RegistryModified map[string]int
+	// Injections counts process-injection events.
+	Injections int
+	// APICalls maps API names to invocation counts.
+	APICalls map[string]int
+	// DNSQueries maps queried domains (lowercased) to counts.
+	DNSQueries map[string]int
+}
+
+// Summarize builds a Summary from a sequence of events.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		ProcessesCreated: make(map[string]int),
+		FilesWritten:     make(map[string]int),
+		FilesDeleted:     make(map[string]int),
+		RegistryModified: make(map[string]int),
+		APICalls:         make(map[string]int),
+		DNSQueries:       make(map[string]int),
+	}
+	for _, e := range events {
+		if !e.Success && e.Kind != KindAPICall && e.Kind != KindDNSQuery {
+			continue
+		}
+		switch e.Kind {
+		case KindProcessCreate:
+			child := strings.ToLower(baseName(e.Target))
+			parent := strings.ToLower(baseName(e.Image))
+			if child == parent {
+				s.SelfSpawns++
+			} else {
+				s.ProcessesCreated[child]++
+			}
+		case KindFileCreate, KindFileWrite:
+			s.FilesWritten[strings.ToLower(e.Target)]++
+		case KindFileDelete:
+			s.FilesDeleted[strings.ToLower(e.Target)]++
+		case KindRegCreateKey, KindRegSetValue, KindRegDeleteKey, KindRegDeleteValue:
+			s.RegistryModified[strings.ToLower(e.Target)]++
+		case KindProcessInject:
+			s.Injections++
+		case KindAPICall:
+			s.APICalls[e.Target]++
+		case KindDNSQuery:
+			s.DNSQueries[strings.ToLower(e.Target)]++
+		}
+	}
+	return s
+}
+
+// Mutations returns the count of all durable state changes in the summary,
+// excluding self-spawns.
+func (s Summary) Mutations() int {
+	n := s.Injections
+	for _, c := range s.ProcessesCreated {
+		n += c
+	}
+	for _, c := range s.FilesWritten {
+		n += c
+	}
+	for _, c := range s.FilesDeleted {
+		n += c
+	}
+	for _, c := range s.RegistryModified {
+		n += c
+	}
+	return n
+}
+
+// Diff describes the significant activities present in a baseline trace but
+// absent from a protected trace. A non-empty Diff for a malware sample means
+// Scarecrow suppressed those activities.
+type Diff struct {
+	// MissingProcesses lists child images created in the baseline run but
+	// not in the protected run.
+	MissingProcesses []string
+	// MissingFileWrites lists files written in the baseline run only.
+	MissingFileWrites []string
+	// MissingFileDeletes lists files deleted in the baseline run only.
+	MissingFileDeletes []string
+	// MissingRegistryMods lists registry keys modified in the baseline run
+	// only.
+	MissingRegistryMods []string
+	// InjectionsSuppressed is the number of baseline injections with no
+	// counterpart in the protected run.
+	InjectionsSuppressed int
+}
+
+// Empty reports whether the protected run reproduced every significant
+// activity of the baseline run.
+func (d Diff) Empty() bool {
+	return len(d.MissingProcesses) == 0 &&
+		len(d.MissingFileWrites) == 0 &&
+		len(d.MissingFileDeletes) == 0 &&
+		len(d.MissingRegistryMods) == 0 &&
+		d.InjectionsSuppressed == 0
+}
+
+// String renders the diff as a short multi-line report.
+func (d Diff) String() string {
+	if d.Empty() {
+		return "no suppressed activities"
+	}
+	var sb strings.Builder
+	writeList := func(label string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%s: %s\n", label, strings.Join(items, ", "))
+	}
+	writeList("suppressed processes", d.MissingProcesses)
+	writeList("suppressed file writes", d.MissingFileWrites)
+	writeList("suppressed file deletes", d.MissingFileDeletes)
+	writeList("suppressed registry mods", d.MissingRegistryMods)
+	if d.InjectionsSuppressed > 0 {
+		fmt.Fprintf(&sb, "suppressed injections: %d\n", d.InjectionsSuppressed)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// Compare diffs a baseline summary (without Scarecrow) against a protected
+// summary (with Scarecrow) and reports the baseline activities missing from
+// the protected run.
+func Compare(baseline, protected Summary) Diff {
+	var d Diff
+	d.MissingProcesses = missingKeys(baseline.ProcessesCreated, protected.ProcessesCreated)
+	d.MissingFileWrites = missingKeys(baseline.FilesWritten, protected.FilesWritten)
+	d.MissingFileDeletes = missingKeys(baseline.FilesDeleted, protected.FilesDeleted)
+	d.MissingRegistryMods = missingKeys(baseline.RegistryModified, protected.RegistryModified)
+	if baseline.Injections > protected.Injections {
+		d.InjectionsSuppressed = baseline.Injections - protected.Injections
+	}
+	return d
+}
+
+func missingKeys(baseline, protected map[string]int) []string {
+	var out []string
+	for k := range baseline {
+		if protected[k] == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexAny(path, `\/`); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,133 @@
+// Package trace models the kernel activity stream that the evaluation
+// harness records for every execution, mirroring the role Fibratus plays in
+// the paper's experiment environment (Figure 3). Events cover process and
+// thread lifecycle, file system I/O, registry operations, DLL
+// loading/unloading, and network activity.
+//
+// The package also provides trace comparison primitives: the paper's
+// deactivation verdicts are computed by diffing the trace of a sample run
+// without Scarecrow against the trace of the same sample run with Scarecrow
+// (Section IV-C).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind identifies the class of a kernel event.
+type Kind int
+
+// Event kinds, one per kernel activity class traced by the harness.
+const (
+	KindProcessCreate Kind = iota + 1
+	KindProcessExit
+	KindThreadCreate
+	KindThreadExit
+	KindFileCreate
+	KindFileWrite
+	KindFileRead
+	KindFileDelete
+	KindFileQuery
+	KindRegOpenKey
+	KindRegCreateKey
+	KindRegQueryValue
+	KindRegSetValue
+	KindRegDeleteKey
+	KindRegDeleteValue
+	KindRegEnumKey
+	KindImageLoad
+	KindImageUnload
+	KindDNSQuery
+	KindTCPConnect
+	KindHTTPRequest
+	KindAPICall
+	KindProcessInject
+	KindWindowQuery
+	KindAlert
+)
+
+var kindNames = map[Kind]string{
+	KindProcessCreate:  "ProcessCreate",
+	KindProcessExit:    "ProcessExit",
+	KindThreadCreate:   "ThreadCreate",
+	KindThreadExit:     "ThreadExit",
+	KindFileCreate:     "FileCreate",
+	KindFileWrite:      "FileWrite",
+	KindFileRead:       "FileRead",
+	KindFileDelete:     "FileDelete",
+	KindFileQuery:      "FileQuery",
+	KindRegOpenKey:     "RegOpenKey",
+	KindRegCreateKey:   "RegCreateKey",
+	KindRegQueryValue:  "RegQueryValue",
+	KindRegSetValue:    "RegSetValue",
+	KindRegDeleteKey:   "RegDeleteKey",
+	KindRegDeleteValue: "RegDeleteValue",
+	KindRegEnumKey:     "RegEnumKey",
+	KindImageLoad:      "ImageLoad",
+	KindImageUnload:    "ImageUnload",
+	KindDNSQuery:       "DNSQuery",
+	KindTCPConnect:     "TCPConnect",
+	KindHTTPRequest:    "HTTPRequest",
+	KindAPICall:        "APICall",
+	KindProcessInject:  "ProcessInject",
+	KindWindowQuery:    "WindowQuery",
+	KindAlert:          "Alert",
+}
+
+// String returns the human-readable name of the event kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is a single kernel activity record.
+type Event struct {
+	// Time is the virtual timestamp at which the event occurred.
+	Time time.Duration
+	// Kind classifies the event.
+	Kind Kind
+	// PID and Image identify the acting process.
+	PID   int
+	Image string
+	// Target names the object the event acted on: a file path, registry
+	// key, image name, domain, address, API name, or child image.
+	Target string
+	// Detail carries event-specific extra data (value names, byte counts,
+	// status codes) in "k=v" form.
+	Detail string
+	// Success records whether the underlying operation succeeded.
+	Success bool
+}
+
+// String renders the event in a compact single-line form suitable for logs.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-14s pid=%d image=%s target=%q", e.Time, e.Kind, e.PID, e.Image, e.Target)
+	if e.Detail != "" {
+		sb.WriteString(" ")
+		sb.WriteString(e.Detail)
+	}
+	if !e.Success {
+		sb.WriteString(" status=failed")
+	}
+	return sb.String()
+}
+
+// Mutating reports whether the event represents a durable change to system
+// state (process creation, file writes/deletes, registry modifications).
+// Mutating events are the "significant activities" the paper's verdict logic
+// compares across runs.
+func (e Event) Mutating() bool {
+	switch e.Kind {
+	case KindProcessCreate, KindFileCreate, KindFileWrite, KindFileDelete,
+		KindRegCreateKey, KindRegSetValue, KindRegDeleteKey, KindRegDeleteValue,
+		KindProcessInject:
+		return e.Success
+	default:
+		return false
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSON-lines serialization of kernel traces: one event per line. This is
+// the wire format the Figure 3 agents use to stream activities to the
+// proxy in real time ("to avoid possible corruption of runtime traces"),
+// and the on-disk format for archiving runs.
+
+// jsonEvent is the wire shape of one event.
+type jsonEvent struct {
+	TimeNS  int64  `json:"t"`
+	Kind    string `json:"kind"`
+	PID     int    `json:"pid"`
+	Image   string `json:"image,omitempty"`
+	Target  string `json:"target,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Success bool   `json:"ok"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteJSONL streams events to w, one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(jsonEvent{
+			TimeNS: int64(e.Time), Kind: e.Kind.String(), PID: e.PID,
+			Image: e.Image, Target: e.Target, Detail: e.Detail, Success: e.Success,
+		}); err != nil {
+			return fmt.Errorf("trace: encoding event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON-lines trace stream back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding event %d: %w", len(out), err)
+		}
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q at event %d", je.Kind, len(out))
+		}
+		out = append(out, Event{
+			Time: time.Duration(je.TimeNS), Kind: kind, PID: je.PID,
+			Image: je.Image, Target: je.Target, Detail: je.Detail, Success: je.Success,
+		})
+	}
+}

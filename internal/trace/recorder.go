@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder accumulates kernel events for one machine execution. It is safe
+// for concurrent use, though the deterministic scheduler drives it from a
+// single goroutine in practice.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Record appends an event to the trace.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of all recorded events in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// Filter returns the recorded events matching pred, in order.
+func (r *Recorder) Filter(pred func(Event) bool) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns the recorded events of the given kind.
+func (r *Recorder) ByKind(k Kind) []Event {
+	return r.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// ByPID returns the recorded events attributed to the given process.
+func (r *Recorder) ByPID(pid int) []Event {
+	return r.Filter(func(e Event) bool { return e.PID == pid })
+}
+
+// Since returns the events recorded at or after the given virtual time.
+func (r *Recorder) Since(t time.Duration) []Event {
+	return r.Filter(func(e Event) bool { return e.Time >= t })
+}

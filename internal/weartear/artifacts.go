@@ -1,0 +1,350 @@
+// Package weartear reimplements the wear-and-tear artifact fingerprinting
+// of Miramirkhani et al. ("Spotless Sandboxes", IEEE S&P 2017), the second
+// state-of-the-art evasion technique the paper evaluates Scarecrow against
+// (Table III). It models 44 artifacts in 5 categories ("aging" signals of
+// an actively used machine), extracts them through the same hooked API
+// surface malware would use, and trains a CART decision tree to separate
+// sandboxes from used end-user machines.
+//
+// Scarecrow's wear-and-tear extension (core.Config.WearAndTear) steers the
+// top-5 artifacts plus the full registry category — 16 artifacts — to
+// sandbox-typical values; the experiment shows that this flips the
+// classifier's decision on a genuinely worn end-user machine.
+package weartear
+
+import (
+	"fmt"
+	"strings"
+
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// Artifact categories.
+const (
+	CatSystem   = "system"
+	CatDisk     = "disk"
+	CatNetwork  = "network"
+	CatRegistry = "registry"
+	CatBrowser  = "browser"
+)
+
+// Artifact is one wear-and-tear signal.
+type Artifact struct {
+	// Name matches the paper's artifact identifiers where Table III names
+	// one (dnscacheEntries, sysevt, ...).
+	Name string
+	// Category is one of the five artifact categories.
+	Category string
+	// Top5 marks the five most effective artifacts of the original paper
+	// (used by all of its decision trees).
+	Top5 bool
+	// Faked marks artifacts Scarecrow's Table III extension steers.
+	Faked bool
+	// APIs lists the associated calls (Table III's last column).
+	APIs []string
+	// Extract reads the artifact value through the API surface.
+	Extract func(ctx *winapi.Context) float64
+}
+
+// regSubkeys returns an extractor counting subkeys of a key via NtQueryKey.
+func regSubkeys(key string) func(*winapi.Context) float64 {
+	return func(ctx *winapi.Context) float64 {
+		info, st := ctx.NtQueryKey(key)
+		if !st.OK() {
+			return 0
+		}
+		return float64(info.SubkeyCount)
+	}
+}
+
+// regValues returns an extractor counting values of a key via NtQueryKey.
+func regValues(key string) func(*winapi.Context) float64 {
+	return func(ctx *winapi.Context) float64 {
+		info, st := ctx.NtQueryKey(key)
+		if !st.OK() {
+			return 0
+		}
+		return float64(info.ValueCount)
+	}
+}
+
+// dirCount returns an extractor counting entries of a directory.
+func dirCount(dirPattern string) func(*winapi.Context) float64 {
+	return func(ctx *winapi.Context) float64 {
+		names, st := ctx.FindFirstFile(dirPattern)
+		if !st.OK() {
+			return 0
+		}
+		return float64(len(names))
+	}
+}
+
+// userDir expands %USER% in a pattern with the logged-in account name.
+func userDir(ctx *winapi.Context, pattern string) string {
+	return strings.ReplaceAll(pattern, "%USER%", ctx.GetUserName())
+}
+
+// All returns the 44 artifacts in a fixed order.
+func All() []Artifact {
+	var a []Artifact
+	add := func(art Artifact) { a = append(a, art) }
+
+	// --- Top 5 (all faked by Scarecrow; Table III "Top 5" rows). ---
+	add(Artifact{Name: "dnscacheEntries", Category: CatNetwork, Top5: true, Faked: true,
+		APIs: []string{"DnsGetCacheDataTable"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return float64(len(ctx.DnsGetCacheDataTable()))
+		}})
+	add(Artifact{Name: "sysevt", Category: CatSystem, Top5: true, Faked: true,
+		APIs: []string{"EvtNext"},
+		Extract: func(ctx *winapi.Context) float64 {
+			_, total := ctx.EvtNext(0, 512)
+			return float64(total)
+		}})
+	add(Artifact{Name: "syssrc", Category: CatSystem, Top5: true, Faked: true,
+		APIs: []string{"EvtNext"},
+		Extract: func(ctx *winapi.Context) float64 {
+			page, _ := ctx.EvtNext(0, 8000)
+			distinct := make(map[string]struct{})
+			for _, src := range page {
+				distinct[src] = struct{}{}
+			}
+			return float64(len(distinct))
+		}})
+	add(Artifact{Name: "deviceClsCount", Category: CatSystem, Top5: true, Faked: true,
+		APIs:    []string{"NtOpenKeyEx", "NtQueryKey"},
+		Extract: regSubkeys(winsim.RegDeviceClassesKey)})
+	add(Artifact{Name: "autoRunCount", Category: CatRegistry, Top5: true, Faked: true,
+		APIs:    []string{"NtOpenKeyEx", "NtQueryKey"},
+		Extract: regValues(winsim.RegRunKey)})
+
+	// --- Registry category (Table III "Registry related" rows, faked). ---
+	add(Artifact{Name: "regSize", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtQuerySystemInformation"},
+		Extract: func(ctx *winapi.Context) float64 {
+			quota, st := ctx.NtQuerySystemInformation(winapi.SystemRegistryQuotaInformation)
+			if !st.OK() {
+				return 0
+			}
+			return float64(quota) / (1 << 20) // MB
+		}})
+	add(Artifact{Name: "uninstallCount", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regSubkeys(winsim.RegUninstallKey)})
+	add(Artifact{Name: "totalSharedDlls", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegSharedDllsKey)})
+	add(Artifact{Name: "totalAppPaths", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regSubkeys(winsim.RegAppPathsKey)})
+	add(Artifact{Name: "totalActiveSetup", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regSubkeys(winsim.RegActiveSetupKey)})
+	add(Artifact{Name: "totalMissingDlls", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey", "NtCreateFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			// Registered shared DLLs whose backing file cannot be opened.
+			// Under deception the SharedDlls count itself is steered, so
+			// the probe samples proportionally.
+			info, st := ctx.NtQueryKey(winsim.RegSharedDllsKey)
+			if !st.OK() || info.ValueCount == 0 {
+				return 0
+			}
+			missing := 0
+			// Sample the canonical shared DLL paths the usage model lays
+			// down; absent entries count as missing.
+			for i := 1; i <= info.ValueCount; i++ {
+				path := sharedDllPath(i)
+				if !ctx.NtCreateFile(path).OK() {
+					missing++
+				}
+			}
+			return float64(missing)
+		}})
+	add(Artifact{Name: "usrassistCount", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"},
+		Extract: func(ctx *winapi.Context) float64 {
+			total := 0.0
+			for i := 1; ; i++ {
+				sub, st := ctx.RegEnumKeyEx(winsim.RegUserAssistKey, i-1)
+				if !st.OK() {
+					break
+				}
+				countKey := winsim.RegUserAssistKey + `\` + sub + `\Count`
+				info, st := ctx.NtQueryKey(countKey)
+				if st.OK() {
+					total += float64(info.ValueCount)
+				}
+			}
+			return total
+		}})
+	add(Artifact{Name: "shimCacheCount", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryValueKey"}, Extract: regValues(winsim.RegShimCacheKey)})
+	add(Artifact{Name: "MUICacheEntries", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegMUICacheKey)})
+	add(Artifact{Name: "FireruleCount", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegFirewallRulesKey)})
+	add(Artifact{Name: "USBStorCount", Category: CatRegistry, Faked: true,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regSubkeys(winsim.RegUSBStorKey)})
+
+	// --- Registry category, not faked (beyond Table III's subset). ---
+	add(Artifact{Name: "typedURLsCount", Category: CatRegistry,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegTypedURLsKey)})
+	add(Artifact{Name: "recentDocsCount", Category: CatRegistry,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegRecentDocsKey)})
+	add(Artifact{Name: "runMRUCount", Category: CatRegistry,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegRunMRUKey)})
+	add(Artifact{Name: "mountedDevicesCount", Category: CatRegistry,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegMountedDevicesKey)})
+
+	// --- System (beyond the top-5 system artifacts). ---
+	add(Artifact{Name: "uptimeMinutes", Category: CatSystem,
+		APIs: []string{"GetTickCount"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return float64(ctx.GetTickCount()) / 60000
+		}})
+	add(Artifact{Name: "processCount", Category: CatSystem,
+		APIs: []string{"CreateToolhelp32Snapshot"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return float64(len(ctx.CreateToolhelp32Snapshot()))
+		}})
+	add(Artifact{Name: "startMenuShortcuts", Category: CatSystem,
+		APIs:    []string{"FindFirstFile"},
+		Extract: dirCount(`C:\ProgramData\Microsoft\Windows\Start Menu\Programs\*`)})
+	add(Artifact{Name: "tempFileCount", Category: CatSystem,
+		APIs: []string{"FindFirstFile"}, Extract: dirCount(`C:\Windows\Temp\*`)})
+	add(Artifact{Name: "userProfileCount", Category: CatSystem,
+		APIs: []string{"FindFirstFile"}, Extract: dirCount(`C:\Users\*`)})
+	add(Artifact{Name: "installedProgramDirs", Category: CatSystem,
+		APIs: []string{"FindFirstFile"}, Extract: dirCount(`C:\Program Files\*`)})
+	add(Artifact{Name: "systemDriverCount", Category: CatSystem,
+		APIs: []string{"FindFirstFile"}, Extract: dirCount(`C:\Windows\System32\drivers\*`)})
+
+	// --- Disk. ---
+	add(Artifact{Name: "totalDiskGB", Category: CatDisk,
+		APIs: []string{"GetDiskFreeSpaceEx"},
+		Extract: func(ctx *winapi.Context) float64 {
+			disk, st := ctx.GetDiskFreeSpaceEx(`C:\`)
+			if !st.OK() {
+				return 0
+			}
+			return float64(disk.TotalBytes) / (1 << 30)
+		}})
+	add(Artifact{Name: "usedDiskFraction", Category: CatDisk,
+		APIs: []string{"GetDiskFreeSpaceEx"},
+		Extract: func(ctx *winapi.Context) float64 {
+			disk, st := ctx.GetDiskFreeSpaceEx(`C:\`)
+			if !st.OK() || disk.TotalBytes == 0 {
+				return 0
+			}
+			return 1 - float64(disk.FreeBytes)/float64(disk.TotalBytes)
+		}})
+	add(Artifact{Name: "downloadsCount", Category: CatDisk,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return dirCount(userDir(ctx, `C:\Users\%USER%\Downloads\*`))(ctx)
+		}})
+	add(Artifact{Name: "documentsCount", Category: CatDisk,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return dirCount(userDir(ctx, `C:\Users\%USER%\Documents\*`))(ctx)
+		}})
+	add(Artifact{Name: "desktopItemCount", Category: CatDisk,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return dirCount(userDir(ctx, `C:\Users\%USER%\Desktop\*`))(ctx)
+		}})
+	add(Artifact{Name: "sharedDllFilesOnDisk", Category: CatDisk,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			names, st := ctx.FindFirstFile(`C:\Windows\System32\*`)
+			if !st.OK() {
+				return 0
+			}
+			n := 0
+			for _, f := range names {
+				if strings.HasSuffix(strings.ToLower(f), ".dll") {
+					n++
+				}
+			}
+			return float64(n)
+		}})
+	add(Artifact{Name: "recycleActivity", Category: CatDisk,
+		APIs: []string{"FindFirstFile"}, Extract: dirCount(`C:\$Recycle.Bin\*`)})
+	add(Artifact{Name: "programDataDirs", Category: CatDisk,
+		APIs: []string{"FindFirstFile"}, Extract: dirCount(`C:\ProgramData\*`)})
+
+	// --- Network (beyond dnscacheEntries). ---
+	add(Artifact{Name: "hostsFileSize", Category: CatNetwork,
+		APIs: []string{"ReadFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			data, st := ctx.ReadFile(`C:\Windows\System32\drivers\etc\hosts`)
+			if !st.OK() {
+				return 0
+			}
+			return float64(len(data))
+		}})
+	add(Artifact{Name: "networkProfilesCount", Category: CatNetwork,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regSubkeys(winsim.RegNetworkProfiles)})
+	add(Artifact{Name: "mappedDrivesCount", Category: CatNetwork,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regSubkeys(winsim.RegMappedDrivesKey)})
+	add(Artifact{Name: "proxyConfigured", Category: CatNetwork,
+		APIs: []string{"RegQueryValueEx"},
+		Extract: func(ctx *winapi.Context) float64 {
+			v, st := ctx.RegQueryValueEx(winsim.RegProxySettingsKey, "ProxyEnable")
+			if !st.OK() {
+				return 0
+			}
+			return float64(v.Num)
+		}})
+
+	// --- Browser. ---
+	add(Artifact{Name: "browserCacheFiles", Category: CatBrowser,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return dirCount(userDir(ctx, `C:\Users\%USER%\AppData\Local\Browser\Cache\*`))(ctx)
+		}})
+	add(Artifact{Name: "cookieCount", Category: CatBrowser,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return dirCount(userDir(ctx, `C:\Users\%USER%\AppData\Roaming\Browser\Cookies\*`))(ctx)
+		}})
+	add(Artifact{Name: "typedURLDomains", Category: CatBrowser,
+		APIs: []string{"NtOpenKeyEx", "NtQueryKey"}, Extract: regValues(winsim.RegTypedURLsKey)})
+	add(Artifact{Name: "historyPresence", Category: CatBrowser,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			if dirCount(userDir(ctx, `C:\Users\%USER%\AppData\Local\Browser\Cache\*`))(ctx) > 0 {
+				return 1
+			}
+			return 0
+		}})
+	add(Artifact{Name: "bookmarkProxy", Category: CatBrowser,
+		APIs: []string{"FindFirstFile"},
+		Extract: func(ctx *winapi.Context) float64 {
+			return dirCount(userDir(ctx, `C:\Users\%USER%\Favorites\*`))(ctx)
+		}})
+
+	return a
+}
+
+func sharedDllPath(i int) string {
+	return fmt.Sprintf(`C:\Windows\System32\shared%04d.dll`, i)
+}
+
+// Vector extracts all artifact values in catalog order.
+func Vector(ctx *winapi.Context) []float64 {
+	arts := All()
+	out := make([]float64, len(arts))
+	for i, a := range arts {
+		out[i] = a.Extract(ctx)
+	}
+	return out
+}
+
+// Names returns the artifact names in catalog order.
+func Names() []string {
+	arts := All()
+	out := make([]string, len(arts))
+	for i, a := range arts {
+		out[i] = a.Name
+	}
+	return out
+}

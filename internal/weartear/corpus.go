@@ -1,0 +1,75 @@
+package weartear
+
+import (
+	"math/rand"
+	"reflect"
+
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// JitterUsage scales every count in a usage level by a random factor in
+// [1-spread, 1+spread], producing realistic variation for training
+// corpora. Boolean fields flip with probability spread/2.
+func JitterUsage(u winsim.UsageLevel, rng *rand.Rand, spread float64) winsim.UsageLevel {
+	v := reflect.ValueOf(&u).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			factor := 1 + (rng.Float64()*2-1)*spread
+			scaled := int(float64(f.Int()) * factor)
+			if f.Int() > 0 && scaled < 0 {
+				scaled = 0
+			}
+			f.SetInt(int64(scaled))
+		case reflect.Bool:
+			if rng.Float64() < spread/2 {
+				f.SetBool(!f.Bool())
+			}
+		}
+	}
+	return u
+}
+
+// ExtractFrom launches a prober process on the machine and extracts the
+// full artifact vector through its API context.
+func ExtractFrom(m *winsim.Machine) []float64 {
+	sys := winapi.NewSystem(m)
+	p := sys.Launch(`C:\weartear\prober.exe`, "prober.exe", nil)
+	return Vector(sys.Context(p))
+}
+
+// Corpus builds a labeled training corpus: n sandbox machines (alternating
+// bare-metal and Cuckoo images, near-pristine usage) and n end-user
+// machines (worn usage), all with ±30% jitter.
+func Corpus(n int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]Sample, 0, 2*n)
+	for i := 0; i < n; i++ {
+		usage := JitterUsage(winsim.SandboxUsage(), rng, 0.3)
+		var m *winsim.Machine
+		if i%2 == 0 {
+			m = winsim.NewCleanBareMetalWithUsage(rng.Int63(), usage)
+		} else {
+			m = winsim.NewCuckooSandboxWithUsage(rng.Int63(), false, usage)
+		}
+		samples = append(samples, Sample{Features: ExtractFrom(m), Label: LabelSandbox})
+	}
+	for i := 0; i < n; i++ {
+		usage := JitterUsage(winsim.EndUserUsage(), rng, 0.3)
+		m := winsim.NewEndUserMachineWithUsage(rng.Int63(), usage)
+		samples = append(samples, Sample{Features: ExtractFrom(m), Label: LabelEndUser})
+	}
+	return samples
+}
+
+// TrainDefault trains the fingerprinting tree on a standard corpus,
+// matching the original work's setup (decision tree over the artifact
+// vector).
+func TrainDefault(seed int64) (*Tree, error) {
+	return Train(Corpus(40, seed), Names(), 4)
+}
+
+// randSource builds a deterministic RNG for tests and corpora.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,99 @@
+package weartear
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Forest is a bagged ensemble of CART trees — Miramirkhani et al. speak of
+// "decision trees" in the plural, and the paper's Table III argument
+// ("the top 5 artifacts ... were used by all of their decision trees")
+// is about steering every tree at once. The ensemble classifies by
+// majority vote.
+type Forest struct {
+	trees []*Tree
+}
+
+// TrainForest fits n trees, each on a bootstrap resample of the corpus.
+func TrainForest(samples []Sample, featureNames []string, n, maxDepth int, seed int64) (*Forest, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("weartear: forest size %d", n)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("weartear: no training samples")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Forest{}
+	for i := 0; i < n; i++ {
+		boot := make([]Sample, len(samples))
+		for j := range boot {
+			boot[j] = samples[rng.Intn(len(samples))]
+		}
+		tree, err := Train(boot, featureNames, maxDepth)
+		if err != nil {
+			return nil, fmt.Errorf("weartear: tree %d: %w", i, err)
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Classify returns the majority-vote label.
+func (f *Forest) Classify(features []float64) Label {
+	votes := map[Label]int{}
+	for _, t := range f.trees {
+		votes[t.Classify(features)]++
+	}
+	if votes[LabelEndUser] > votes[LabelSandbox] {
+		return LabelEndUser
+	}
+	return LabelSandbox
+}
+
+// Accuracy evaluates the ensemble on labeled samples.
+func (f *Forest) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if f.Classify(s.Features) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// Size returns the number of trees.
+func (f *Forest) Size() int { return len(f.trees) }
+
+// UsedFeatures unions the feature indices across all trees.
+func (f *Forest) UsedFeatures() []int {
+	seen := map[int]struct{}{}
+	for _, t := range f.trees {
+		for _, idx := range t.UsedFeatures() {
+			seen[idx] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for idx := range seen {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// SteeredFraction reports what share of trees individually classify the
+// vector as a sandbox — how uniformly Scarecrow's fakes steer the
+// ensemble.
+func (f *Forest) SteeredFraction(features []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range f.trees {
+		if t.Classify(features) == LabelSandbox {
+			n++
+		}
+	}
+	return float64(n) / float64(len(f.trees))
+}

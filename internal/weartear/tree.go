@@ -1,0 +1,232 @@
+package weartear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Label classifies an environment.
+type Label int
+
+// Labels.
+const (
+	LabelSandbox Label = iota + 1
+	LabelEndUser
+)
+
+// String renders the label.
+func (l Label) String() string {
+	switch l {
+	case LabelSandbox:
+		return "sandbox"
+	case LabelEndUser:
+		return "end-user"
+	default:
+		return "unknown"
+	}
+}
+
+// Sample is one labeled artifact vector.
+type Sample struct {
+	Features []float64
+	Label    Label
+}
+
+// Tree is a binary CART decision tree over artifact vectors.
+type Tree struct {
+	root         *node
+	featureNames []string
+}
+
+type node struct {
+	// Leaf fields.
+	leaf  bool
+	label Label
+	// Split fields.
+	feature   int
+	threshold float64
+	left      *node // feature <= threshold
+	right     *node // feature > threshold
+}
+
+// Train fits a CART tree (Gini impurity, axis-aligned splits) to the
+// samples. featureNames are used for rendering; maxDepth bounds the tree.
+func Train(samples []Sample, featureNames []string, maxDepth int) (*Tree, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("weartear: no training samples")
+	}
+	width := len(samples[0].Features)
+	for _, s := range samples {
+		if len(s.Features) != width {
+			return nil, fmt.Errorf("weartear: inconsistent feature widths %d vs %d", len(s.Features), width)
+		}
+	}
+	t := &Tree{featureNames: featureNames}
+	t.root = build(samples, maxDepth)
+	return t, nil
+}
+
+func majority(samples []Sample) Label {
+	counts := map[Label]int{}
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	best, bestN := LabelSandbox, -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}
+
+func gini(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	counts := map[Label]int{}
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	g := 1.0
+	for _, n := range counts {
+		p := float64(n) / float64(len(samples))
+		g -= p * p
+	}
+	return g
+}
+
+func pure(samples []Sample) bool {
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Label != samples[0].Label {
+			return false
+		}
+	}
+	return true
+}
+
+func build(samples []Sample, depth int) *node {
+	if depth == 0 || pure(samples) || len(samples) < 4 {
+		return &node{leaf: true, label: majority(samples)}
+	}
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+	parent := gini(samples)
+	width := len(samples[0].Features)
+	for f := 0; f < width; f++ {
+		values := make([]float64, 0, len(samples))
+		for _, s := range samples {
+			values = append(values, s.Features[f])
+		}
+		sort.Float64s(values)
+		for i := 0; i+1 < len(values); i++ {
+			if values[i] == values[i+1] {
+				continue
+			}
+			thr := (values[i] + values[i+1]) / 2
+			var left, right []Sample
+			for _, s := range samples {
+				if s.Features[f] <= thr {
+					left = append(left, s)
+				} else {
+					right = append(right, s)
+				}
+			}
+			if len(left) == 0 || len(right) == 0 {
+				continue
+			}
+			weighted := (float64(len(left))*gini(left) + float64(len(right))*gini(right)) / float64(len(samples))
+			if gain := parent - weighted; gain > bestGain+1e-12 {
+				bestGain, bestFeature, bestThreshold = gain, f, thr
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &node{leaf: true, label: majority(samples)}
+	}
+	var left, right []Sample
+	for _, s := range samples {
+		if s.Features[bestFeature] <= bestThreshold {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      build(left, depth-1),
+		right:     build(right, depth-1),
+	}
+}
+
+// Classify labels one artifact vector.
+func (t *Tree) Classify(features []float64) Label {
+	n := t.root
+	for !n.leaf {
+		if features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Accuracy evaluates the tree on labeled samples.
+func (t *Tree) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for _, s := range samples {
+		if t.Classify(s.Features) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// UsedFeatures returns the indices of features the tree splits on.
+func (t *Tree) UsedFeatures() []int {
+	seen := map[int]struct{}{}
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil || n.leaf {
+			return
+		}
+		seen[n.feature] = struct{}{}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	out := make([]int, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the tree.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var walk func(n *node, indent string)
+	walk = func(n *node, indent string) {
+		if n.leaf {
+			fmt.Fprintf(&sb, "%s-> %s\n", indent, n.label)
+			return
+		}
+		name := fmt.Sprintf("f%d", n.feature)
+		if n.feature < len(t.featureNames) {
+			name = t.featureNames[n.feature]
+		}
+		fmt.Fprintf(&sb, "%s%s <= %.2f?\n", indent, name, n.threshold)
+		walk(n.left, indent+"  ")
+		walk(n.right, indent+"  ")
+	}
+	walk(t.root, "")
+	return sb.String()
+}

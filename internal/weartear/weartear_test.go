@@ -1,0 +1,282 @@
+package weartear
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+func TestCatalogShape(t *testing.T) {
+	arts := All()
+	if len(arts) != 44 {
+		t.Fatalf("artifacts = %d, want 44 (Miramirkhani et al.)", len(arts))
+	}
+	cats := map[string]int{}
+	top5, faked := 0, 0
+	names := map[string]bool{}
+	for _, a := range arts {
+		cats[a.Category]++
+		if a.Top5 {
+			top5++
+		}
+		if a.Faked {
+			faked++
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate artifact %s", a.Name)
+		}
+		names[a.Name] = true
+		if len(a.APIs) == 0 {
+			t.Errorf("artifact %s lists no associated APIs", a.Name)
+		}
+	}
+	if len(cats) != 5 {
+		t.Errorf("categories = %v, want 5", cats)
+	}
+	if top5 != 5 {
+		t.Errorf("top-5 artifacts = %d", top5)
+	}
+	if faked != 16 {
+		t.Errorf("faked artifacts = %d, want 16 (top 5 + 11 registry, Table III)", faked)
+	}
+	if cats[CatRegistry] != 16 {
+		t.Errorf("registry category = %d, want 16 (the largest category)", cats[CatRegistry])
+	}
+}
+
+func TestVectorSeparatesEnvironments(t *testing.T) {
+	sandbox := ExtractFrom(winsim.NewCleanBareMetal(1))
+	user := ExtractFrom(winsim.NewEndUserMachine(1))
+	names := Names()
+	idx := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("artifact %s missing", name)
+		return -1
+	}
+	for _, top := range []string{"dnscacheEntries", "sysevt", "syssrc", "deviceClsCount", "autoRunCount"} {
+		i := idx(top)
+		if sandbox[i] >= user[i] {
+			t.Errorf("%s: sandbox %.0f >= end-user %.0f", top, sandbox[i], user[i])
+		}
+	}
+	if got := sandbox[idx("dnscacheEntries")]; got != 4 {
+		t.Errorf("sandbox dnscacheEntries = %.0f, want 4", got)
+	}
+	if got := sandbox[idx("sysevt")]; got < 7000 || got > 8100 {
+		t.Errorf("sandbox sysevt = %.0f, want ~8000", got)
+	}
+	if got := user[idx("totalMissingDlls")]; got != 37 {
+		t.Errorf("end-user totalMissingDlls = %.0f, want 37", got)
+	}
+}
+
+func TestTreeTrainsAndClassifies(t *testing.T) {
+	tree, err := TrainDefault(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := Corpus(40, 7)
+	if acc := tree.Accuracy(train); acc < 0.99 {
+		t.Errorf("training accuracy = %.3f", acc)
+	}
+	holdout := Corpus(20, 99)
+	if acc := tree.Accuracy(holdout); acc < 0.95 {
+		t.Errorf("holdout accuracy = %.3f, want >= 0.95", acc)
+	}
+	if s := tree.String(); s == "" {
+		t.Error("empty tree rendering")
+	}
+	if len(tree.UsedFeatures()) == 0 {
+		t.Error("tree uses no features")
+	}
+}
+
+// TestTableIIISteering is the paper's wear-and-tear experiment: a worn
+// end-user machine classifies as end-user; the same machine under
+// Scarecrow's wear-and-tear extension presents sandbox-typical artifact
+// values and classifies as a sandbox.
+func TestTableIIISteering(t *testing.T) {
+	tree, err := TrainDefault(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := ExtractFrom(winsim.NewEndUserMachine(3))
+	if got := tree.Classify(raw); got != LabelEndUser {
+		t.Fatalf("raw end-user machine classified as %v", got)
+	}
+
+	m := winsim.NewEndUserMachine(3)
+	sys := winapi.NewSystem(m)
+	var deceived []float64
+	sys.RegisterProgram(`C:\weartear\prober.exe`, func(ctx *winapi.Context) int {
+		deceived = Vector(ctx)
+		return winapi.ExitOK
+	})
+	cfg := core.DefaultConfig()
+	cfg.WearAndTear = true
+	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	if _, err := ctrl.LaunchTarget(`C:\weartear\prober.exe`, "prober.exe"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+	if deceived == nil {
+		t.Fatal("prober did not run")
+	}
+	if got := tree.Classify(deceived); got != LabelSandbox {
+		t.Errorf("deceived end-user machine classified as %v, want sandbox", got)
+	}
+
+	// Every Table III fake lands on its sandbox-typical value.
+	names := Names()
+	wantExact := map[string]float64{
+		"dnscacheEntries": 4, "sysevt": 8000, "syssrc": 9,
+		"deviceClsCount": 29, "autoRunCount": 3, "regSize": 53,
+		"uninstallCount": 6, "totalSharedDlls": 115, "totalAppPaths": 14,
+		"totalActiveSetup": 12, "shimCacheCount": 40, "MUICacheEntries": 12,
+		"FireruleCount": 130, "USBStorCount": 1,
+	}
+	for i, n := range names {
+		want, ok := wantExact[n]
+		if !ok {
+			continue
+		}
+		if deceived[i] != want {
+			t.Errorf("faked %s = %.0f, want %.0f", n, deceived[i], want)
+		}
+	}
+	// Non-faked registry artifacts keep their genuine worn values...
+	for i, n := range names {
+		if n == "typedURLsCount" && deceived[i] < 20 {
+			t.Errorf("non-faked typedURLsCount steered: %.0f", deceived[i])
+		}
+		// ...while profile-directory probes cascade through the deceived
+		// GetUserName answer ("currentuser") and find an empty profile —
+		// an emergent, sandbox-consistent side effect of identity fakes.
+		if n == "browserCacheFiles" && deceived[i] != 0 {
+			t.Errorf("browserCacheFiles = %.0f, want 0 via identity cascade", deceived[i])
+		}
+	}
+}
+
+func TestTreeUsesTopArtifacts(t *testing.T) {
+	// The original paper reports the top-5 artifacts were used by all of
+	// its decision trees; our corpus should reproduce their primacy: the
+	// tree's first split must be one of the faked artifacts, otherwise
+	// Scarecrow's steering could not flip the decision.
+	tree, err := TrainDefault(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := All()
+	for _, f := range tree.UsedFeatures() {
+		if arts[f].Faked {
+			return // at least one steered artifact drives the tree
+		}
+	}
+	t.Error("decision tree uses no Scarecrow-steered artifacts")
+}
+
+func TestJitterUsageProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := randSource(seed)
+		u := JitterUsage(winsim.SandboxUsage(), rng, 0.3)
+		// Jitter must stay within 30% of the baseline for counts.
+		base := winsim.SandboxUsage()
+		if u.DNSCacheEntries < 0 || u.EventLogEvents < 0 {
+			return false
+		}
+		lo := int(float64(base.EventLogEvents) * 0.69)
+		hi := int(float64(base.EventLogEvents)*1.31) + 1
+		return u.EventLogEvents >= lo && u.EventLogEvents <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, 3); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	bad := []Sample{
+		{Features: []float64{1, 2}, Label: LabelSandbox},
+		{Features: []float64{1}, Label: LabelEndUser},
+	}
+	if _, err := Train(bad, nil, 3); err == nil {
+		t.Error("ragged corpus accepted")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if LabelSandbox.String() != "sandbox" || LabelEndUser.String() != "end-user" {
+		t.Error("label names")
+	}
+	if Label(0).String() != "unknown" {
+		t.Error("unknown label")
+	}
+}
+
+// TestForestSteering extends Table III to an ensemble: the paper's
+// argument requires the faked artifacts to steer *all* decision trees; a
+// bagged forest confirms it — every tree votes "sandbox" for the deceived
+// end-user machine.
+func TestForestSteering(t *testing.T) {
+	forest, err := TrainForest(Corpus(40, 7), Names(), 9, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Size() != 9 {
+		t.Fatalf("forest size = %d", forest.Size())
+	}
+	if acc := forest.Accuracy(Corpus(20, 99)); acc < 0.95 {
+		t.Errorf("holdout accuracy = %.2f", acc)
+	}
+
+	raw := ExtractFrom(winsim.NewEndUserMachine(3))
+	if forest.Classify(raw) != LabelEndUser {
+		t.Fatal("raw end-user machine misclassified by the forest")
+	}
+
+	m := winsim.NewEndUserMachine(3)
+	sys := winapi.NewSystem(m)
+	var deceived []float64
+	sys.RegisterProgram(`C:\weartear\prober.exe`, func(ctx *winapi.Context) int {
+		deceived = Vector(ctx)
+		return winapi.ExitOK
+	})
+	cfg := core.DefaultConfig()
+	cfg.WearAndTear = true
+	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	if _, err := ctrl.LaunchTarget(`C:\weartear\prober.exe`, "prober.exe"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Minute)
+
+	if got := forest.Classify(deceived); got != LabelSandbox {
+		t.Errorf("forest vote = %v, want sandbox", got)
+	}
+	if frac := forest.SteeredFraction(deceived); frac < 0.99 {
+		t.Errorf("steered fraction = %.2f, want every tree steered (Table III's premise)", frac)
+	}
+	if len(forest.UsedFeatures()) == 0 {
+		t.Error("forest uses no features")
+	}
+}
+
+func TestTrainForestRejectsBadInput(t *testing.T) {
+	if _, err := TrainForest(nil, nil, 3, 3, 1); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := TrainForest(Corpus(2, 1), Names(), 0, 3, 1); err == nil {
+		t.Error("zero-size forest accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package winapi
+
+import "time"
+
+// apiMeta describes one modeled API function: its virtual call cost and
+// whether user-level hooks can intercept it at all.
+type apiMeta struct {
+	// cost is the virtual time one call consumes.
+	cost time.Duration
+	// hookable marks APIs reachable by user-level inline hooking. Direct
+	// memory reads and raw instructions are modeled elsewhere and never
+	// appear here.
+	hookable bool
+}
+
+// Catalog of every API the simulation models. Hook installation validates
+// names against this table, so a typo in a deceptive-resource hook fails
+// loudly instead of silently never firing.
+var apiCatalog = map[string]apiMeta{
+	// Registry (advapi32 + ntdll).
+	"RegOpenKeyEx":    {cost: 60 * time.Microsecond, hookable: true},
+	"RegQueryValueEx": {cost: 60 * time.Microsecond, hookable: true},
+	"RegEnumKeyEx":    {cost: 60 * time.Microsecond, hookable: true},
+	"RegCreateKeyEx":  {cost: 80 * time.Microsecond, hookable: true},
+	"RegSetValueEx":   {cost: 80 * time.Microsecond, hookable: true},
+	"RegDeleteKey":    {cost: 80 * time.Microsecond, hookable: true},
+	"NtOpenKeyEx":     {cost: 40 * time.Microsecond, hookable: true},
+	"NtQueryKey":      {cost: 40 * time.Microsecond, hookable: true},
+	"NtQueryValueKey": {cost: 40 * time.Microsecond, hookable: true},
+	"NtEnumerateKey":  {cost: 40 * time.Microsecond, hookable: true},
+
+	// Files and volumes.
+	"CreateFile":            {cost: 120 * time.Microsecond, hookable: true},
+	"NtCreateFile":          {cost: 100 * time.Microsecond, hookable: true},
+	"NtQueryAttributesFile": {cost: 60 * time.Microsecond, hookable: true},
+	"GetFileAttributes":     {cost: 60 * time.Microsecond, hookable: true},
+	"WriteFile":             {cost: 200 * time.Microsecond, hookable: true},
+	"ReadFile":              {cost: 150 * time.Microsecond, hookable: true},
+	"DeleteFile":            {cost: 120 * time.Microsecond, hookable: true},
+	"FindFirstFile":         {cost: 120 * time.Microsecond, hookable: true},
+	"GetDiskFreeSpaceEx":    {cost: 80 * time.Microsecond, hookable: true},
+	"GetVolumeInformation":  {cost: 80 * time.Microsecond, hookable: true},
+	"GetDriveType":          {cost: 40 * time.Microsecond, hookable: true},
+
+	// Processes, modules, threads.
+	"CreateProcess":             {cost: 30 * time.Millisecond, hookable: true},
+	"ShellExecuteExW":           {cost: 35 * time.Millisecond, hookable: true},
+	"ExitProcess":               {cost: 500 * time.Microsecond, hookable: true},
+	"TerminateProcess":          {cost: 1 * time.Millisecond, hookable: true},
+	"OpenProcess":               {cost: 80 * time.Microsecond, hookable: true},
+	"CreateToolhelp32Snapshot":  {cost: 2 * time.Millisecond, hookable: true},
+	"GetCurrentProcessId":       {cost: 1 * time.Microsecond, hookable: true},
+	"GetModuleFileName":         {cost: 30 * time.Microsecond, hookable: true},
+	"GetCommandLine":            {cost: 1 * time.Microsecond, hookable: true},
+	"GetModuleHandle":           {cost: 20 * time.Microsecond, hookable: true},
+	"LoadLibrary":               {cost: 2 * time.Millisecond, hookable: true},
+	"GetProcAddress":            {cost: 20 * time.Microsecond, hookable: true},
+	"NtQueryInformationProcess": {cost: 50 * time.Microsecond, hookable: true},
+	"Sleep":                     {cost: 5 * time.Microsecond, hookable: true},
+	"WaitForSingleObject":       {cost: 20 * time.Microsecond, hookable: true},
+
+	// Debugger and timing.
+	"IsDebuggerPresent":           {cost: 1 * time.Microsecond, hookable: true},
+	"CheckRemoteDebuggerPresent":  {cost: 40 * time.Microsecond, hookable: true},
+	"OutputDebugString":           {cost: 30 * time.Microsecond, hookable: true},
+	"GetTickCount":                {cost: 1 * time.Microsecond, hookable: true},
+	"QueryPerformanceCounter":     {cost: 2 * time.Microsecond, hookable: true},
+	"SetUnhandledExceptionFilter": {cost: 20 * time.Microsecond, hookable: true},
+	"RaiseException":              {cost: 150 * time.Microsecond, hookable: true},
+
+	// System information.
+	"GetSystemInfo":            {cost: 20 * time.Microsecond, hookable: true},
+	"GlobalMemoryStatusEx":     {cost: 30 * time.Microsecond, hookable: true},
+	"GetComputerName":          {cost: 20 * time.Microsecond, hookable: true},
+	"GetUserName":              {cost: 20 * time.Microsecond, hookable: true},
+	"GetVersionEx":             {cost: 20 * time.Microsecond, hookable: true},
+	"NtQuerySystemInformation": {cost: 120 * time.Microsecond, hookable: true},
+	"GetAdaptersInfo":          {cost: 300 * time.Microsecond, hookable: true},
+	"IsNativeVhdBoot":          {cost: 30 * time.Microsecond, hookable: true},
+	"GetCursorPos":             {cost: 10 * time.Microsecond, hookable: true},
+	"EvtNext":                  {cost: 500 * time.Microsecond, hookable: true},
+	"DnsGetCacheDataTable":     {cost: 300 * time.Microsecond, hookable: true},
+	"WMIQuery":                 {cost: 5 * time.Millisecond, hookable: false}, // COM transport, not a Win32 export
+
+	// Network.
+	"DnsQuery":        {cost: 5 * time.Millisecond, hookable: true},
+	"getaddrinfo":     {cost: 5 * time.Millisecond, hookable: true},
+	"InternetOpenUrl": {cost: 40 * time.Millisecond, hookable: true},
+	"connect":         {cost: 10 * time.Millisecond, hookable: true},
+
+	// GUI.
+	"FindWindow":  {cost: 100 * time.Microsecond, hookable: true},
+	"EnumWindows": {cost: 400 * time.Microsecond, hookable: true},
+}
+
+// APIKnown reports whether the catalog models the named API.
+func APIKnown(name string) bool {
+	_, ok := apiCatalog[name]
+	return ok
+}
+
+// APINames returns all modeled API names (unsorted).
+func APINames() []string {
+	out := make([]string, 0, len(apiCatalog))
+	for n := range apiCatalog {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Modeled instruction-level costs (not hookable; they are raw instructions,
+// not API calls).
+const (
+	processStartupCost = 60 * time.Millisecond
+	memoryReadCost     = 200 * time.Nanosecond
+	directSyscallCost  = 30 * time.Microsecond
+)

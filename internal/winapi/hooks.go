@@ -1,0 +1,165 @@
+package winapi
+
+import (
+	"fmt"
+)
+
+// HookHandler is customized code interposed on an API function. It receives
+// the call description and must return the API's result bundle. Handlers
+// may inspect and rewrite arguments, fabricate results, or call
+// call.Original() to invoke the next handler in the chain (ultimately the
+// real function) — the trampoline of classic inline hooking.
+type HookHandler func(c *Context, call *Call) any
+
+// Call describes one in-flight API invocation as seen by a hook handler.
+type Call struct {
+	// Name is the API name from the catalog.
+	Name string
+	// Args are the call arguments in declaration order.
+	Args []any
+	next func() any
+}
+
+// Original invokes the rest of the hook chain and finally the genuine API,
+// returning its result bundle. Calling it more than once re-executes the
+// remainder of the chain.
+func (call *Call) Original() any { return call.next() }
+
+// Arg returns argument i, or nil when absent.
+func (call *Call) Arg(i int) any {
+	if i < 0 || i >= len(call.Args) {
+		return nil
+	}
+	return call.Args[i]
+}
+
+// StrArg returns argument i as a string ("" when absent or not a string).
+func (call *Call) StrArg(i int) string {
+	s, _ := call.Arg(i).(string)
+	return s
+}
+
+// Classic hot-patch prologue of Win32 API functions: mov edi,edi; push
+// ebp; mov ebp,esp. Anti-hooking code checks the first two bytes (Figure 1
+// of the paper).
+var cleanPrologue = []byte{0x8B, 0xFF, 0x55, 0x8B, 0xEC}
+
+// hookedPrologue returns the prologue after an inline hook is written: a
+// JMP rel32 to the hook body. The displacement bytes are synthesized from
+// the API name so different hooks look different, as in reality.
+func hookedPrologue(api string) []byte {
+	var h uint32 = 2166136261
+	for i := 0; i < len(api); i++ {
+		h = (h ^ uint32(api[i])) * 16777619
+	}
+	return []byte{0xE9, byte(h), byte(h >> 8), byte(h >> 16), byte(h >> 24)}
+}
+
+// procState is the per-process user-mode state the System tracks: hook
+// chains, patched prologues, injected DLLs, and arbitrary per-process data
+// hook packages stash (e.g. a deception session).
+type procState struct {
+	hooks     map[string][]HookHandler
+	prologues map[string][]byte
+	// Data lets hook packages (Scarecrow) keep per-process state.
+	Data map[string]any
+}
+
+func newProcState() *procState {
+	return &procState{
+		hooks:     make(map[string][]HookHandler),
+		prologues: make(map[string][]byte),
+		Data:      make(map[string]any),
+	}
+}
+
+// InstallHook interposes handler on the named API for the given process.
+// The target function's prologue is rewritten to a JMP, making the hook
+// itself observable to anti-hooking checks — which is a feature, not a bug,
+// for Scarecrow. Later installs wrap earlier ones.
+func (s *System) InstallHook(pid int, api string, handler HookHandler) error {
+	meta, ok := apiCatalog[api]
+	if !ok {
+		return fmt.Errorf("winapi: unknown API %q", api)
+	}
+	if !meta.hookable {
+		return fmt.Errorf("winapi: API %q is not hookable from user mode", api)
+	}
+	st := s.stateFor(pid)
+	st.hooks[api] = append(st.hooks[api], handler)
+	st.prologues[api] = hookedPrologue(api)
+	return nil
+}
+
+// HookedAPIs returns the names of APIs currently hooked in the process.
+func (s *System) HookedAPIs(pid int) []string {
+	st := s.stateFor(pid)
+	out := make([]string, 0, len(st.hooks))
+	for name := range st.hooks {
+		out = append(out, name)
+	}
+	return out
+}
+
+// ReadFunctionPrologue models reading the first bytes of an API function's
+// code directly from memory. It is not an API call: it cannot be hooked,
+// consumes only a memory-read cost, and is exactly how anti-hooking malware
+// detects inline hooks.
+func (c *Context) ReadFunctionPrologue(api string) []byte {
+	c.M.Clock.Advance(memoryReadCost)
+	st := c.sys.stateFor(c.P.PID)
+	if b, ok := st.prologues[api]; ok {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	out := make([]byte, len(cleanPrologue))
+	copy(out, cleanPrologue)
+	return out
+}
+
+// PrologueIntact reports whether the named API still begins with the
+// hot-patch prologue (mov edi,edi) in this process — the check_hook test
+// from Figure 1 of the paper.
+func (c *Context) PrologueIntact(api string) bool {
+	b := c.ReadFunctionPrologue(api)
+	return len(b) >= 2 && b[0] == 0x8B && b[1] == 0xFF
+}
+
+// invoke runs one API call: it charges the call cost, records the APICall
+// trace event, then dispatches through the process's hook chain (outermost
+// handler first) down to the genuine implementation.
+func (c *Context) invoke(name string, args []any, genuine func() any) any {
+	meta, ok := apiCatalog[name]
+	if !ok {
+		panic(fmt.Sprintf("winapi: API %q missing from catalog", name))
+	}
+	c.M.Clock.Advance(meta.cost)
+	c.recordAPICall(name)
+
+	// Native entry points bottom out at the kernel syscall gate, where
+	// machine-wide kernel hooks (if any) interpose beneath the user-mode
+	// chain.
+	if kernelHookable(name) {
+		inner := genuine
+		genuine = func() any { return c.dispatchSyscall(name, args, inner) }
+	}
+
+	st := c.sys.stateFor(c.P.PID)
+	chain := st.hooks[name]
+	if len(chain) == 0 {
+		return genuine()
+	}
+	// Build the trampoline: handler i's Original() runs handler i-1, and
+	// the first handler's Original() runs the genuine function. The most
+	// recently installed handler executes first.
+	next := genuine
+	for i := 0; i < len(chain); i++ {
+		handler := chain[i]
+		inner := next
+		next = func() any {
+			return handler(c, &Call{Name: name, Args: args, next: inner})
+		}
+	}
+	return next()
+}

@@ -1,0 +1,34 @@
+package winapi
+
+import "scarecrow/internal/winsim"
+
+// Result is the uniform bundle every modeled API returns through the hook
+// chain. Genuine implementations and hook handlers both produce a Result;
+// each API wrapper extracts the fields it declares. A single shared type
+// (rather than one per API) lets deception engines fabricate results
+// without reaching into per-API internals — the moral equivalent of writing
+// the out-parameters of the real calling convention.
+//
+// Only the fields an API documents are meaningful for that API; the rest
+// stay zero.
+type Result struct {
+	Status   Status
+	Bool     bool
+	Num      uint64
+	Str      string
+	Strs     []string
+	Data     []byte
+	Code     int
+	Value    winsim.Value
+	KeyInfo  KeyInfo
+	FileInfo winsim.FileInfo
+	Disk     DiskSpace
+	Vol      VolumeInfo
+	Ver      OSVersionInfo
+	SysInfo  SystemInfo
+	Mem      MemoryStatus
+	Adapters []AdapterInfo
+	Entries  []ProcessEntry
+	Proc     *winsim.Process
+	Window   winsim.Window
+}

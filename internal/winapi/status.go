@@ -1,0 +1,80 @@
+// Package winapi is the user-mode API surface that programs — malware
+// specimens, benign software, fingerprinting tools, and Scarecrow itself —
+// use to observe and mutate a simulated Windows machine (internal/winsim).
+//
+// The package reproduces the two mechanisms the paper's realization rests
+// on (Section III):
+//
+//   - Per-process inline hooking with modeled function prologues: installing
+//     a hook rewrites the first bytes of the target function from the
+//     classic "mov edi,edi; push ebp; mov ebp,esp" hot-patch prologue to a
+//     JMP, exactly the artifact anti-hooking malware looks for (Figure 1 of
+//     the paper). Hook handlers can inspect arguments, manipulate results,
+//     and call through to the original function.
+//
+//   - A deterministic cooperative scheduler that launches program bodies as
+//     simulated processes, bounds each run by a virtual time budget, and
+//     propagates created child processes (so DLL-injection style deployment
+//     can follow process trees).
+//
+// Direct-memory PEB reads and direct syscalls are modeled as explicit
+// bypass routes that skip hook chains, preserving the limitations the paper
+// reports for user-level hooking.
+package winapi
+
+import "strconv"
+
+// Status is a simplified Win32/NTSTATUS result code.
+type Status int
+
+// Status codes used across the API surface. Values follow Win32 error
+// numbers where one exists.
+const (
+	StatusSuccess        Status = 0
+	StatusFileNotFound   Status = 2
+	StatusAccessDenied   Status = 5
+	StatusInvalidParam   Status = 87
+	StatusNotSupported   Status = 50
+	StatusNoMoreItems    Status = 259
+	StatusNotFound       Status = 1168
+	StatusHostNotFound   Status = 11001
+	StatusTimeout        Status = 1460
+	StatusInvalidHandle  Status = 6
+	StatusAlreadyExists  Status = 183
+	StatusWriteProtected Status = 19
+)
+
+// OK reports whether the status is success.
+func (s Status) OK() bool { return s == StatusSuccess }
+
+// String renders the status code.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "SUCCESS"
+	case StatusFileNotFound:
+		return "ERROR_FILE_NOT_FOUND"
+	case StatusAccessDenied:
+		return "ERROR_ACCESS_DENIED"
+	case StatusInvalidParam:
+		return "ERROR_INVALID_PARAMETER"
+	case StatusNotSupported:
+		return "ERROR_NOT_SUPPORTED"
+	case StatusNoMoreItems:
+		return "ERROR_NO_MORE_ITEMS"
+	case StatusNotFound:
+		return "ERROR_NOT_FOUND"
+	case StatusHostNotFound:
+		return "WSAHOST_NOT_FOUND"
+	case StatusTimeout:
+		return "ERROR_TIMEOUT"
+	case StatusInvalidHandle:
+		return "ERROR_INVALID_HANDLE"
+	case StatusAlreadyExists:
+		return "ERROR_ALREADY_EXISTS"
+	case StatusWriteProtected:
+		return "ERROR_WRITE_PROTECT"
+	default:
+		return "ERROR_" + strconv.Itoa(int(s))
+	}
+}

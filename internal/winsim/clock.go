@@ -1,0 +1,101 @@
+// Package winsim models a deterministic, in-memory Windows machine: the
+// registry hive, the file system, the process table (with per-process PEB),
+// the window manager, the hardware profile (CPUID/RDTSC/MAC/disk/RAM/cores),
+// the network stack (DNS resolution, sinkholes, HTTP reachability), the
+// event log, the DNS cache, and a virtual clock.
+//
+// Evasive malware only ever observes the operating system through these
+// resources, so the model exposes the same observable surface with the same
+// semantics the paper's evaluation depends on: case-insensitive registry
+// keys and file paths, Win32/NTSTATUS-style outcomes, tick counts, uptime,
+// and timing side channels.
+//
+// Every machine is constructed from an environment profile (see
+// profiles.go) and a seed; given the same profile and seed, execution is
+// reproducible bit for bit.
+package winsim
+
+import (
+	"time"
+)
+
+// Budget exceeded unwinding: the scheduler sets a deadline on the clock;
+// when an operation would advance past it, the clock panics with
+// ErrTimeBudget which the scheduler recovers, marking the process as still
+// running when the observation window ended (the paper runs each sample for
+// one minute and then resets the machine).
+
+// BudgetExceeded is the panic value raised by Clock.Advance when the
+// execution deadline set by the scheduler has been reached. The scheduler
+// recovers it; user code must not.
+type BudgetExceeded struct {
+	// Deadline is the virtual time at which the budget expired.
+	Deadline time.Duration
+}
+
+// Clock is the machine's virtual time source. All durations are virtual:
+// API calls advance the clock by modeled costs so that sleeps, tick counts,
+// and cycle counters are deterministic functions of the executed work.
+type Clock struct {
+	now time.Duration
+	// bootOffset is how long the machine had been up before the clock
+	// started; GetTickCount-style uptime reads now+bootOffset.
+	bootOffset time.Duration
+	// deadline, when non-zero, bounds Advance.
+	deadline time.Duration
+	// cyclesPerNano converts virtual nanoseconds to TSC cycles.
+	cyclesPerNano float64
+}
+
+// NewClock returns a clock with the given pre-boot uptime offset and a TSC
+// rate of cyclesPerNano cycles per virtual nanosecond (e.g. 2.6 for a
+// 2.6 GHz part).
+func NewClock(bootOffset time.Duration, cyclesPerNano float64) *Clock {
+	if cyclesPerNano <= 0 {
+		cyclesPerNano = 2.6
+	}
+	return &Clock{bootOffset: bootOffset, cyclesPerNano: cyclesPerNano}
+}
+
+// Now returns the current virtual time since the start of the run.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Uptime returns the modeled system uptime (pre-boot offset plus run time).
+func (c *Clock) Uptime() time.Duration { return c.bootOffset + c.now }
+
+// TickCount returns the uptime in milliseconds, as GetTickCount would.
+func (c *Clock) TickCount() uint64 {
+	return uint64(c.Uptime() / time.Millisecond)
+}
+
+// Cycles returns the current virtual TSC reading.
+func (c *Clock) Cycles() uint64 {
+	return uint64(float64(c.Uptime()) * c.cyclesPerNano)
+}
+
+// SetDeadline bounds further Advance calls: advancing at or past d raises
+// BudgetExceeded. A zero deadline removes the bound.
+func (c *Clock) SetDeadline(d time.Duration) { c.deadline = d }
+
+// Deadline returns the current advance bound (zero when unbounded).
+func (c *Clock) Deadline() time.Duration { return c.deadline }
+
+// Advance moves virtual time forward by d. If a deadline is set and the new
+// time reaches it, the clock pins to the deadline and panics with
+// BudgetExceeded.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.now += d
+	if c.deadline > 0 && c.now >= c.deadline {
+		c.now = c.deadline
+		panic(BudgetExceeded{Deadline: c.deadline})
+	}
+}
+
+// AdvanceCycles moves virtual time forward by the duration corresponding to
+// the given number of TSC cycles.
+func (c *Clock) AdvanceCycles(cycles uint64) {
+	c.Advance(time.Duration(float64(cycles) / c.cyclesPerNano))
+}

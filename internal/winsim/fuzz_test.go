@@ -1,0 +1,93 @@
+package winsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNormalizePath: normalization is idempotent, lowercase, and
+// slash-free for any input.
+func FuzzNormalizePath(f *testing.F) {
+	for _, seed := range []string{
+		`C:\Windows\System32`, `c:/users/x/../y`, `\\.\VBoxGuest`, `C:`,
+		``, `\`, `/`, `C:\a\`, strings.Repeat(`\x`, 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		norm := NormalizePath(path)
+		if NormalizePath(norm) != norm {
+			t.Errorf("not idempotent: %q -> %q -> %q", path, norm, NormalizePath(norm))
+		}
+		if strings.ContainsRune(norm, '/') {
+			t.Errorf("forward slash survived: %q", norm)
+		}
+		if norm != strings.ToLower(norm) {
+			t.Errorf("not lowercased: %q", norm)
+		}
+	})
+}
+
+// FuzzRegistryPaths: create/open/delete never panics and stays consistent
+// for arbitrary path strings.
+func FuzzRegistryPaths(f *testing.F) {
+	for _, seed := range []string{
+		`HKLM\SOFTWARE\X`, `hkcu\a\b\c`, `SOFTWARE\implicit`, ``, `\\\`,
+		`HKLM`, `HKLM\` + strings.Repeat(`k\`, 30), "HKLM\\\x00weird",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		r := NewRegistry()
+		k, err := r.CreateKey(path)
+		if err != nil {
+			// Only the empty path may fail.
+			if len(splitRegPath(path)) != 0 {
+				t.Errorf("CreateKey(%q) failed: %v", path, err)
+			}
+			return
+		}
+		if k == nil {
+			t.Fatalf("CreateKey(%q) returned nil without error", path)
+		}
+		if !r.KeyExists(path) {
+			t.Errorf("created key %q not found", path)
+		}
+		// Deleting is possible unless the path names a hive root.
+		deleted := r.DeleteKey(path)
+		isHiveRoot := len(splitRegPath(path)) == 0 ||
+			(len(splitRegPath(path)) == 1 && func() bool {
+				_, ok := hiveAliases[strings.ToLower(splitRegPath(path)[0])]
+				return ok
+			}())
+		if deleted == isHiveRoot {
+			t.Errorf("DeleteKey(%q) = %v (hive root: %v)", path, deleted, isHiveRoot)
+		}
+	})
+}
+
+// FuzzFileSystemOps: touch/stat/delete stays consistent for arbitrary
+// path strings.
+func FuzzFileSystemOps(f *testing.F) {
+	f.Add(`C:\a\b.txt`, int64(10))
+	f.Add(`c:/x/y`, int64(0))
+	f.Add(`\\.\Dev`, int64(1))
+	f.Add(``, int64(5))
+	f.Fuzz(func(t *testing.T, path string, size int64) {
+		fs := NewFileSystem()
+		fs.Touch(path, size)
+		if !fs.Exists(path) {
+			t.Errorf("touched %q but not found", path)
+		}
+		info, ok := fs.Stat(path)
+		if !ok || info.Kind != FileRegular {
+			t.Errorf("Stat(%q) = %+v, %v", path, info, ok)
+		}
+		if !fs.Delete(path) {
+			t.Errorf("Delete(%q) failed", path)
+		}
+		if fs.Exists(path) {
+			t.Errorf("%q survived deletion", path)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package winsim
+
+import "strings"
+
+// Hardware is the machine's hardware profile: everything malware can learn
+// through CPUID, RDTSC, volume queries, adapter enumeration, and
+// WMI-surface identity strings. Sandboxes and virtual machines carry
+// characteristic values here (1 core, 1 GB RAM, small disks, VM vendor
+// strings, VM MAC prefixes); Scarecrow's hardware deception layer fakes the
+// API-visible subset of them.
+type Hardware struct {
+	// NumCores is the number of logical processors. The PEB mirrors it.
+	NumCores int
+	// RAMBytes is the installed physical memory.
+	RAMBytes uint64
+	// CPUVendor is the CPUID leaf-0 vendor string, e.g. "GenuineIntel".
+	CPUVendor string
+	// CPUBrand is the CPUID brand string.
+	CPUBrand string
+	// HypervisorPresent is bit 31 of ECX for CPUID leaf 1. Physical CPUs
+	// report false; hypervisors report true.
+	HypervisorPresent bool
+	// HypervisorVendor is the CPUID leaf 0x40000000 vendor string
+	// ("VBoxVBoxVBox", "VMwareVMware", "KVMKVMKVM", "TCGTCGTCGTCG", ...)
+	// or empty when no hypervisor leaf is exposed.
+	HypervisorVendor string
+	// CPUIDCycles is the modeled cycle cost of one CPUID instruction.
+	// Hardware-assisted hypervisors trap CPUID, inflating this cost — the
+	// side channel behind pafish's rdtsc_diff_vmexit check.
+	CPUIDCycles uint64
+	// RDTSCCycles is the modeled cycle cost of one RDTSC instruction.
+	RDTSCCycles uint64
+	// MACs lists the MAC addresses of all network adapters in
+	// "xx:xx:xx:xx:xx:xx" form. VirtualBox allocates 08:00:27, VMware
+	// 00:0c:29 / 00:50:56 / 00:05:69.
+	MACs []string
+	// DiskModel is the identity string of the system disk, e.g.
+	// "VBOX HARDDISK" or "ST3500418AS".
+	DiskModel string
+	// BIOSSerial, SystemManufacturer, and SystemProductName are the
+	// SMBIOS/WMI identity strings (Win32_BIOS, Win32_ComputerSystem).
+	BIOSSerial         string
+	SystemManufacturer string
+	SystemProductName  string
+	// ComputerName and UserName identify the host and the logged-in user.
+	ComputerName string
+	UserName     string
+}
+
+// VM MAC address prefixes commonly checked by evasive malware.
+var vmMACPrefixes = []string{"08:00:27", "00:0c:29", "00:50:56", "00:05:69", "00:1c:14", "00:16:3e"}
+
+// HasVMMAC reports whether any adapter carries a known virtual-machine MAC
+// prefix.
+func (h *Hardware) HasVMMAC() bool {
+	for _, mac := range h.MACs {
+		lower := strings.ToLower(mac)
+		for _, p := range vmMACPrefixes {
+			if strings.HasPrefix(lower, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CPUIDResult is what a CPUID invocation returns for the leaves the
+// simulation models.
+type CPUIDResult struct {
+	VendorString     string
+	HypervisorBit    bool
+	HypervisorVendor string
+}
+
+// CPUID models executing the CPUID instruction: it advances the clock by
+// the modeled trap cost and returns the identity registers.
+func (h *Hardware) CPUID(clk *Clock) CPUIDResult {
+	clk.AdvanceCycles(h.CPUIDCycles)
+	return CPUIDResult{
+		VendorString:     h.CPUVendor,
+		HypervisorBit:    h.HypervisorPresent,
+		HypervisorVendor: h.HypervisorVendor,
+	}
+}
+
+// RDTSC models executing the RDTSC instruction: it advances the clock by
+// the instruction cost and returns the cycle counter.
+func (h *Hardware) RDTSC(clk *Clock) uint64 {
+	clk.AdvanceCycles(h.RDTSCCycles)
+	return clk.Cycles()
+}

@@ -1,0 +1,166 @@
+package winsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Network models the observable network stack: DNS resolution (including
+// sinkhole policies), HTTP reachability, and the client-side DNS cache.
+//
+// The sinkhole policy is central to Case II of the paper: most sandboxes
+// resolve non-existent (NX) domains to controlled addresses to elicit
+// "live" C2 traffic, and the WannaCry variant's kill-switch logic exits
+// when its hard-coded NX domain unexpectedly answers. Scarecrow installs
+// the same sinkhole behaviour on end-user machines.
+type Network struct {
+	// records maps lowercased domain names to addresses for domains that
+	// really exist.
+	records map[string]string
+	// SinkholeIP, when non-empty, is returned for every NX domain lookup,
+	// and HTTP requests to it succeed.
+	SinkholeIP string
+	// reachable is the set of addresses answering HTTP.
+	reachable map[string]bool
+	// Cache is the client DNS cache (a wear-and-tear artifact).
+	Cache *DNSCache
+}
+
+// NewNetwork returns a network with no records, no sinkhole, and an empty
+// DNS cache.
+func NewNetwork() *Network {
+	return &Network{
+		records:   make(map[string]string),
+		reachable: make(map[string]bool),
+		Cache:     NewDNSCache(),
+	}
+}
+
+// AddRecord registers a real domain with its address and marks the address
+// HTTP-reachable.
+func (n *Network) AddRecord(domain, addr string) {
+	n.records[strings.ToLower(domain)] = addr
+	n.reachable[addr] = true
+}
+
+// MarkReachable makes an address answer HTTP without any DNS record —
+// how a locally run proxy (the Scarecrow controller's sinkhole endpoint)
+// becomes reachable.
+func (n *Network) MarkReachable(addr string) {
+	n.reachable[addr] = true
+}
+
+// Resolve looks up a domain. Existing domains resolve to their registered
+// address. Non-existent domains resolve to the sinkhole address when a
+// sinkhole is configured, and fail otherwise. Successful resolutions enter
+// the DNS cache.
+func (n *Network) Resolve(domain string) (string, bool) {
+	d := strings.ToLower(domain)
+	if addr, ok := n.records[d]; ok {
+		n.Cache.Add(d)
+		return addr, true
+	}
+	if n.SinkholeIP != "" {
+		n.Cache.Add(d)
+		return n.SinkholeIP, true
+	}
+	return "", false
+}
+
+// Exists reports whether the domain has a real record (ignoring sinkholes).
+func (n *Network) Exists(domain string) bool {
+	_, ok := n.records[strings.ToLower(domain)]
+	return ok
+}
+
+// HTTPGet models an HTTP request to an address, reporting whether anything
+// answered. Sinkhole addresses always answer, which is exactly the behaviour
+// the WannaCry kill switch keys on.
+func (n *Network) HTTPGet(addr string) bool {
+	if n.SinkholeIP != "" && addr == n.SinkholeIP {
+		return true
+	}
+	return n.reachable[addr]
+}
+
+// SyntheticAddr derives a deterministic RFC 5737 documentation address from
+// a name, for seeding profiles with plausible record sets.
+func SyntheticAddr(name string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(strings.ToLower(name)))
+	v := h.Sum32()
+	return fmt.Sprintf("198.51.%d.%d", (v>>8)%254+1, v%254+1)
+}
+
+// DNSCache is the client-side resolver cache whose entry count is one of
+// the top-5 wear-and-tear artifacts from Miramirkhani et al. (Table III):
+// sandboxes show almost no cached entries while used machines show many.
+type DNSCache struct {
+	order   []string
+	present map[string]struct{}
+}
+
+// NewDNSCache returns an empty cache.
+func NewDNSCache() *DNSCache {
+	return &DNSCache{present: make(map[string]struct{})}
+}
+
+// Add inserts a domain if not already cached.
+func (c *DNSCache) Add(domain string) {
+	d := strings.ToLower(domain)
+	if _, ok := c.present[d]; ok {
+		return
+	}
+	c.present[d] = struct{}{}
+	c.order = append(c.order, d)
+}
+
+// Entries returns the cached domains in insertion order (most recent last).
+func (c *DNSCache) Entries() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Len returns the number of cached entries.
+func (c *DNSCache) Len() int { return len(c.order) }
+
+// EventLog models the Windows event log at the granularity wear-and-tear
+// fingerprinting needs: a total event count and the set of distinct event
+// sources. Freshly imaged sandboxes have small logs from few sources.
+type EventLog struct {
+	count   int
+	sources map[string]int
+}
+
+// NewEventLog returns an empty event log.
+func NewEventLog() *EventLog {
+	return &EventLog{sources: make(map[string]int)}
+}
+
+// Append records n events from the given source.
+func (l *EventLog) Append(source string, n int) {
+	if n <= 0 {
+		return
+	}
+	l.count += n
+	l.sources[source] += n
+}
+
+// Count returns the total number of logged events.
+func (l *EventLog) Count() int { return l.count }
+
+// Sources returns the distinct event sources, sorted.
+func (l *EventLog) Sources() []string {
+	out := make([]string, 0, len(l.sources))
+	for s := range l.sources {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceCount returns the number of distinct event sources.
+func (l *EventLog) SourceCount() int { return len(l.sources) }

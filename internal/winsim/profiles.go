@@ -1,0 +1,356 @@
+package winsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProfileName identifies an environment profile.
+type ProfileName string
+
+// The environment profiles the evaluation uses, mirroring Figure 3 and
+// Table II of the paper plus the two public sandboxes crawled in §II-C.
+const (
+	// ProfileCleanBareMetal is the pristine bare-metal reference image the
+	// crawler diffs public-sandbox resources against.
+	ProfileCleanBareMetal ProfileName = "clean-baremetal"
+	// ProfileBareMetalSandbox is the paper's bare-metal analysis cluster
+	// machine (Deep Freeze reset, python agent, Fibratus tracing).
+	ProfileBareMetalSandbox ProfileName = "baremetal-sandbox"
+	// ProfileCuckooSandbox is a stock Cuckoo 2.0.3 guest on VirtualBox.
+	ProfileCuckooSandbox ProfileName = "cuckoo-vbox-sandbox"
+	// ProfileCuckooHardened is the same guest after the paper's
+	// transparency modifications (masked CPUID results, updated MAC, DMI
+	// spoofing, accurate timing).
+	ProfileCuckooHardened ProfileName = "cuckoo-vbox-hardened"
+	// ProfileEndUser is an actively used end-user machine with VMware
+	// Workstation installed ("due to work requirements").
+	ProfileEndUser ProfileName = "end-user"
+	// ProfileVirusTotal and ProfileMalwr model the two public online
+	// sandboxes crawled for deceptive resources in §II-C.
+	ProfileVirusTotal ProfileName = "virustotal-sandbox"
+	ProfileMalwr      ProfileName = "malwr-sandbox"
+)
+
+// rdtsc/cpuid timing model shared by the profiles. Pafish's
+// rdtsc_diff_vmexit check flags environments whose CPUID cost exceeds
+// roughly 1000 cycles. Hardware-assisted hypervisors trap CPUID (stock
+// Cuckoo: ~4200 cycles); the end-user machine's cost sits above the
+// threshold too (~1500 cycles) because its host-side VMM and power
+// management perturb the TSC — the "unreliable timing" false positive the
+// paper reports; the hardened guest uses paravirtual TSC offsetting that
+// keeps the visible cost below the threshold (~800 cycles).
+const (
+	cpuidCyclesBareMetal = 150
+	cpuidCyclesStockVM   = 4200
+	cpuidCyclesHardened  = 800
+	cpuidCyclesEndUser   = 1500
+	rdtscCycles          = 30
+)
+
+// NewProfileMachine builds a fresh machine for the named profile and seed.
+func NewProfileMachine(name ProfileName, seed int64) *Machine {
+	switch name {
+	case ProfileCleanBareMetal:
+		return NewCleanBareMetal(seed)
+	case ProfileBareMetalSandbox:
+		return NewBareMetalSandbox(seed)
+	case ProfileCuckooSandbox:
+		return NewCuckooSandbox(seed, false)
+	case ProfileCuckooHardened:
+		return NewCuckooSandbox(seed, true)
+	case ProfileEndUser:
+		return NewEndUserMachine(seed)
+	case ProfileVirusTotal:
+		return NewVirusTotalSandbox(seed)
+	case ProfileMalwr:
+		return NewMalwrSandbox(seed)
+	default:
+		panic(fmt.Sprintf("winsim: unknown profile %q", name))
+	}
+}
+
+// applyWindowsBase installs the OS content every Windows 7 machine shares:
+// core processes, system files, and baseline registry identity.
+func applyWindowsBase(m *Machine) {
+	fs := m.FS
+	for _, f := range []string{
+		`C:\Windows\System32\ntdll.dll`,
+		`C:\Windows\System32\kernel32.dll`,
+		`C:\Windows\System32\user32.dll`,
+		`C:\Windows\System32\advapi32.dll`,
+		`C:\Windows\System32\ws2_32.dll`,
+		`C:\Windows\System32\shell32.dll`,
+		`C:\Windows\System32\cmd.exe`,
+		`C:\Windows\System32\notepad.exe`,
+		`C:\Windows\System32\svchost.exe`,
+		`C:\Windows\explorer.exe`,
+	} {
+		fs.Touch(f, 512<<10)
+	}
+	fs.MkdirAll(`C:\Users`)
+	fs.MkdirAll(`C:\Program Files`)
+	fs.MkdirAll(`C:\ProgramData`)
+	fs.MkdirAll(`C:\Windows\Temp`)
+
+	reg := m.Registry
+	mustSet(reg, `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`, "ProductName", StringValue("Windows 7 Professional"))
+	mustSet(reg, `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`, "CurrentVersion", StringValue("6.1"))
+	mustSet(reg, `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`, "CurrentBuild", StringValue("7601"))
+	mustSet(reg, `HKLM\HARDWARE\Description\System`, "SystemBiosDate", StringValue("03/14/14"))
+	mustSet(reg, `HKLM\HARDWARE\Description\System`, "SystemBiosVersion", StringValue("LENOVO - 1140"))
+	mustSet(reg, `HKLM\HARDWARE\Description\System`, "VideoBiosVersion", StringValue("Hardware Version 0.0"))
+	mustCreate(reg, `HKLM\SYSTEM\CurrentControlSet\Enum\IDE`)
+
+	// Core system processes. PID order is deterministic.
+	for _, img := range []string{
+		`C:\Windows\System32\smss.exe`,
+		`C:\Windows\System32\csrss.exe`,
+		`C:\Windows\System32\winlogon.exe`,
+		`C:\Windows\System32\services.exe`,
+		`C:\Windows\System32\lsass.exe`,
+		`C:\Windows\System32\svchost.exe`,
+		`C:\Windows\System32\svchost.exe`,
+		`C:\Windows\explorer.exe`,
+	} {
+		p := m.Procs.Create(img, img, 4, 0)
+		p.State = ProcessRunning
+		p.PEB.NumberOfProcessors = m.HW.NumCores
+	}
+	m.Windows.Add(Window{Class: "Shell_TrayWnd", Title: "", PID: pidOf(m, "explorer.exe")})
+	m.Windows.Add(Window{Class: "Progman", Title: "Program Manager", PID: pidOf(m, "explorer.exe")})
+}
+
+func pidOf(m *Machine, image string) int {
+	procs := m.Procs.FindByImage(image)
+	if len(procs) == 0 {
+		return 0
+	}
+	return procs[0].PID
+}
+
+// setDiskIdentity writes the SCSI Identifier registry value that pafish's
+// disk-model checks read, alongside the hardware profile's model string.
+func setDiskIdentity(m *Machine, model string) {
+	m.HW.DiskModel = model
+	mustSet(m.Registry,
+		`HKLM\HARDWARE\DEVICEMAP\Scsi\Scsi Port 0\Scsi Bus 0\Target Id 0\Logical Unit Id 0`,
+		"Identifier", StringValue(model))
+}
+
+// NewCleanBareMetal builds the pristine bare-metal reference image.
+func NewCleanBareMetal(seed int64) *Machine {
+	return NewCleanBareMetalWithUsage(seed, SandboxUsage())
+}
+
+// NewCleanBareMetalWithUsage builds the reference image at a specific
+// usage level (for wear-and-tear training corpora).
+func NewCleanBareMetalWithUsage(seed int64, usage UsageLevel) *Machine {
+	m := NewMachine(string(ProfileCleanBareMetal), seed)
+	m.Clock = NewClock(30*time.Minute, 2.6)
+	m.HW = &Hardware{
+		NumCores: 4, RAMBytes: 8 << 30,
+		CPUVendor: "GenuineIntel", CPUBrand: "Intel(R) Core(TM) i5-4570 CPU @ 3.20GHz",
+		CPUIDCycles: cpuidCyclesBareMetal, RDTSCCycles: rdtscCycles,
+		MACs:       []string{"3c:97:0e:12:34:56"},
+		BIOSSerial: "PF0A1B2C", SystemManufacturer: "LENOVO", SystemProductName: "10AB003TUS",
+		ComputerName: "LAB-REF-01", UserName: "john",
+	}
+	applyWindowsBase(m)
+	setDiskIdentity(m, "ST3500418AS")
+	m.FS.AddVolume(&Volume{Letter: 'C', TotalBytes: 500 << 30, FreeBytes: 400 << 30, SerialNumber: 0x7A3B11EF})
+	ApplyUsage(m, usage)
+	return m
+}
+
+// NewBareMetalSandbox builds one machine of the paper's bare-metal analysis
+// cluster: physically identical to the clean reference, plus the analysis
+// agent and kernel tracer, and no human at the mouse.
+func NewBareMetalSandbox(seed int64) *Machine {
+	m := NewCleanBareMetal(seed)
+	m.Profile = string(ProfileBareMetalSandbox)
+	m.HW.ComputerName = "ANALYSIS-07"
+	m.Mouse = NewMouse(false, 512, 384)
+
+	// The python analysis agent and the Fibratus tracer run alongside the
+	// sample; the agent is the parent of every analyzed process.
+	agent := m.Procs.Create(`C:\analysis\python.exe`, `python.exe C:\analysis\agent.py`, 4, 0)
+	agent.State = ProcessRunning
+	fib := m.Procs.Create(`C:\analysis\fibratus.exe`, `fibratus.exe capture`, agent.PID, 0)
+	fib.State = ProcessRunning
+	m.FS.Touch(`C:\analysis\agent.py`, 12<<10)
+	m.FS.Touch(`C:\analysis\python.exe`, 3<<20)
+	m.FS.Touch(`C:\analysis\fibratus.exe`, 9<<20)
+	return m
+}
+
+// vboxGuestFiles are the VirtualBox guest-addition driver files pafish and
+// evasive malware probe for.
+var vboxGuestFiles = []string{
+	`C:\Windows\System32\drivers\VBoxMouse.sys`,
+	`C:\Windows\System32\drivers\VBoxGuest.sys`,
+	`C:\Windows\System32\drivers\VBoxSF.sys`,
+	`C:\Windows\System32\drivers\VBoxVideo.sys`,
+}
+
+// NewCuckooSandbox builds a Cuckoo 2.0.3 guest on VirtualBox. With hardened
+// set, the paper's transparency modifications are applied: CPUID results
+// masked, MAC updated, DMI identity spoofed, and timing made accurate.
+// Guest-addition files, registry keys, and service processes remain (the
+// modifications do not reinstall the guest).
+func NewCuckooSandbox(seed int64, hardened bool) *Machine {
+	return NewCuckooSandboxWithUsage(seed, hardened, SandboxUsage())
+}
+
+// NewCuckooSandboxWithUsage builds the guest at a specific usage level.
+func NewCuckooSandboxWithUsage(seed int64, hardened bool, usage UsageLevel) *Machine {
+	profile := ProfileCuckooSandbox
+	if hardened {
+		profile = ProfileCuckooHardened
+	}
+	m := NewMachine(string(profile), seed)
+	m.Clock = NewClock(45*time.Minute, 2.6)
+	m.HW = &Hardware{
+		NumCores: 2, RAMBytes: 1 << 30,
+		CPUVendor: "GenuineIntel", CPUBrand: "Intel(R) Core(TM) i5-4570 CPU @ 3.20GHz",
+		HypervisorPresent: true, HypervisorVendor: "VBoxVBoxVBox",
+		CPUIDCycles: cpuidCyclesStockVM, RDTSCCycles: rdtscCycles,
+		MACs:       []string{"08:00:27:4f:2a:91"},
+		BIOSSerial: "0", SystemManufacturer: "Oracle Corporation", SystemProductName: "VirtualBox",
+		ComputerName: "CUCKOO-PC", UserName: "cuckoo",
+	}
+	if hardened {
+		m.HW.HypervisorPresent = false
+		m.HW.HypervisorVendor = ""
+		m.HW.CPUIDCycles = cpuidCyclesHardened
+		m.HW.MACs = []string{"3c:97:0e:aa:bb:cc"}
+		m.HW.BIOSSerial = "PF0D4E5F"
+		m.HW.SystemManufacturer = "LENOVO"
+		m.HW.SystemProductName = "10AB003TUS"
+	}
+	applyWindowsBase(m)
+	setDiskIdentity(m, "VBOX HARDDISK")
+	// 100 GB virtual disk: large enough that pafish's <60 GB size check
+	// does not fire (the stock guest's generic triggers are mouse, RAM,
+	// and the disk identity string; see Table II).
+	m.FS.AddVolume(&Volume{Letter: 'C', TotalBytes: 100 << 30, FreeBytes: 74 << 30, SerialNumber: 0x33CC10AF})
+
+	// VirtualBox guest additions: files, registry, services, processes.
+	for _, f := range vboxGuestFiles {
+		m.FS.Touch(f, 200<<10)
+	}
+	m.FS.AddDevice(`\\.\VBoxGuest`)
+	m.FS.AddDevice(`\\.\VBoxMiniRdrDN`)
+	reg := m.Registry
+	mustSet(reg, `HKLM\HARDWARE\Description\System`, "SystemBiosVersion", StringValue("VBOX   - 1"))
+	mustSet(reg, `HKLM\HARDWARE\Description\System`, "VideoBiosVersion", StringValue("Oracle VM VirtualBox Version 5.1.22 VGA BIOS"))
+	mustCreate(reg, `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`)
+	mustCreate(reg, `HKLM\SYSTEM\CurrentControlSet\Services\VBoxGuest`)
+	mustCreate(reg, `HKLM\SYSTEM\CurrentControlSet\Services\VBoxService`)
+	mustCreate(reg, `HKLM\HARDWARE\ACPI\DSDT\VBOX__`)
+	mustCreate(reg, `HKLM\SYSTEM\CurrentControlSet\Enum\IDE\DiskVBOX_HARDDISK`)
+	for _, img := range []string{
+		`C:\Windows\System32\VBoxService.exe`,
+		`C:\Windows\System32\VBoxTray.exe`,
+	} {
+		m.FS.Touch(img, 700<<10)
+		p := m.Procs.Create(img, img, 4, 0)
+		p.State = ProcessRunning
+	}
+	// VBoxTray runs headless in the analysis session and owns no window,
+	// which is why pafish's window check is the one VirtualBox feature the
+	// stock guest does not trigger (16 of 17 in Table II).
+
+	// The Cuckoo agent and its in-guest monitor. The monitor inline-hooks
+	// ShellExecuteExW in analyzed processes; pafish's hook check sees the
+	// patched prologue (the single Hook trigger without Scarecrow).
+	agent := m.Procs.Create(`C:\Python27\pythonw.exe`, `pythonw.exe C:\agent\agent.py`, 4, 0)
+	agent.State = ProcessRunning
+	m.FS.Touch(`C:\agent\agent.py`, 30<<10)
+	m.MonitorHookedAPIs = []string{"ShellExecuteExW"}
+
+	// The Cuckoo result server sinkholes NX domains so samples see "live"
+	// network: the standard sandbox behaviour WannaCry's kill switch keys
+	// on.
+	m.Net.SinkholeIP = "192.168.56.1"
+
+	ApplyUsage(m, usage)
+	return m
+}
+
+// NewEndUserMachine builds the actively used end-user Windows 7 machine of
+// the evaluation, with VMware Workstation installed "due to work
+// requirements" (its host-side vmnet adapter carries a VMware MAC prefix —
+// the single VMware trigger without Scarecrow).
+func NewEndUserMachine(seed int64) *Machine {
+	return NewEndUserMachineWithUsage(seed, EndUserUsage())
+}
+
+// NewEndUserMachineWithUsage builds the end-user machine at a specific
+// usage level.
+func NewEndUserMachineWithUsage(seed int64, usage UsageLevel) *Machine {
+	m := NewMachine(string(ProfileEndUser), seed)
+	m.Clock = NewClock(9*24*time.Hour, 2.6)
+	m.HW = &Hardware{
+		NumCores: 8, RAMBytes: 16 << 30,
+		CPUVendor: "GenuineIntel", CPUBrand: "Intel(R) Core(TM) i7-6700 CPU @ 3.40GHz",
+		CPUIDCycles: cpuidCyclesEndUser, RDTSCCycles: rdtscCycles,
+		MACs:       []string{"98:e7:43:aa:01:02", "00:50:56:c0:00:08"},
+		BIOSSerial: "5CG1234ABC", SystemManufacturer: "Hewlett-Packard", SystemProductName: "HP EliteDesk 800 G2",
+		ComputerName: "ALICE-DESKTOP", UserName: "alice",
+	}
+	applyWindowsBase(m)
+	setDiskIdentity(m, "Samsung SSD 850 EVO 500GB")
+	m.FS.AddVolume(&Volume{Letter: 'C', TotalBytes: 500 << 30, FreeBytes: 120 << 30, SerialNumber: 0x58A3D901})
+
+	// VMware Workstation (host product, not guest tools).
+	m.FS.Touch(`C:\Program Files (x86)\VMware\VMware Workstation\vmware.exe`, 12<<20)
+	mustCreate(m.Registry, `HKLM\SOFTWARE\VMware, Inc.\VMware Workstation`)
+
+	ApplyUsage(m, usage)
+	return m
+}
+
+// NewVirusTotalSandbox models the VirusTotal public sandbox (Cuckoo on
+// VirtualBox) with its distinctive analysis tool deployment; the crawler of
+// §II-C diffs it against the clean reference.
+func NewVirusTotalSandbox(seed int64) *Machine {
+	m := NewCuckooSandbox(seed, false)
+	m.Profile = string(ProfileVirusTotal)
+	m.HW.ComputerName = "VT-SCAN-12"
+	m.HW.UserName = "currentuser"
+	populatePublicSandbox(m, "vt", 10465, 12, 838)
+	return m
+}
+
+// NewMalwrSandbox models the Malwr public sandbox, including its
+// distinctive 5 GB C: drive the paper calls out.
+func NewMalwrSandbox(seed int64) *Machine {
+	m := NewCuckooSandbox(seed, false)
+	m.Profile = string(ProfileMalwr)
+	m.HW.ComputerName = "MALWR-NODE-3"
+	m.HW.UserName = "malwr"
+	m.FS.AddVolume(&Volume{Letter: 'C', TotalBytes: 5 << 30, FreeBytes: 2 << 30, SerialNumber: 0x0BAD5EED})
+	populatePublicSandbox(m, "malwr", 7044, 9, 609)
+	return m
+}
+
+// populatePublicSandbox provisions the distinctive analysis-tool resources
+// of a public sandbox: unique files, running analysis processes, and
+// registry entries. The per-sandbox counts are calibrated so the §II-C
+// crawl-and-diff yields the paper's totals (17,540 files, 24 processes,
+// 1,457 registry entries across both sandboxes).
+func populatePublicSandbox(m *Machine, tag string, files, procs, regEntries int) {
+	for i := 0; i < files; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\analysis\%s\tools\%s_%05d.bin`, tag, tag, i+1), 4<<10)
+	}
+	for i := 0; i < procs; i++ {
+		img := fmt.Sprintf(`C:\analysis\%s\bin\%s_tool%02d.exe`, tag, tag, i+1)
+		m.FS.Touch(img, 1<<20)
+		p := m.Procs.Create(img, img, 4, 0)
+		p.State = ProcessRunning
+	}
+	for i := 0; i < regEntries; i++ {
+		mustCreate(m.Registry, fmt.Sprintf(`HKLM\SOFTWARE\%sAnalysis\Component%04d`, tag, i+1))
+	}
+}

@@ -1,0 +1,306 @@
+package winsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ValueType is a registry value type (REG_SZ, REG_DWORD, ...).
+type ValueType int
+
+// Registry value types used by the simulation.
+const (
+	RegSZ ValueType = iota + 1
+	RegExpandSZ
+	RegDWord
+	RegQWord
+	RegBinary
+	RegMultiSZ
+)
+
+// Value is a typed registry value.
+type Value struct {
+	Type ValueType
+	// Str holds string data for RegSZ/RegExpandSZ and the joined form for
+	// RegMultiSZ.
+	Str string
+	// Num holds numeric data for RegDWord/RegQWord.
+	Num uint64
+	// Data holds raw bytes for RegBinary.
+	Data []byte
+}
+
+// StringValue builds a REG_SZ value.
+func StringValue(s string) Value { return Value{Type: RegSZ, Str: s} }
+
+// DWordValue builds a REG_DWORD value.
+func DWordValue(n uint32) Value { return Value{Type: RegDWord, Num: uint64(n)} }
+
+// QWordValue builds a REG_QWORD value.
+func QWordValue(n uint64) Value { return Value{Type: RegQWord, Num: n} }
+
+// BinaryValue builds a REG_BINARY value; the slice is copied.
+func BinaryValue(b []byte) Value {
+	d := make([]byte, len(b))
+	copy(d, b)
+	return Value{Type: RegBinary, Data: d}
+}
+
+// Key is a node in the registry tree. Key and value names are
+// case-insensitive, matching Windows semantics; the original casing of the
+// first writer is preserved for display.
+type Key struct {
+	name    string
+	subkeys map[string]*Key    // lowercased name -> key
+	values  map[string]*kvPair // lowercased name -> pair
+}
+
+type kvPair struct {
+	name  string
+	value Value
+}
+
+func newKey(name string) *Key {
+	return &Key{
+		name:    name,
+		subkeys: make(map[string]*Key),
+		values:  make(map[string]*kvPair),
+	}
+}
+
+// Name returns the key's display name.
+func (k *Key) Name() string { return k.name }
+
+// SubkeyNames returns the display names of all direct subkeys, sorted
+// case-insensitively.
+func (k *Key) SubkeyNames() []string {
+	out := make([]string, 0, len(k.subkeys))
+	for _, sk := range k.subkeys {
+		out = append(out, sk.name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
+	return out
+}
+
+// ValueNames returns the display names of all values, sorted
+// case-insensitively.
+func (k *Key) ValueNames() []string {
+	out := make([]string, 0, len(k.values))
+	for _, p := range k.values {
+		out = append(out, p.name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
+	return out
+}
+
+// SubkeyCount returns the number of direct subkeys.
+func (k *Key) SubkeyCount() int { return len(k.subkeys) }
+
+// ValueCount returns the number of values.
+func (k *Key) ValueCount() int { return len(k.values) }
+
+// Registry is the machine's hierarchical configuration database. Paths use
+// backslash separators and begin with a hive name such as HKEY_LOCAL_MACHINE
+// (or its HKLM/HKCU abbreviations); comparisons are case-insensitive.
+type Registry struct {
+	hives map[string]*Key // lowercased canonical hive name
+}
+
+// Canonical hive names.
+const (
+	HiveLocalMachine = "HKEY_LOCAL_MACHINE"
+	HiveCurrentUser  = "HKEY_CURRENT_USER"
+	HiveClassesRoot  = "HKEY_CLASSES_ROOT"
+	HiveUsers        = "HKEY_USERS"
+)
+
+var hiveAliases = map[string]string{
+	"hkey_local_machine": HiveLocalMachine,
+	"hklm":               HiveLocalMachine,
+	"hkey_current_user":  HiveCurrentUser,
+	"hkcu":               HiveCurrentUser,
+	"hkey_classes_root":  HiveClassesRoot,
+	"hkcr":               HiveClassesRoot,
+	"hkey_users":         HiveUsers,
+	"hku":                HiveUsers,
+}
+
+// NewRegistry returns a registry with the four standard hives and no other
+// content.
+func NewRegistry() *Registry {
+	r := &Registry{hives: make(map[string]*Key)}
+	for _, h := range []string{HiveLocalMachine, HiveCurrentUser, HiveClassesRoot, HiveUsers} {
+		r.hives[strings.ToLower(h)] = newKey(h)
+	}
+	return r
+}
+
+// splitPath resolves the hive and remaining path elements of a registry
+// path. Paths without an explicit hive default to HKEY_LOCAL_MACHINE, which
+// matches how the paper (and most evasion write-ups) abbreviates keys such
+// as HARDWARE\Description\System.
+func (r *Registry) splitPath(path string) (*Key, []string, error) {
+	parts := splitRegPath(path)
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("registry: empty path")
+	}
+	if canonical, ok := hiveAliases[strings.ToLower(parts[0])]; ok {
+		return r.hives[strings.ToLower(canonical)], parts[1:], nil
+	}
+	return r.hives[strings.ToLower(HiveLocalMachine)], parts, nil
+}
+
+func splitRegPath(path string) []string {
+	raw := strings.Split(strings.Trim(path, `\`), `\`)
+	out := raw[:0]
+	for _, p := range raw {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OpenKey returns the key at path, or false if any element is missing.
+func (r *Registry) OpenKey(path string) (*Key, bool) {
+	cur, parts, err := r.splitPath(path)
+	if err != nil || cur == nil {
+		return nil, false
+	}
+	for _, p := range parts {
+		next, ok := cur.subkeys[strings.ToLower(p)]
+		if !ok {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// KeyExists reports whether the key at path exists.
+func (r *Registry) KeyExists(path string) bool {
+	_, ok := r.OpenKey(path)
+	return ok
+}
+
+// CreateKey creates the key at path (and any missing ancestors) and returns
+// it. Existing keys are returned unchanged.
+func (r *Registry) CreateKey(path string) (*Key, error) {
+	cur, parts, err := r.splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("registry: unknown hive in %q", path)
+	}
+	for _, p := range parts {
+		lower := strings.ToLower(p)
+		next, ok := cur.subkeys[lower]
+		if !ok {
+			next = newKey(p)
+			cur.subkeys[lower] = next
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// DeleteKey removes the key at path and its entire subtree. It returns
+// false if the key does not exist or path names a hive root.
+func (r *Registry) DeleteKey(path string) bool {
+	cur, parts, err := r.splitPath(path)
+	if err != nil || cur == nil || len(parts) == 0 {
+		return false
+	}
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := cur.subkeys[strings.ToLower(p)]
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+	leaf := strings.ToLower(parts[len(parts)-1])
+	if _, ok := cur.subkeys[leaf]; !ok {
+		return false
+	}
+	delete(cur.subkeys, leaf)
+	return true
+}
+
+// QueryValue returns the named value under the key at path. The empty value
+// name addresses the key's default value.
+func (r *Registry) QueryValue(path, name string) (Value, bool) {
+	k, ok := r.OpenKey(path)
+	if !ok {
+		return Value{}, false
+	}
+	p, ok := k.values[strings.ToLower(name)]
+	if !ok {
+		return Value{}, false
+	}
+	return p.value, true
+}
+
+// SetValue creates the key at path if needed and sets the named value.
+func (r *Registry) SetValue(path, name string, v Value) error {
+	k, err := r.CreateKey(path)
+	if err != nil {
+		return err
+	}
+	k.values[strings.ToLower(name)] = &kvPair{name: name, value: v}
+	return nil
+}
+
+// DeleteValue removes the named value under the key at path, reporting
+// whether it existed.
+func (r *Registry) DeleteValue(path, name string) bool {
+	k, ok := r.OpenKey(path)
+	if !ok {
+		return false
+	}
+	lower := strings.ToLower(name)
+	if _, ok := k.values[lower]; !ok {
+		return false
+	}
+	delete(k.values, lower)
+	return true
+}
+
+// Walk visits every key in the registry in a deterministic order, calling
+// fn with the full path of each key (including the hive prefix).
+func (r *Registry) Walk(fn func(path string, key *Key)) {
+	hiveNames := make([]string, 0, len(r.hives))
+	for n := range r.hives {
+		hiveNames = append(hiveNames, n)
+	}
+	sort.Strings(hiveNames)
+	for _, hn := range hiveNames {
+		hive := r.hives[hn]
+		walkKey(hive.name, hive, fn)
+	}
+}
+
+func walkKey(path string, k *Key, fn func(string, *Key)) {
+	fn(path, k)
+	for _, name := range k.SubkeyNames() {
+		sk := k.subkeys[strings.ToLower(name)]
+		walkKey(path+`\`+sk.name, sk, fn)
+	}
+}
+
+// CountKeys returns the total number of keys in the registry, excluding the
+// hive roots themselves.
+func (r *Registry) CountKeys() int {
+	n := 0
+	r.Walk(func(path string, _ *Key) {
+		if strings.ContainsRune(path, '\\') {
+			n++
+		}
+	})
+	return n
+}

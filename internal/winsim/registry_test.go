@@ -1,0 +1,160 @@
+package winsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryCaseInsensitiveLookup(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.CreateKey(`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		path string
+		want bool
+	}{
+		{"exact", `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`, true},
+		{"lower", `hklm\software\oracle\virtualbox guest additions`, true},
+		{"mixed", `HKEY_LOCAL_MACHINE\Software\ORACLE\VirtualBox GUEST Additions`, true},
+		{"missing leaf", `HKLM\SOFTWARE\Oracle\Nope`, false},
+		{"missing middle", `HKLM\SOFTWARE\Nope\VirtualBox Guest Additions`, false},
+		{"implicit hive", `SOFTWARE\Oracle\VirtualBox Guest Additions`, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.KeyExists(tt.path); got != tt.want {
+				t.Errorf("KeyExists(%q) = %v, want %v", tt.path, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegistryValues(t *testing.T) {
+	r := NewRegistry()
+	if err := r.SetValue(`HKLM\HARDWARE\Description\System`, "SystemBiosVersion", StringValue("VBOX   - 1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := r.QueryValue(`hklm\hardware\description\system`, "systembiosversion")
+	if !ok {
+		t.Fatal("value not found with case-insensitive names")
+	}
+	if v.Type != RegSZ || v.Str != "VBOX   - 1" {
+		t.Errorf("got %+v, want REG_SZ VBOX   - 1", v)
+	}
+	if _, ok := r.QueryValue(`HKLM\HARDWARE\Description\System`, "other"); ok {
+		t.Error("unexpected value hit")
+	}
+	if !r.DeleteValue(`HKLM\HARDWARE\Description\System`, "SystemBiosVersion") {
+		t.Error("DeleteValue reported missing value")
+	}
+	if _, ok := r.QueryValue(`HKLM\HARDWARE\Description\System`, "SystemBiosVersion"); ok {
+		t.Error("value survived deletion")
+	}
+}
+
+func TestRegistryDeleteKeySubtree(t *testing.T) {
+	r := NewRegistry()
+	for _, k := range []string{`HKLM\A\B\C`, `HKLM\A\B\D`, `HKLM\A\E`} {
+		if _, err := r.CreateKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.DeleteKey(`HKLM\A\B`) {
+		t.Fatal("DeleteKey failed")
+	}
+	if r.KeyExists(`HKLM\A\B\C`) || r.KeyExists(`HKLM\A\B`) {
+		t.Error("subtree survived deletion")
+	}
+	if !r.KeyExists(`HKLM\A\E`) {
+		t.Error("sibling deleted")
+	}
+	if r.DeleteKey(`HKLM\A\B`) {
+		t.Error("second delete should report missing")
+	}
+	if r.DeleteKey(`HKLM`) {
+		t.Error("hive roots must not be deletable")
+	}
+}
+
+func TestRegistrySubkeyAndValueCounts(t *testing.T) {
+	r := NewRegistry()
+	const parent = `HKLM\SOFTWARE\Counts`
+	for i := 0; i < 5; i++ {
+		if _, err := r.CreateKey(parent + `\sub` + string(rune('A'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.SetValue(parent, "v"+string(rune('a'+i)), DWordValue(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, ok := r.OpenKey(parent)
+	if !ok {
+		t.Fatal("parent missing")
+	}
+	if k.SubkeyCount() != 5 {
+		t.Errorf("SubkeyCount = %d, want 5", k.SubkeyCount())
+	}
+	if k.ValueCount() != 3 {
+		t.Errorf("ValueCount = %d, want 3", k.ValueCount())
+	}
+	names := k.SubkeyNames()
+	if len(names) != 5 || names[0] != "subA" {
+		t.Errorf("SubkeyNames = %v", names)
+	}
+}
+
+func TestRegistryDisplayCasingPreserved(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.CreateKey(`HKLM\SOFTWARE\VMware, Inc.\VMware Tools`); err != nil {
+		t.Fatal(err)
+	}
+	k, ok := r.OpenKey(`hklm\software\vmware, inc.`)
+	if !ok {
+		t.Fatal("missing key")
+	}
+	if got := k.SubkeyNames()[0]; got != "VMware Tools" {
+		t.Errorf("display name = %q, want %q", got, "VMware Tools")
+	}
+}
+
+func TestRegistryWalkAndCount(t *testing.T) {
+	r := NewRegistry()
+	for _, k := range []string{`HKLM\A\B`, `HKCU\C`} {
+		if _, err := r.CreateKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.CountKeys(); got != 3 {
+		t.Errorf("CountKeys = %d, want 3", got)
+	}
+	var paths []string
+	r.Walk(func(p string, _ *Key) { paths = append(paths, p) })
+	joined := strings.Join(paths, ";")
+	if !strings.Contains(joined, `HKEY_LOCAL_MACHINE\A\B`) {
+		t.Errorf("walk missed HKLM subtree: %v", paths)
+	}
+}
+
+// Property: any key created is findable under any casing, and deleting it
+// makes it unfindable.
+func TestRegistryCreateFindDeleteProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		r := NewRegistry()
+		path := `HKLM\P` + string(rune('A'+a%26)) + `\Q` + string(rune('A'+b%26))
+		if _, err := r.CreateKey(path); err != nil {
+			return false
+		}
+		if !r.KeyExists(strings.ToUpper(path)) || !r.KeyExists(strings.ToLower(path)) {
+			return false
+		}
+		return r.DeleteKey(path) && !r.KeyExists(path)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

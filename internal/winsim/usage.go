@@ -1,0 +1,302 @@
+package winsim
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Registry paths of the wear-and-tear artifacts from Miramirkhani et al.
+// (Table III of the paper). The simulation stores them where the real
+// artifacts live so that the same API call sequences (NtOpenKeyEx,
+// NtQueryKey, ...) observe them.
+const (
+	RegRunKey           = `HKEY_LOCAL_MACHINE\Software\Microsoft\Windows\CurrentVersion\Run`
+	RegDeviceClassesKey = `HKEY_LOCAL_MACHINE\SYSTEM\CurrentControlSet\Control\DeviceClasses`
+	RegUninstallKey     = `HKEY_LOCAL_MACHINE\Software\Microsoft\Windows\CurrentVersion\Uninstall`
+	RegSharedDllsKey    = `HKEY_LOCAL_MACHINE\Software\Microsoft\Windows\CurrentVersion\SharedDlls`
+	RegAppPathsKey      = `HKEY_LOCAL_MACHINE\Software\Microsoft\Windows\CurrentVersion\App Paths`
+	RegActiveSetupKey   = `HKEY_LOCAL_MACHINE\Software\Microsoft\Active Setup\Installed Components`
+	RegUserAssistKey    = `HKEY_CURRENT_USER\Software\Microsoft\Windows\CurrentVersion\Explorer\UserAssist`
+	RegShimCacheKey     = `HKEY_LOCAL_MACHINE\SYSTEM\CurrentControlSet\Control\Session Manager\AppCompatCache`
+	RegMUICacheKey      = `HKEY_CURRENT_USER\Software\Classes\Local Settings\Software\Microsoft\Windows\Shell\MuiCache`
+	RegFirewallRulesKey = `HKEY_LOCAL_MACHINE\SYSTEM\ControlSet001\services\SharedAccess\Parameters\FirewallPolicy\FirewallRules`
+	RegUSBStorKey       = `HKEY_LOCAL_MACHINE\SYSTEM\CurrentControlSet\Services\UsbStor`
+
+	// Additional usage-bearing keys read by the non-faked wear-and-tear
+	// artifacts (internal/weartear).
+	RegTypedURLsKey      = `HKEY_CURRENT_USER\Software\Microsoft\Internet Explorer\TypedURLs`
+	RegRecentDocsKey     = `HKEY_CURRENT_USER\Software\Microsoft\Windows\CurrentVersion\Explorer\RecentDocs`
+	RegRunMRUKey         = `HKEY_CURRENT_USER\Software\Microsoft\Windows\CurrentVersion\Explorer\RunMRU`
+	RegMountedDevicesKey = `HKEY_LOCAL_MACHINE\SYSTEM\MountedDevices`
+	RegNetworkProfiles   = `HKEY_LOCAL_MACHINE\SOFTWARE\Microsoft\Windows NT\CurrentVersion\NetworkList\Profiles`
+	RegMappedDrivesKey   = `HKEY_CURRENT_USER\Network`
+	RegProxySettingsKey  = `HKEY_CURRENT_USER\Software\Microsoft\Windows\CurrentVersion\Internet Settings`
+)
+
+// UsageLevel quantifies how "worn" a machine looks: the entry counts behind
+// each wear-and-tear artifact. Sandboxes run close to pristine images
+// (small counts); actively used end-user machines accumulate large ones.
+type UsageLevel struct {
+	DNSCacheEntries   int
+	EventLogEvents    int
+	EventLogSources   int
+	DeviceClasses     int
+	AutoRunPrograms   int
+	RegistryQuotaMB   int
+	UninstallEntries  int
+	SharedDlls        int
+	MissingDlls       int // subset of SharedDlls whose backing file is absent
+	AppPaths          int
+	ActiveSetup       int
+	UserAssistKeys    int
+	UserAssistEntries int
+	ShimCacheEntries  int
+	MUICacheEntries   int
+	FirewallRules     int
+	USBDevices        int
+	// InstalledPrograms adds per-program files and Start Menu shortcuts
+	// alongside the Uninstall entries.
+	InstalledPrograms int
+	// BrowserHistory adds browser profile files (cookies, cache entries).
+	BrowserHistory int
+
+	// Further artifacts read by the wear-and-tear fingerprinter.
+	TypedURLs       int
+	RecentDocs      int
+	RunMRU          int
+	MountedDevices  int
+	NetworkProfiles int
+	MappedDrives    int
+	ProxyConfigured bool
+	HostsEntries    int
+	DownloadsFiles  int
+	DocumentsFiles  int
+	DesktopFiles    int
+	TempFiles       int
+	CookieFiles     int
+	RunningApps     int
+}
+
+// SandboxUsage is the near-pristine usage level of a freshly provisioned
+// analysis image, matching the sandbox statistics the paper says it took
+// its deceptive wear-and-tear values from.
+func SandboxUsage() UsageLevel {
+	return UsageLevel{
+		DNSCacheEntries:   4,
+		EventLogEvents:    8000,
+		EventLogSources:   9,
+		DeviceClasses:     29,
+		AutoRunPrograms:   3,
+		RegistryQuotaMB:   53,
+		UninstallEntries:  6,
+		SharedDlls:        115,
+		MissingDlls:       2,
+		AppPaths:          14,
+		ActiveSetup:       12,
+		UserAssistKeys:    2,
+		UserAssistEntries: 7,
+		ShimCacheEntries:  40,
+		MUICacheEntries:   12,
+		FirewallRules:     130,
+		USBDevices:        1,
+		InstalledPrograms: 4,
+		BrowserHistory:    0,
+		TypedURLs:         1,
+		RecentDocs:        2,
+		RunMRU:            0,
+		MountedDevices:    3,
+		NetworkProfiles:   1,
+		MappedDrives:      0,
+		ProxyConfigured:   false,
+		HostsEntries:      1,
+		DownloadsFiles:    1,
+		DocumentsFiles:    0,
+		DesktopFiles:      2,
+		TempFiles:         5,
+		CookieFiles:       0,
+		RunningApps:       0,
+	}
+}
+
+// EndUserUsage is the usage level of an actively used end-user machine.
+func EndUserUsage() UsageLevel {
+	return UsageLevel{
+		DNSCacheEntries:   130,
+		EventLogEvents:    64000,
+		EventLogSources:   58,
+		DeviceClasses:     210,
+		AutoRunPrograms:   11,
+		RegistryQuotaMB:   210,
+		UninstallEntries:  74,
+		SharedDlls:        820,
+		MissingDlls:       37,
+		AppPaths:          66,
+		ActiveSetup:       38,
+		UserAssistKeys:    2,
+		UserAssistEntries: 160,
+		ShimCacheEntries:  780,
+		MUICacheEntries:   240,
+		FirewallRules:     520,
+		USBDevices:        12,
+		InstalledPrograms: 42,
+		BrowserHistory:    900,
+		TypedURLs:         45,
+		RecentDocs:        80,
+		RunMRU:            14,
+		MountedDevices:    18,
+		NetworkProfiles:   7,
+		MappedDrives:      2,
+		ProxyConfigured:   true,
+		HostsEntries:      9,
+		DownloadsFiles:    60,
+		DocumentsFiles:    140,
+		DesktopFiles:      24,
+		TempFiles:         220,
+		CookieFiles:       350,
+		RunningApps:       12,
+	}
+}
+
+// ApplyUsage writes the wear-and-tear state for the given usage level onto
+// the machine: registry entries, event log contents, DNS cache, installed
+// program files, and the registry quota figure.
+func ApplyUsage(m *Machine, u UsageLevel) {
+	reg := m.Registry
+
+	for i := 0; i < u.AutoRunPrograms; i++ {
+		name := fmt.Sprintf("StartupApp%02d", i+1)
+		mustSet(reg, RegRunKey, name, StringValue(`C:\Program Files\`+name+`\`+name+`.exe`))
+	}
+	for i := 0; i < u.DeviceClasses; i++ {
+		mustCreate(reg, RegDeviceClassesKey+`\`+fmt.Sprintf("{deadbeef-0000-0000-0000-%012d}", i+1))
+	}
+	for i := 0; i < u.UninstallEntries; i++ {
+		key := RegUninstallKey + `\` + fmt.Sprintf("Product%03d", i+1)
+		mustCreate(reg, key)
+		mustSet(reg, key, "DisplayName", StringValue(fmt.Sprintf("Product %03d", i+1)))
+	}
+	for i := 0; i < u.SharedDlls; i++ {
+		path := fmt.Sprintf(`C:\Windows\System32\shared%04d.dll`, i+1)
+		mustSet(reg, RegSharedDllsKey, path, DWordValue(1))
+		if i >= u.SharedDlls-u.MissingDlls {
+			continue // missing DLL: registered but never written to disk
+		}
+		m.FS.Touch(path, 64<<10)
+	}
+	for i := 0; i < u.AppPaths; i++ {
+		mustCreate(reg, RegAppPathsKey+`\`+fmt.Sprintf("app%02d.exe", i+1))
+	}
+	for i := 0; i < u.ActiveSetup; i++ {
+		mustCreate(reg, RegActiveSetupKey+`\`+fmt.Sprintf("{c0mp0nent-%04d}", i+1))
+	}
+	for i := 0; i < u.UserAssistKeys; i++ {
+		countKey := RegUserAssistKey + `\` + fmt.Sprintf(`{guid-%04d}\Count`, i+1)
+		mustCreate(reg, countKey)
+		for j := 0; j < u.UserAssistEntries/max(1, u.UserAssistKeys); j++ {
+			mustSet(reg, countKey, fmt.Sprintf("rot13-entry-%04d", j+1), BinaryValue([]byte{0x2}))
+		}
+	}
+	for i := 0; i < u.ShimCacheEntries; i++ {
+		mustSet(reg, RegShimCacheKey, fmt.Sprintf("entry%04d", i+1), BinaryValue([]byte{0x1}))
+	}
+	for i := 0; i < u.MUICacheEntries; i++ {
+		mustSet(reg, RegMUICacheKey, fmt.Sprintf(`C:\Program Files\app%03d\app.exe`, i+1), StringValue("App"))
+	}
+	for i := 0; i < u.FirewallRules; i++ {
+		mustSet(reg, RegFirewallRulesKey, fmt.Sprintf("Rule%04d", i+1), StringValue("v2.10|Action=Allow|"))
+	}
+	for i := 0; i < u.USBDevices; i++ {
+		mustCreate(reg, RegUSBStorKey+`\`+fmt.Sprintf("Disk&Ven_Vendor%02d", i+1))
+	}
+
+	m.EventLog.Append("Service Control Manager", u.EventLogEvents/2)
+	perSource := u.EventLogEvents / 2 / max(1, u.EventLogSources-1)
+	for i := 0; i < u.EventLogSources-1; i++ {
+		m.EventLog.Append("Source-"+strconv.Itoa(i+1), perSource)
+	}
+
+	for i := 0; i < u.DNSCacheEntries; i++ {
+		domain := fmt.Sprintf("site%03d.example.com", i+1)
+		m.Net.AddRecord(domain, SyntheticAddr(domain))
+		m.Net.Cache.Add(domain)
+	}
+
+	m.RegistryQuotaUsed = uint64(u.RegistryQuotaMB) << 20
+
+	for i := 0; i < u.InstalledPrograms; i++ {
+		dir := fmt.Sprintf(`C:\Program Files\Vendor%02d\App`, i+1)
+		m.FS.Touch(dir+`\app.exe`, 2<<20)
+		m.FS.Touch(dir+`\app.dll`, 1<<20)
+		m.FS.Touch(fmt.Sprintf(`C:\ProgramData\Microsoft\Windows\Start Menu\Programs\App%02d.lnk`, i+1), 1<<10)
+	}
+	for i := 0; i < u.BrowserHistory; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\Users\%s\AppData\Local\Browser\Cache\f_%06d`, m.HW.UserName, i+1), 16<<10)
+	}
+
+	for i := 0; i < u.TypedURLs; i++ {
+		mustSet(reg, RegTypedURLsKey, fmt.Sprintf("url%d", i+1), StringValue(fmt.Sprintf("http://site%03d.example.com/", i+1)))
+	}
+	for i := 0; i < u.RecentDocs; i++ {
+		mustSet(reg, RegRecentDocsKey, strconv.Itoa(i), BinaryValue([]byte{0x3}))
+	}
+	for i := 0; i < u.RunMRU; i++ {
+		mustSet(reg, RegRunMRUKey, string(rune('a'+i%26)), StringValue("cmd"))
+	}
+	for i := 0; i < u.MountedDevices; i++ {
+		mustSet(reg, RegMountedDevicesKey, fmt.Sprintf(`\DosDevices\%c:`, 'C'+i), BinaryValue([]byte{0x4}))
+	}
+	for i := 0; i < u.NetworkProfiles; i++ {
+		mustCreate(reg, RegNetworkProfiles+`\`+fmt.Sprintf("{net-profile-%04d}", i+1))
+	}
+	for i := 0; i < u.MappedDrives; i++ {
+		mustCreate(reg, RegMappedDrivesKey+`\`+string(rune('S'+i)))
+	}
+	mustCreate(reg, RegProxySettingsKey)
+	if u.ProxyConfigured {
+		mustSet(reg, RegProxySettingsKey, "ProxyEnable", DWordValue(1))
+	} else {
+		mustSet(reg, RegProxySettingsKey, "ProxyEnable", DWordValue(0))
+	}
+
+	var hosts []byte
+	for i := 0; i < u.HostsEntries; i++ {
+		hosts = append(hosts, []byte(fmt.Sprintf("10.1.2.%d host%d.corp.example\r\n", i+1, i+1))...)
+	}
+	if err := m.FS.WriteFile(`C:\Windows\System32\drivers\etc\hosts`, hosts); err != nil {
+		panic(err)
+	}
+
+	user := m.HW.UserName
+	for i := 0; i < u.DownloadsFiles; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\Users\%s\Downloads\file%04d.bin`, user, i+1), 1<<20)
+	}
+	for i := 0; i < u.DocumentsFiles; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\Users\%s\Documents\doc%04d.docx`, user, i+1), 64<<10)
+	}
+	for i := 0; i < u.DesktopFiles; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\Users\%s\Desktop\item%03d.lnk`, user, i+1), 1<<10)
+	}
+	for i := 0; i < u.TempFiles; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\Windows\Temp\tmp%05d.tmp`, i+1), 4<<10)
+	}
+	for i := 0; i < u.CookieFiles; i++ {
+		m.FS.Touch(fmt.Sprintf(`C:\Users\%s\AppData\Roaming\Browser\Cookies\c_%06d.txt`, user, i+1), 1<<10)
+	}
+	for i := 0; i < u.RunningApps; i++ {
+		img := fmt.Sprintf(`C:\Program Files\Vendor%02d\App\app.exe`, i%max(1, u.InstalledPrograms)+1)
+		p := m.Procs.Create(img, img, 4, 0)
+		p.State = ProcessRunning
+	}
+}
+
+func mustSet(r *Registry, key, name string, v Value) {
+	if err := r.SetValue(key, name, v); err != nil {
+		panic(fmt.Sprintf("winsim: populating %s: %v", key, err))
+	}
+}
+
+func mustCreate(r *Registry, key string) {
+	if _, err := r.CreateKey(key); err != nil {
+		panic(fmt.Sprintf("winsim: creating %s: %v", key, err))
+	}
+}

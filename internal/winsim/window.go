@@ -1,0 +1,103 @@
+package winsim
+
+import (
+	"sort"
+	"strings"
+)
+
+// Window is a top-level GUI window as seen by FindWindow: a class name and
+// a title, owned by a process. Evasive malware enumerates windows to detect
+// debugger front-ends (e.g. OLLYDBG, WinDbgFrameClass) and sandbox tray
+// tools.
+type Window struct {
+	Class string
+	Title string
+	PID   int
+}
+
+// WindowManager tracks top-level windows.
+type WindowManager struct {
+	windows []Window
+}
+
+// NewWindowManager returns an empty window manager.
+func NewWindowManager() *WindowManager { return &WindowManager{} }
+
+// Add registers a window.
+func (wm *WindowManager) Add(w Window) { wm.windows = append(wm.windows, w) }
+
+// Find returns the first window matching the given class and/or title,
+// case-insensitively. Empty strings match anything, as with FindWindow's
+// NULL arguments; at least one of class or title must be non-empty.
+func (wm *WindowManager) Find(class, title string) (Window, bool) {
+	if class == "" && title == "" {
+		return Window{}, false
+	}
+	lc, lt := strings.ToLower(class), strings.ToLower(title)
+	for _, w := range wm.windows {
+		if lc != "" && strings.ToLower(w.Class) != lc {
+			continue
+		}
+		if lt != "" && strings.ToLower(w.Title) != lt {
+			continue
+		}
+		return w, true
+	}
+	return Window{}, false
+}
+
+// Classes returns the sorted distinct window class names.
+func (wm *WindowManager) Classes() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, w := range wm.windows {
+		key := strings.ToLower(w.Class)
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, w.Class)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoveByPID drops all windows owned by the given process.
+func (wm *WindowManager) RemoveByPID(pid int) {
+	kept := wm.windows[:0]
+	for _, w := range wm.windows {
+		if w.PID != pid {
+			kept = append(kept, w)
+		}
+	}
+	wm.windows = kept
+}
+
+// Mouse models pointer activity. Analysis environments typically show no
+// pointer movement while a sample runs; actively used end-user machines do.
+// Pafish's mouse_activity check samples the cursor twice across a sleep and
+// flags the environment when the position never changes.
+type Mouse struct {
+	// Active indicates a human is moving the pointer during execution.
+	Active bool
+	// baseX/baseY seed the deterministic cursor walk.
+	baseX, baseY int
+}
+
+// NewMouse returns a mouse model; active mice produce a cursor position
+// that changes as virtual time advances.
+func NewMouse(active bool, seedX, seedY int) *Mouse {
+	return &Mouse{Active: active, baseX: seedX, baseY: seedY}
+}
+
+// CursorAt returns the pointer position at the given virtual uptime. Static
+// mice always return the base position.
+func (m *Mouse) CursorAt(uptimeMillis uint64) (x, y int) {
+	if !m.Active {
+		return m.baseX, m.baseY
+	}
+	// A deterministic pseudo-walk: the position drifts with time so two
+	// samples more than a few milliseconds apart differ.
+	t := int(uptimeMillis)
+	return m.baseX + (t/7)%640, m.baseY + (t/11)%480
+}
