@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet lint race ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# scarelint is the repo's own static-analysis suite (internal/lint): it
+# enforces the simulation's consistency invariants — no dropped
+# winapi.Status results, hook names in sync with winapi's apiCatalog and
+# the engine handler table, no wall-clock/global-RNG reads in simulation
+# packages, fully-populated trace events.
+lint:
+	$(GO) run ./cmd/scarelint ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci mirrors .github/workflows/ci.yml: the tier-1 verify plus the static
+# checks. `make ci` green locally means CI is green.
+ci: build vet lint race

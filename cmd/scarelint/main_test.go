@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"scarecrow/internal/lint"
+)
+
+func TestListExitsClean(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	subset, err := selectAnalyzers("statuscheck, virtualclock")
+	if err != nil || len(subset) != 2 {
+		t.Fatalf("selectAnalyzers subset = %v, err %v; want 2 analyzers", subset, err)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("selectAnalyzers(nosuch) succeeded, want error")
+	}
+}
+
+// TestRunOnOwnModule runs the full suite over the repository the test is
+// part of; the tree must be clean (this is the same invariant CI enforces
+// via `go run ./cmd/scarelint ./...`).
+func TestRunOnOwnModule(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{root + "/..."}); code != 0 {
+		t.Fatalf("scarelint ./... = exit %d, want 0 (tree must be lint-clean)", code)
+	}
+}

@@ -143,7 +143,7 @@ func HookOverhead() (unhooked, hooked time.Duration) {
 	p := sys.Launch(`C:\bench.exe`, "", nil)
 	ctx := sys.Context(p)
 	start := m.Clock.Now()
-	ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
+	_ = ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
 	unhooked = m.Clock.Now() - start
 
 	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.DefaultConfig()))
@@ -151,7 +151,7 @@ func HookOverhead() (unhooked, hooked time.Duration) {
 		panic(err)
 	}
 	start = m.Clock.Now()
-	ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
+	_ = ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
 	hooked = m.Clock.Now() - start
 	return unhooked, hooked
 }

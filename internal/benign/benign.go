@@ -70,15 +70,15 @@ func (p Program) Install(ctx *winapi.Context) bool {
 		return false
 	}
 	for i := 0; i < p.PayloadFiles; i++ {
-		ctx.WriteFile(fmt.Sprintf(`%s\file%02d.dll`, p.InstallDir(), i+1), []byte("MZ benign"))
+		_ = ctx.WriteFile(fmt.Sprintf(`%s\file%02d.dll`, p.InstallDir(), i+1), []byte("MZ benign"))
 	}
-	ctx.WriteFile(p.MainExecutable(), []byte("MZ "+p.Name))
+	_ = ctx.WriteFile(p.MainExecutable(), []byte("MZ "+p.Name))
 	uninstall := winsim.RegUninstallKey + `\` + p.slug()
-	ctx.RegCreateKeyEx(uninstall)
-	ctx.RegSetValueEx(uninstall, "DisplayName", winsim.StringValue(p.Name))
-	ctx.RegSetValueEx(uninstall, "Publisher", winsim.StringValue(p.Vendor))
+	_ = ctx.RegCreateKeyEx(uninstall)
+	_ = ctx.RegSetValueEx(uninstall, "DisplayName", winsim.StringValue(p.Name))
+	_ = ctx.RegSetValueEx(uninstall, "Publisher", winsim.StringValue(p.Vendor))
 	if p.AutoStart {
-		ctx.RegSetValueEx(winsim.RegRunKey, p.slug(), winsim.StringValue(p.MainExecutable()))
+		_ = ctx.RegSetValueEx(winsim.RegRunKey, p.slug(), winsim.StringValue(p.MainExecutable()))
 	}
 	return true
 }
@@ -96,7 +96,7 @@ func (p Program) Operate(ctx *winapi.Context) bool {
 	if addr, st := ctx.DnsQuery(p.UpdateDomain); st.OK() {
 		_, _ = ctx.InternetOpenUrl(addr)
 	}
-	ctx.WriteFile(p.InstallDir()+`\session.log`, []byte("session ok"))
+	_ = ctx.WriteFile(p.InstallDir()+`\session.log`, []byte("session ok"))
 	return true
 }
 

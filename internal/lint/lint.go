@@ -1,0 +1,137 @@
+// Package lint is scarecrow's in-tree static-analysis suite: a small,
+// self-contained framework in the style of golang.org/x/tools/go/analysis
+// (which is deliberately not imported so the repo builds with a bare
+// toolchain and no module downloads) plus four repo-specific analyzers
+// that turn the simulation's runtime invariants into build errors:
+//
+//   - statuscheck: a winapi.Status result must never be silently dropped.
+//   - hookcatalog: every string-literal API name at a hook-installation or
+//     trigger-reporting site must exist in winapi's apiCatalog, and the
+//     deceptive hook surface (core.HookedAPIs) must stay in sync with the
+//     engine's handler table.
+//   - virtualclock: simulation packages must use the virtual clock and the
+//     machine's seeded RNG, never the wall clock or global math/rand.
+//   - tracecomplete: trace.Event literals must populate the fields the
+//     labrunner diffing keys on (Kind, PID, Image, Target).
+//
+// The paper's whole deception premise is consistency — one mismatched
+// artifact (an unhooked API, a wrong timestamp) lets evasive malware see
+// through the camouflage — so these invariants are enforced before the
+// code ever runs. cmd/scarelint is the multichecker entry point.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name for diagnostics, one-line
+// documentation, and the function that inspects a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	loader *Loader
+	sink   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PackageSyntax returns the parsed files of another module-local package
+// (the analyzed package itself included). Analyzers use it to read
+// declarations that types alone do not expose — e.g. the apiCatalog map
+// literal in internal/winapi. It stands in for go/analysis facts.
+func (p *Pass) PackageSyntax(path string) ([]*ast.File, error) {
+	if p.Pkg != nil && path == p.Pkg.Path() {
+		return p.Files, nil
+	}
+	pkg, err := p.loader.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Syntax, nil
+}
+
+// Analyzers returns the full scarelint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete}
+}
+
+// Run executes the analyzers over the packages and returns all diagnostics
+// sorted by file position. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				loader:    pkg.loader,
+				sink:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// nodeString renders an AST node compactly for diagnostics ("c.CreateFile").
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, n); err != nil {
+		return "expression"
+	}
+	return sb.String()
+}

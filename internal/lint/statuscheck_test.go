@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestStatusCheck(t *testing.T) {
+	RunFixture(t, StatusCheck, "statuscheck", "scarecrow/internal/lint/testdata/statuscheck")
+}

@@ -1,0 +1,47 @@
+// Fixture: API names at hooking sites checked against winapi's apiCatalog.
+package fixture
+
+import (
+	"scarecrow/internal/core"
+	"scarecrow/internal/winapi"
+)
+
+var HookedAPIs = []string{
+	"RegOpenKeyEx",
+	"RegOpenKeyExx", // want `hooked API "RegOpenKeyExx" is not in winapi's apiCatalog`
+	"WMIQuery",      // want `hooked API "WMIQuery" is marked not hookable`
+}
+
+func install(sys *winapi.System, pid int) error {
+	handlers := map[string]winapi.HookHandler{ // want `hooked APIs have no handler in this table: RegOpenKeyExx`
+		"RegOpenKeyEx": nil,
+		"WMIQuery":     nil,
+		"CreateFil":    nil, // want `hook handler key "CreateFil" is not in winapi's apiCatalog` `handler for "CreateFil" is not in HookedAPIs`
+	}
+	for _, api := range HookedAPIs {
+		if err := sys.InstallHook(pid, api, handlers[api]); err != nil {
+			return err
+		}
+	}
+	if err := sys.InstallHook(pid, "GetTickCountt", nil); err != nil { // want `API "GetTickCountt" passed to InstallHook is not in winapi's apiCatalog`
+		return err
+	}
+	if err := sys.InstallHook(pid, "WMIQuery", nil); err != nil { // want `API "WMIQuery" passed to InstallHook is marked not hookable`
+		return err
+	}
+	if err := sys.InstallKernelHook("NtQueryKey", nil); err != nil {
+		return err
+	}
+	return sys.InstallKernelHook("GetTickCount", nil) // want `API "GetTickCount" passed to InstallKernelHook is not an Nt\* system call`
+}
+
+func probe(c *winapi.Context) bool {
+	if c.PrologueIntact("DeleteFile") {
+		return true
+	}
+	return c.PrologueIntact("DeleteFilee") // want `API "DeleteFilee" passed to PrologueIntact is not in winapi's apiCatalog`
+}
+
+func report() core.TriggerReport {
+	return core.TriggerReport{API: "NtQueryKeyy"} // want `TriggerReport.API "NtQueryKeyy" is not in winapi's apiCatalog`
+}

@@ -1,0 +1,20 @@
+// Fixture: sanctioned ways of consuming a winapi.Status.
+package fixture
+
+import "scarecrow/internal/winapi"
+
+func handlesStatus(c *winapi.Context) bool {
+	if st := c.CreateFile(`C:\probe\vbox.sys`); !st.OK() {
+		return false
+	}
+	data, st := c.ReadFile(`C:\config.ini`)
+	if !st.OK() || len(data) == 0 {
+		return false
+	}
+	// An explicit blank assignment documents a deliberate discard.
+	_ = c.DeleteFile(`C:\drop.exe`)
+	_, _ = c.ReadFile(`C:\other.ini`)
+	// Calls with no Status in their results are never flagged.
+	c.CPUID()
+	return true
+}

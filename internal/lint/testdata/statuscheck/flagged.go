@@ -1,0 +1,12 @@
+// Fixture: calls whose winapi.Status result is silently dropped.
+package fixture
+
+import "scarecrow/internal/winapi"
+
+func dropsStatus(c *winapi.Context) {
+	c.CreateFile(`C:\probe\vbox.sys`)      // want `result of c\.CreateFile contains a winapi\.Status that is silently discarded`
+	c.ReadFile(`C:\config.ini`)            // want `result of c\.ReadFile contains a winapi\.Status that is silently discarded`
+	c.RegOpenKeyEx(`HKLM\SOFTWARE\Oracle`) // want `result of c\.RegOpenKeyEx contains a winapi\.Status that is silently discarded`
+	go c.Connect("10.0.0.1:443")           // want `result of c\.Connect contains a winapi\.Status that is discarded by the go statement`
+	defer c.DeleteFile(`C:\drop.exe`)      // want `result of c\.DeleteFile contains a winapi\.Status that is discarded by the defer statement`
+}

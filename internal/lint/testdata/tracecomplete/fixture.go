@@ -1,0 +1,18 @@
+// Fixture: trace.Event literals must identify the event (Kind), the
+// acting process (PID, Image) and the acted-on object (Target).
+package fixture
+
+import "scarecrow/internal/trace"
+
+func emit(r *trace.Recorder, pid int) {
+	r.Record(trace.Event{
+		Kind: trace.KindAPICall, PID: pid, Image: "malware.exe",
+		Target: "CreateFile", Success: true,
+	})
+	r.Record(trace.Event{ // want `trace\.Event literal must identify the event for the labrunner diff; missing: Image, Target`
+		Kind: trace.KindFileWrite, PID: pid,
+	})
+	r.Record(trace.Event{Target: "dns.example"}) // want `missing: Kind, PID, Image`
+	zero := trace.Event{}                        // want `missing: Kind, PID, Image, Target`
+	r.Record(zero)
+}

@@ -1,0 +1,26 @@
+// Fixture: wall-clock and global-RNG use inside a simulation package
+// (this fixture is loaded under a scarecrow/internal/winsim/... import
+// path, which places it in the virtualclock scope).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock(t0 time.Time) time.Duration {
+	_ = time.Now()               // want `time\.Now reads the wall clock in simulation code`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock in simulation code`
+	return time.Since(t0)        // want `time\.Since reads the wall clock in simulation code`
+}
+
+func globalRNG() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the global RNG source in simulation code`
+	return rand.Intn(5)                // want `rand\.Intn uses the global RNG source in simulation code`
+}
+
+// Sanctioned: duration arithmetic and an explicitly seeded generator.
+func deterministic(seed int64) (time.Duration, int) {
+	rng := rand.New(rand.NewSource(seed))
+	return 3 * time.Second, rng.Intn(5)
+}

@@ -1,0 +1,21 @@
+// Fixture: the same wall-clock and global-RNG calls as the virtualclock
+// fixture, but loaded under an import path outside the simulation scope —
+// tooling (cmd/, internal/analysis) may legitimately read the wall clock,
+// so none of these lines are findings.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock(t0 time.Time) time.Duration {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}
+
+func globalRNG() int {
+	rand.Shuffle(3, func(i, j int) {})
+	return rand.Intn(5)
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// tracePath is the import path of the kernel-event stream package.
+const tracePath = "scarecrow/internal/trace"
+
+// traceEventRequired lists the Event fields every emission site must
+// populate: Kind classifies the record, PID and Image attribute it to a
+// process, and Target carries the acted-on object (for KindAPICall, the
+// API name). The labrunner verdict diff and the JSONL codec key on these
+// fields, so a half-filled event corrupts the with/without-Scarecrow
+// comparison silently.
+var traceEventRequired = []string{"Kind", "PID", "Image", "Target"}
+
+// TraceComplete requires trace.Event composite literals outside the trace
+// package itself to populate the identifying fields explicitly. Inside
+// package trace, zero values are legitimate (decoders and diff buffers
+// fill fields programmatically).
+var TraceComplete = &Analyzer{
+	Name: "tracecomplete",
+	Doc:  "require trace.Event literals to populate Kind, PID, Image and Target",
+	Run:  runTraceComplete,
+}
+
+func runTraceComplete(pass *Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Path() == tracePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isTraceEvent(pass.TypesInfo, lit) {
+				return true
+			}
+			if len(lit.Elts) > 0 {
+				if _, ok := lit.Elts[0].(*ast.KeyValueExpr); !ok {
+					// Positional literals must name every field to compile.
+					return true
+				}
+			}
+			present := make(map[string]bool, len(lit.Elts))
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						present[key.Name] = true
+					}
+				}
+			}
+			var missing []string
+			for _, field := range traceEventRequired {
+				if !present[field] {
+					missing = append(missing, field)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(lit.Pos(), "trace.Event literal must identify the event for the labrunner diff; missing: %s",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTraceEvent(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == tracePath
+}

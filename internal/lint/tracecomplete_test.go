@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestTraceComplete(t *testing.T) {
+	RunFixture(t, TraceComplete, "tracecomplete", "scarecrow/internal/lint/testdata/tracecomplete")
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VirtualClockScope lists the package trees that must be deterministic:
+// everything malware can observe flows through the virtual clock
+// (winsim.Clock) and the machine's seeded RNG (Machine.Rand), so that the
+// same profile and seed replay bit for bit and the labrunner's with/without
+// trace diff never sees wall-clock jitter. Wall-clock and global-RNG reads
+// in these trees are findings.
+var VirtualClockScope = []string{
+	"scarecrow/internal/winsim",
+	"scarecrow/internal/winapi",
+	"scarecrow/internal/core",
+}
+
+// VirtualClock forbids wall-clock time and the global math/rand source
+// inside the simulation packages.
+var VirtualClock = &Analyzer{
+	Name: "virtualclock",
+	Doc:  "forbid time.Now/time.Sleep and the global math/rand source in simulation packages",
+	Run:  runVirtualClock,
+}
+
+// bannedTimeFuncs are the package time functions that read or wait on the
+// wall clock. Pure-value helpers (time.Duration arithmetic, constants,
+// ParseDuration) remain allowed.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "read the virtual clock (winsim.Clock.Now) instead",
+	"Sleep":     "advance the virtual clock (winsim.Clock.Advance or Context.Sleep) instead",
+	"Since":     "subtract winsim.Clock.Now values instead",
+	"Until":     "subtract winsim.Clock.Now values instead",
+	"After":     "schedule on the virtual clock instead",
+	"AfterFunc": "schedule on the virtual clock instead",
+	"Tick":      "schedule on the virtual clock instead",
+	"NewTimer":  "schedule on the virtual clock instead",
+	"NewTicker": "schedule on the virtual clock instead",
+}
+
+// bannedRandFuncs are the math/rand package-level functions backed by the
+// process-global source. Building a seeded generator (rand.New,
+// rand.NewSource) is the sanctioned pattern and stays legal.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+}
+
+func runVirtualClock(pass *Pass) error {
+	if pass.Pkg == nil || !packagePathIn(pass.Pkg.Path(), VirtualClockScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods (e.g. a seeded *rand.Rand's Intn) are fine; only
+				// the package-level wall-clock/global-source functions are
+				// banned.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if hint, banned := bannedTimeFuncs[fn.Name()]; banned {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in simulation code; %s", fn.Name(), hint)
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s uses the global RNG source in simulation code; use the machine's seeded generator (winsim.Machine.Rand) instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

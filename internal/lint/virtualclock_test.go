@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+// The same fixture source is checked twice: loaded under a simulation
+// import path every wall-clock call is a finding, and loaded under a
+// tooling path the analyzer stays silent.
+func TestVirtualClockInScope(t *testing.T) {
+	RunFixture(t, VirtualClock, "virtualclock", "scarecrow/internal/winsim/lintfixture")
+}
+
+func TestVirtualClockOutOfScope(t *testing.T) {
+	RunFixture(t, VirtualClock, "virtualclock_out", "scarecrow/internal/lint/testdata/virtualclock_out")
+}
