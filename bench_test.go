@@ -30,9 +30,21 @@ var printOnce sync.Once
 func printReports(b *testing.B) {
 	printOnce.Do(func() {
 		b.Logf("\n%s", analysis.Table1(analysis.NewLab(42)))
-		b.Logf("\n%s", analysis.Table2(1))
-		b.Logf("\n%s", analysis.Table3(7))
-		b.Logf("\n%s", analysis.RunBenign(7))
+		table2, err := analysis.Table2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", table2)
+		table3, err := analysis.Table3(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", table3)
+		benign, err := analysis.RunBenign(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", benign)
 	})
 }
 
@@ -60,7 +72,9 @@ func BenchmarkFigure4MalGeneCorpus(b *testing.B) {
 	b.ReportMetric(report.DeactivationRate(), "%deactivated")
 	b.ReportMetric(report.SpawnLoopRate(), "%spawnloops")
 	b.ReportMetric(float64(report.SpawnersUsingIsDebugger), "isdbg-spawners")
+	b.ReportMetric(float64(report.Health.VerdictErrors), "run-errors")
 	b.Logf("\n%s", report)
+	b.Logf("%s", report.Health)
 }
 
 // BenchmarkFigure4Sample100 sweeps a stratified 100-sample slice of the
@@ -82,8 +96,11 @@ func BenchmarkFigure4Sample100(b *testing.B) {
 // battery across the three environments, with and without Scarecrow.
 func BenchmarkTable2Pafish(b *testing.B) {
 	var report analysis.Table2Report
+	var err error
 	for i := 0; i < b.N; i++ {
-		report = analysis.Table2(1)
+		if report, err = analysis.Table2(1); err != nil {
+			b.Fatal(err)
+		}
 	}
 	vbox := report.Cells["VM sandbox"]["VirtualBox"]
 	b.ReportMetric(float64(vbox.With), "vm-vbox-with")
@@ -95,8 +112,11 @@ func BenchmarkTable2Pafish(b *testing.B) {
 // extension.
 func BenchmarkTable3WearAndTear(b *testing.B) {
 	var report analysis.Table3Report
+	var err error
 	for i := 0; i < b.N; i++ {
-		report = analysis.Table3(7)
+		if report, err = analysis.Table3(7); err != nil {
+			b.Fatal(err)
+		}
 	}
 	steered := 0.0
 	if report.Steered() {
@@ -110,8 +130,11 @@ func BenchmarkTable3WearAndTear(b *testing.B) {
 // over the top-20 CNET programs.
 func BenchmarkBenignImpact(b *testing.B) {
 	var report analysis.BenignReport
+	var err error
 	for i := 0; i < b.N; i++ {
-		report = analysis.RunBenign(7)
+		if report, err = analysis.RunBenign(7); err != nil {
+			b.Fatal(err)
+		}
 	}
 	unaffected := 0
 	for _, row := range report.Rows {
@@ -138,8 +161,11 @@ func BenchmarkCrawlPublicSandboxes(b *testing.B) {
 // the DNS sinkhole).
 func BenchmarkCase2WannaCry(b *testing.B) {
 	var report analysis.CaseStudyReport
+	var err error
 	for i := 0; i < b.N; i++ {
-		report = analysis.RunCaseStudy(malware.WannaCry(), 7)
+		if report, err = analysis.RunCaseStudy(malware.WannaCry(), 7); err != nil {
+			b.Fatal(err)
+		}
 	}
 	deactivated := 0.0
 	if report.Verdict.Deactivated {
@@ -154,7 +180,7 @@ func BenchmarkCase2WannaCry(b *testing.B) {
 // Scarecrow hook chain. This is the §III "negligible overhead" claim and
 // the per-process-hook-table ablation.
 func BenchmarkHookOverheadUnhooked(b *testing.B) {
-	ctx := benchContext(false)
+	ctx := benchContext(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
@@ -162,7 +188,7 @@ func BenchmarkHookOverheadUnhooked(b *testing.B) {
 }
 
 func BenchmarkHookOverheadHooked(b *testing.B) {
-	ctx := benchContext(true)
+	ctx := benchContext(b, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
@@ -172,23 +198,26 @@ func BenchmarkHookOverheadHooked(b *testing.B) {
 // BenchmarkHookOverheadDeceived measures a probe that hits the deception
 // database (fabricated answer, no pass-through).
 func BenchmarkHookOverheadDeceived(b *testing.B) {
-	ctx := benchContext(true)
+	ctx := benchContext(b, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`)
 	}
 }
 
-func benchContext(protected bool) *winapi.Context {
+func benchContext(b *testing.B, protected bool) *winapi.Context {
 	m := winsim.NewEndUserMachine(1)
 	// Leave the clock unbounded: benchmarks run far more iterations than a
 	// one-minute window models.
 	sys := winapi.NewSystem(m)
 	p := sys.Launch(`C:\bench.exe`, "", nil)
 	if protected {
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.DefaultConfig()))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.DefaultConfig()))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := ctrl.Watch(p); err != nil {
-			panic(err)
+			b.Fatal(err)
 		}
 	}
 	return sys.Context(p)
@@ -302,7 +331,10 @@ func BenchmarkSelfSpawnMinute(b *testing.B) {
 		s := malware.CorpusSelfSpawner()
 		s.Register(sys)
 		m.FS.Touch(s.Image, 180<<10)
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := ctrl.LaunchTarget(s.Image, s.ID); err != nil {
 			b.Fatal(err)
 		}
@@ -331,8 +363,11 @@ func BenchmarkEvasionBaseline(b *testing.B) {
 		slice = append(slice, full[i])
 	}
 	var report analysis.EvasionBaselineReport
+	var err error
 	for i := 0; i < b.N; i++ {
-		report = analysis.EvasionBaseline(slice, 42)
+		if report, err = analysis.EvasionBaseline(slice, 42); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(report.EvasionRate(), "%evading")
 }

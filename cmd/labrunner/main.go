@@ -46,33 +46,39 @@ func main() {
 // runJSON emits one experiment's report as JSON (for scripting around the
 // lab). Experiments that only print prose are not exposed here.
 func runJSON(experiment string, seed int64) error {
-	builders := map[string]func(int64) any{
-		"table1":    func(s int64) any { return analysis.Table1(analysis.NewLab(s)) },
-		"table2":    func(s int64) any { return analysis.Table2(s) },
-		"table3":    func(s int64) any { return analysis.Table3(s) },
-		"figure4":   func(s int64) any { return analysis.Figure4(analysis.NewLab(s), malware.MalGeneCorpus()) },
-		"benign":    func(s int64) any { return analysis.RunBenign(s) },
-		"kernel":    func(s int64) any { return analysis.KernelExtension(s) },
-		"fullstack": func(s int64) any { return analysis.FullStack(s) },
-		"crawl": func(s int64) any {
+	builders := map[string]func(int64) (any, error){
+		"table1": func(s int64) (any, error) { return analysis.Table1(analysis.NewLab(s)), nil },
+		"table2": func(s int64) (any, error) { return analysis.Table2(s) },
+		"table3": func(s int64) (any, error) { return analysis.Table3(s) },
+		"figure4": func(s int64) (any, error) {
+			return analysis.Figure4(analysis.NewLab(s), malware.MalGeneCorpus()), nil
+		},
+		"benign":    func(s int64) (any, error) { return analysis.RunBenign(s) },
+		"kernel":    func(s int64) (any, error) { return analysis.KernelExtension(s), nil },
+		"fullstack": func(s int64) (any, error) { return analysis.FullStack(s), nil },
+		"crawl": func(s int64) (any, error) {
 			r := crawler.CrawlPublicSandboxes(s)
 			return map[string]any{
 				"files": len(r.Files), "processes": len(r.Processes),
 				"registry_keys": len(r.RegistryKeys), "configs": r.SandboxConfigs,
-			}
+			}, nil
 		},
 	}
 	builder, ok := builders[experiment]
 	if !ok {
 		return fmt.Errorf("experiment %q has no JSON form", experiment)
 	}
+	report, err := builder(seed)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(builder(seed))
+	return enc.Encode(report)
 }
 
 func run(experiment string, seed int64) error {
-	runners := map[string]func(int64){
+	runners := map[string]func(int64) error{
 		"table1":    table1,
 		"table2":    table2,
 		"table3":    table3,
@@ -95,7 +101,9 @@ func run(experiment string, seed int64) error {
 			"crawl", "case1", "case2", "isolation", "toolkill",
 			"kernel", "fullstack", "baseline", "survey", "overhead",
 		} {
-			runners[name](seed)
+			if err := runners[name](seed); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
 		}
 		return nil
 	}
@@ -103,43 +111,62 @@ func run(experiment string, seed int64) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
-	runner(seed)
-	return nil
+	return runner(seed)
 }
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-func table1(seed int64) {
+func table1(seed int64) error {
 	header("Table I — effectiveness on the Joe Security samples")
-	fmt.Print(analysis.Table1(analysis.NewLab(seed)))
+	report := analysis.Table1(analysis.NewLab(seed))
+	fmt.Print(report)
+	fmt.Println(report.Health)
+	return nil
 }
 
-func table2(seed int64) {
+func table2(seed int64) error {
 	header("Table II — Pafish across three environments, with/without Scarecrow")
-	fmt.Print(analysis.Table2(seed))
+	report, err := analysis.Table2(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
 }
 
-func table3(seed int64) {
+func table3(seed int64) error {
 	header("Table III — wear-and-tear artifacts faked by Scarecrow")
-	fmt.Print(analysis.Table3(seed))
+	report, err := analysis.Table3(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
 }
 
-func figure4(seed int64) {
+func figure4(seed int64) error {
 	header("Figure 4 — effectiveness on the MalGene corpus (this takes a while)")
 	start := time.Now()
 	report := analysis.Figure4(analysis.NewLab(seed), malware.MalGeneCorpus())
 	fmt.Print(report)
+	fmt.Println(report.Health)
 	fmt.Printf("(corpus evaluated in %.1fs wall time)\n", time.Since(start).Seconds())
+	return nil
 }
 
-func benignImpact(seed int64) {
+func benignImpact(seed int64) error {
 	header("§IV-C — impact on the top-20 CNET programs")
-	fmt.Print(analysis.RunBenign(seed))
+	report, err := analysis.RunBenign(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
 }
 
-func crawl(seed int64) {
+func crawl(seed int64) error {
 	header("§II-C — public-sandbox crawl and diff")
 	start := time.Now()
 	r := crawler.CrawlPublicSandboxes(seed)
@@ -152,83 +179,120 @@ func crawl(seed int64) {
 		fmt.Printf("sandbox config: disk=%dGB ram=%dGB cores=%d host=%s user=%s\n",
 			cfg.DiskTotalBytes>>30, cfg.RAMBytes>>30, cfg.NumCores, cfg.ComputerName, cfg.UserName)
 	}
+	return nil
 }
 
-func case1(seed int64) {
+func case1(seed int64) error {
 	header("Case I — Kasidet's comprehensive evasive disjunction")
 	lab := analysis.NewLab(seed)
 	res := lab.RunSample(malware.Kasidet(), 1)
+	if res.Err != nil {
+		return res.Err
+	}
 	fmt.Printf("without scarecrow: %s\n", res.BehaviourWithout())
 	fmt.Printf("with scarecrow:    %s\n", res.BehaviourWith())
 	fmt.Printf("deactivated: %v, first trigger: %s\n", res.Verdict.Deactivated, res.FirstTrigger())
 	fmt.Printf("the disjunction has %d propositions; one deceptive answer sufficed\n",
 		len(malware.Kasidet().Checks))
+	return nil
 }
 
-func case2(seed int64) {
+func case2(seed int64) error {
 	header("Case II — deactivating ransomware")
-	fmt.Print(analysis.RunCaseStudy(malware.WannaCry(), seed))
-	fmt.Print(analysis.RunCaseStudy(malware.Locky(), seed))
+	for _, s := range []func() *malware.Specimen{malware.WannaCry, malware.Locky} {
+		report, err := analysis.RunCaseStudy(s(), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	}
+	return nil
 }
 
-func isolation(seed int64) {
+func isolation(seed int64) error {
 	header("§VI-B — profile isolation against a Scarecrow-aware detector")
 	detector := malware.ScarecrowAware()
 	stock := analysis.NewLab(seed)
 	res := stock.RunSample(detector, 1)
+	if res.Err != nil {
+		return res.Err
+	}
 	fmt.Printf("stock deployment:    deactivated=%v (conflicting vendors unmask the engine)\n",
 		res.Verdict.Deactivated)
 	iso := analysis.NewLab(seed)
 	iso.Config.ProfileIsolation = true
 	res = iso.RunSample(detector, 1)
+	if res.Err != nil {
+		return res.Err
+	}
 	fmt.Printf("profile isolation:   deactivated=%v (one consistent vendor identity)\n",
 		res.Verdict.Deactivated)
+	return nil
 }
 
-func kernelExt(seed int64) {
+func kernelExt(seed int64) error {
 	header("§VI-A extension — kernel syscall-gate hooking vs raw-syscall bypass")
 	fmt.Print(analysis.KernelExtension(seed))
+	return nil
 }
 
-func fullStack(seed int64) {
+func fullStack(seed int64) error {
 	header("§VI-A ladder — user hooks vs kernel gate vs deception hypervisor (full corpus)")
 	fmt.Print(analysis.FullStack(seed))
+	return nil
 }
 
-func baseline(seed int64) {
+func baseline(seed int64) error {
 	header("Motivation — how much of the corpus evades stock analysis rigs (no Scarecrow)")
 	full := malware.MalGeneCorpus()
 	var slice []*malware.Specimen
 	for i := 0; i < len(full); i += 4 {
 		slice = append(slice, full[i])
 	}
-	report := analysis.EvasionBaseline(slice, seed)
+	report, err := analysis.EvasionBaseline(slice, seed)
+	if err != nil {
+		return err
+	}
 	fmt.Println(report)
 	for rig, n := range report.PerRig {
 		fmt.Printf("  evaded %s: %d\n", rig, n)
 	}
+	return nil
 }
 
-func survey(seed int64) {
+func survey(seed int64) error {
 	header("§II-C learning at scale — MalGene signature survey over a corpus slice")
 	full := malware.MalGeneCorpus()
 	var slice []*malware.Specimen
 	for i := 0; i < len(full); i += 4 {
 		slice = append(slice, full[i])
 	}
-	fmt.Print(analysis.SurveySignatures(slice, seed))
+	report, err := analysis.SurveySignatures(slice, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
 }
 
-func toolKill(seed int64) {
+func toolKill(seed int64) error {
 	header("§II-B(b) — counter-forensic tool killing vs protected decoys")
 	res := analysis.NewLab(seed).RunSample(malware.ToolKiller(), 1)
+	if res.Err != nil {
+		return res.Err
+	}
 	fmt.Printf("without scarecrow: %s\n", res.BehaviourWithout())
 	fmt.Printf("with scarecrow:    %s (decoy tools refused termination)\n", res.BehaviourWith())
 	fmt.Printf("deactivated: %v\n", res.Verdict.Deactivated)
+	return nil
 }
 
-func overhead(int64) {
+func overhead(int64) error {
 	header("§III — per-call deception overhead (virtual time)")
-	unhooked, hooked := analysis.HookOverhead()
+	unhooked, hooked, err := analysis.HookOverhead()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("RegOpenKeyEx unhooked: %v, hooked: %v\n", unhooked, hooked)
+	return nil
 }

@@ -41,7 +41,11 @@ func main() {
 		return winapi.ExitOK
 	})
 	if *protected {
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(*profile)))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(*profile)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pafish:", err)
+			os.Exit(1)
+		}
 		if _, err := ctrl.LaunchTarget(`C:\pafish\pafish.exe`, "pafish.exe"); err != nil {
 			fmt.Fprintln(os.Stderr, "pafish:", err)
 			os.Exit(1)

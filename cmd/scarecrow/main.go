@@ -93,7 +93,10 @@ func dumpTrace(path string, lab *analysis.Lab, spec *malware.Specimen) error {
 	sys := winapi.NewSystem(m)
 	spec.Register(sys)
 	m.FS.Touch(spec.Image, 180<<10)
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), lab.Config))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), lab.Config))
+	if err != nil {
+		return err
+	}
 	if _, err := ctrl.LaunchTarget(spec.Image, spec.ID); err != nil {
 		return err
 	}

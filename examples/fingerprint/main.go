@@ -12,10 +12,17 @@ import (
 
 func main() {
 	fmt.Println("Table II — Pafish evidence features triggered per category")
-	fmt.Print(analysis.Table2(1))
+	table2, err := analysis.Table2(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(table2)
 
 	fmt.Println("\nTable III — wear-and-tear artifacts steered by Scarecrow")
-	report := analysis.Table3(7)
+	report, err := analysis.Table3(7)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Print(report)
 	if report.Steered() {
 		fmt.Println("\nthe decision tree now classifies the worn end-user machine as a sandbox")

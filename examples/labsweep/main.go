@@ -35,5 +35,6 @@ func main() {
 	start := time.Now()
 	report := analysis.Figure4(analysis.NewLab(*seed), corpus)
 	fmt.Print(report)
+	fmt.Println(report.Health)
 	fmt.Printf("wall time: %.1fs\n", time.Since(start).Seconds())
 }

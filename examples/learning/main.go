@@ -75,7 +75,10 @@ func protectedMutations(s *malware.Specimen, db *core.DB) int {
 	sys := winapi.NewSystem(m)
 	s.Register(sys)
 	m.FS.Touch(s.Image, 64<<10)
-	ctrl := core.Deploy(sys, core.NewEngine(db, core.RecommendedConfig(m.Profile)))
+	ctrl, err := core.Deploy(sys, core.NewEngine(db, core.RecommendedConfig(m.Profile)))
+	if err != nil {
+		panic(err)
+	}
 	root, err := ctrl.LaunchTarget(s.Image, s.ID)
 	if err != nil {
 		panic(err)

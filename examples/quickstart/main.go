@@ -29,7 +29,10 @@ func main() {
 
 	// Deploy Scarecrow: stock deceptive resources, recommended config.
 	engine := core.NewEngine(core.NewDB(), core.RecommendedConfig(machine.Profile))
-	controller := core.Deploy(system, engine)
+	controller, err := core.Deploy(system, engine)
+	if err != nil {
+		panic(err)
+	}
 
 	// Launch the suspicious program through the controller (it becomes the
 	// parent process and injects scarecrow.dll before the first

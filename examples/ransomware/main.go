@@ -38,7 +38,10 @@ func runOn(sample *malware.Specimen, protected bool) {
 	before := len(m.FS.List(docs))
 
 	if protected {
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		if err != nil {
+			panic(err)
+		}
 		if _, err := ctrl.LaunchTarget(sample.Image, sample.ID); err != nil {
 			panic(err)
 		}

@@ -154,7 +154,10 @@ func TestFigure4Subset(t *testing.T) {
 }
 
 func TestBenignEvaluation(t *testing.T) {
-	report := RunBenign(7)
+	report, err := RunBenign(7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(report.Rows) != 20 {
 		t.Fatalf("rows = %d", len(report.Rows))
 	}
@@ -169,7 +172,10 @@ func TestBenignEvaluation(t *testing.T) {
 }
 
 func TestCaseStudies(t *testing.T) {
-	wc := RunCaseStudy(malware.WannaCry(), 7)
+	wc, err := RunCaseStudy(malware.WannaCry(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !wc.Verdict.Deactivated {
 		t.Error("WannaCry not deactivated")
 	}
@@ -180,7 +186,10 @@ func TestCaseStudies(t *testing.T) {
 		t.Errorf("WannaCry trigger = %v", wc.Triggers)
 	}
 
-	lk := RunCaseStudy(malware.Locky(), 7)
+	lk, err := RunCaseStudy(malware.Locky(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !lk.Verdict.Deactivated {
 		t.Error("Locky not deactivated")
 	}
@@ -198,7 +207,10 @@ func TestCaseStudies(t *testing.T) {
 }
 
 func TestHookOverheadShape(t *testing.T) {
-	unhooked, hooked := HookOverhead()
+	unhooked, hooked, err := HookOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if unhooked <= 0 || hooked <= 0 {
 		t.Fatalf("costs: %v / %v", unhooked, hooked)
 	}
@@ -254,7 +266,10 @@ func TestProfileIsolationDefeatsDetector(t *testing.T) {
 // analysis-level runner (the pafish package holds the exhaustive cell
 // assertions).
 func TestTable2RunnerMatchesPaper(t *testing.T) {
-	r := Table2(1)
+	r, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Environments) != 3 {
 		t.Fatalf("environments = %v", r.Environments)
 	}
@@ -277,7 +292,10 @@ func TestTable2RunnerMatchesPaper(t *testing.T) {
 // TestTable3RunnerSteersClassifier verifies the end-to-end Table III
 // outcome through the analysis-level runner.
 func TestTable3RunnerSteersClassifier(t *testing.T) {
-	r := Table3(7)
+	r, err := Table3(7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Steered() {
 		t.Fatalf("classifier not steered: raw=%v protected=%v", r.RawLabel, r.ProtectedLabel)
 	}
@@ -322,7 +340,10 @@ func TestEvasionBaseline(t *testing.T) {
 	for i := 0; i < len(full); i += len(full) / 150 {
 		slice = append(slice, full[i])
 	}
-	report := EvasionBaseline(slice, 42)
+	report, err := EvasionBaseline(slice, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rate := report.EvasionRate(); rate < 75 {
 		t.Errorf("sandbox evasion rate = %.1f%%, want the large majority (paper cites >80%% of malware evading)", rate)
 	}
@@ -439,11 +460,17 @@ func TestReportRenderings(t *testing.T) {
 		t.Error("top families")
 	}
 
-	benign := RunBenign(7)
+	benign, err := RunBenign(7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := benign.String(); !strings.Contains(s, "all unaffected") {
 		t.Errorf("benign rendering: %q", s)
 	}
-	cs := RunCaseStudy(malware.Locky(), 7)
+	cs, err := RunCaseStudy(malware.Locky(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := cs.String(); !strings.Contains(s, "deactivated=true") {
 		t.Errorf("case rendering: %q", s)
 	}
@@ -500,7 +527,10 @@ func TestSignatureSurvey(t *testing.T) {
 	for i := 0; i < len(full); i += len(full) / 100 {
 		slice = append(slice, full[i])
 	}
-	survey := SurveySignatures(slice, 42)
+	survey, err := SurveySignatures(slice, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if survey.Extracted < survey.Samples/2 {
 		t.Errorf("extracted %d/%d signatures", survey.Extracted, survey.Samples)
 	}

@@ -53,11 +53,17 @@ func (r BenignReport) String() string {
 
 // RunBenign evaluates the top-20 CNET programs with and without Scarecrow
 // on end-user machines.
-func RunBenign(seed int64) BenignReport {
+func RunBenign(seed int64) (BenignReport, error) {
 	report := BenignReport{}
 	for _, p := range benign.Top20() {
-		rawOK, rawSum := runBenignProgram(p, seed, false)
-		protOK, protSum := runBenignProgram(p, seed, true)
+		rawOK, rawSum, err := runBenignProgram(p, seed, false)
+		if err != nil {
+			return BenignReport{}, err
+		}
+		protOK, protSum, err := runBenignProgram(p, seed, true)
+		if err != nil {
+			return BenignReport{}, err
+		}
 		suppressed := trace.Compare(rawSum, protSum)
 		extra := trace.Compare(protSum, rawSum)
 		report.Rows = append(report.Rows, BenignRow{
@@ -68,10 +74,10 @@ func RunBenign(seed int64) BenignReport {
 			RawMutations: rawSum.Mutations(),
 		})
 	}
-	return report
+	return report, nil
 }
 
-func runBenignProgram(p benign.Program, seed int64, protected bool) (bool, trace.Summary) {
+func runBenignProgram(p benign.Program, seed int64, protected bool) (bool, trace.Summary, error) {
 	m := winsim.NewEndUserMachine(seed)
 	benign.ProvisionDomains(m, []benign.Program{p})
 	sys := winapi.NewSystem(m)
@@ -83,17 +89,24 @@ func runBenignProgram(p benign.Program, seed int64, protected bool) (bool, trace
 	m.FS.Touch(p.InstallerImage, 40<<20)
 	var rootPID int
 	if protected {
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		if err != nil {
+			return false, trace.Summary{}, fmt.Errorf("analysis: deploying scarecrow for %s: %w", p.Name, err)
+		}
 		root, err := ctrl.LaunchTarget(p.InstallerImage, p.Name)
 		if err != nil {
-			panic("analysis: " + err.Error())
+			return false, trace.Summary{}, fmt.Errorf("analysis: launching %s: %w", p.Name, err)
 		}
 		rootPID = root.PID
 	} else {
-		rootPID = sys.Launch(p.InstallerImage, p.Name, m.Procs.FindByImage("explorer.exe")[0]).PID
+		shell, err := agentProcess(m)
+		if err != nil {
+			return false, trace.Summary{}, err
+		}
+		rootPID = sys.Launch(p.InstallerImage, p.Name, shell).PID
 	}
 	sys.Run(ObservationWindow)
-	return ok, subtreeSummary(m, rootPID)
+	return ok, subtreeSummary(m, rootPID), nil
 }
 
 // CaseStudyReport is the Case I / Case II outcome for one case-study
@@ -119,25 +132,28 @@ func (r CaseStudyReport) String() string {
 
 // RunCaseStudy executes a case-study specimen on end-user machines (the
 // deployment target of Section V) with and without Scarecrow.
-func RunCaseStudy(s *malware.Specimen, seed int64) CaseStudyReport {
+func RunCaseStudy(s *malware.Specimen, seed int64) (CaseStudyReport, error) {
 	lab := &Lab{
 		Profile: winsim.ProfileEndUser,
 		Seed:    seed,
 		Config:  core.RecommendedConfig(string(winsim.ProfileEndUser)),
 	}
 	res := lab.RunSample(s, 1)
+	if res.Err != nil {
+		return CaseStudyReport{}, res.Err
+	}
 	return CaseStudyReport{
 		Sample:   s.ID + " (" + s.Family + ")",
 		Raw:      res.Raw,
 		Verdict:  res.Verdict,
 		Triggers: res.Protected.Triggers,
-	}
+	}, nil
 }
 
 // HookOverhead measures the virtual-time cost of one hooked versus one
 // unhooked API call — the §III "negligible performance overhead" claim,
 // quantified in the modeled cost domain.
-func HookOverhead() (unhooked, hooked time.Duration) {
+func HookOverhead() (unhooked, hooked time.Duration, err error) {
 	m := winsim.NewEndUserMachine(1)
 	sys := winapi.NewSystem(m)
 	p := sys.Launch(`C:\bench.exe`, "", nil)
@@ -146,12 +162,15 @@ func HookOverhead() (unhooked, hooked time.Duration) {
 	_ = ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
 	unhooked = m.Clock.Now() - start
 
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.DefaultConfig()))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.DefaultConfig()))
+	if err != nil {
+		return 0, 0, fmt.Errorf("analysis: deploying scarecrow: %w", err)
+	}
 	if err := ctrl.Watch(p); err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("analysis: hooking bench process: %w", err)
 	}
 	start = m.Clock.Now()
 	_ = ctx.RegOpenKeyEx(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion`)
 	hooked = m.Clock.Now() - start
-	return unhooked, hooked
+	return unhooked, hooked, nil
 }

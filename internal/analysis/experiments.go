@@ -20,6 +20,8 @@ type Table1Row struct {
 // Table1Report is the full Table I reproduction.
 type Table1Report struct {
 	Rows []Table1Row
+	// Health summarizes the sweep that produced the rows.
+	Health RunReport
 }
 
 // DeactivatedCount returns how many of the 13 samples were deactivated.
@@ -60,9 +62,18 @@ func clip(s string, n int) string {
 // Table1 reproduces the Table I experiment: the 13 Joe Security samples
 // run with and without Scarecrow on the bare-metal cluster.
 func Table1(lab *Lab) Table1Report {
-	results := lab.RunCorpus(malware.JoeSecuritySamples())
-	report := Table1Report{}
+	results, health := lab.Sweep(malware.JoeSecuritySamples())
+	report := Table1Report{Health: health}
 	for _, res := range results {
+		if res.Err != nil {
+			report.Rows = append(report.Rows, Table1Row{
+				SampleID:         res.Specimen.ID,
+				WithoutScarecrow: "run failed: " + res.Err.Error(),
+				WithScarecrow:    "run failed",
+				Trigger:          "N/A",
+			})
+			continue
+		}
 		report.Rows = append(report.Rows, Table1Row{
 			SampleID:         res.Specimen.ID,
 			WithoutScarecrow: res.BehaviourWithout(),
@@ -96,6 +107,9 @@ type Figure4Report struct {
 	Deactivated             int
 	SpawnLoopSamples        int
 	SpawnersUsingIsDebugger int
+	// Health summarizes the sweep; Health.VerdictErrors samples are counted
+	// in Total but excluded from every verdict-derived figure.
+	Health RunReport
 }
 
 // DeactivationRate returns the headline percentage (the paper's 89.56%).
@@ -158,9 +172,9 @@ func (r Figure4Report) String() string {
 // Figure4 reproduces the §IV-C corpus experiment over the given samples
 // (pass malware.MalGeneCorpus() for the full 1,054).
 func Figure4(lab *Lab, corpus []*malware.Specimen) Figure4Report {
-	results := lab.RunCorpus(corpus)
+	results, health := lab.Sweep(corpus)
 	byFamily := make(map[string]*FamilyOutcome)
-	report := Figure4Report{}
+	report := Figure4Report{Health: health}
 	for _, res := range results {
 		fam, ok := byFamily[res.Specimen.Family]
 		if !ok {
@@ -169,7 +183,9 @@ func Figure4(lab *Lab, corpus []*malware.Specimen) Figure4Report {
 		}
 		fam.Total++
 		report.Total++
-		if !res.Verdict.Deactivated {
+		// An errored run contributes to Total (the sample was in the
+		// corpus) but to no verdict-derived count.
+		if res.Err != nil || !res.Verdict.Deactivated {
 			continue
 		}
 		fam.Deactivated++

@@ -97,14 +97,20 @@ func (r EvasionBaselineReport) String() string {
 // EvasionBaseline runs corpus samples raw on the clean reference and on
 // each analysis rig, counting how many evade at least one rig. This is the
 // problem statement, not the defense.
-func EvasionBaseline(samples []*malware.Specimen, seed int64) EvasionBaselineReport {
+func EvasionBaseline(samples []*malware.Specimen, seed int64) (EvasionBaselineReport, error) {
 	report := EvasionBaselineReport{Samples: len(samples), PerRig: make(map[string]int)}
 	rigs := analysisRigs()
 	for i, s := range samples {
-		ref := rawOn(nil, s, seed+int64(i))
+		ref, err := rawOn(nil, s, seed+int64(i))
+		if err != nil {
+			return EvasionBaselineReport{}, err
+		}
 		evaded := false
 		for _, rig := range rigs {
-			inRig := rawOn(rig.prepare, s, seed+int64(i))
+			inRig, err := rawOn(rig.prepare, s, seed+int64(i))
+			if err != nil {
+				return EvasionBaselineReport{}, err
+			}
 			if behaviourDiverges(ref, inRig) {
 				report.PerRig[rig.name]++
 				evaded = true
@@ -114,7 +120,7 @@ func EvasionBaseline(samples []*malware.Specimen, seed int64) EvasionBaselineRep
 			report.EvadedSandbox++
 		}
 	}
-	return report
+	return report, nil
 }
 
 // behaviourDiverges implements the MalGene confirmation criterion: the
@@ -164,7 +170,7 @@ func analysisRigs() []rig {
 
 // rawOn runs a sample on a fresh Cuckoo-guest machine with an optional
 // rig mutator (nil = the clean bare-metal reference).
-func rawOn(prepare func(*winsim.Machine, *winsim.Process), s *malware.Specimen, seed int64) trace.Summary {
+func rawOn(prepare func(*winsim.Machine, *winsim.Process), s *malware.Specimen, seed int64) (trace.Summary, error) {
 	var m *winsim.Machine
 	if prepare == nil {
 		m = winsim.NewCleanBareMetal(seed)
@@ -176,12 +182,16 @@ func rawOn(prepare func(*winsim.Machine, *winsim.Process), s *malware.Specimen, 
 	sys := winapi.NewSystem(m)
 	s.Register(sys)
 	m.FS.Touch(s.Image, 180<<10)
-	root := sys.Launch(s.Image, s.ID, agentProcess(m))
+	parent, err := agentProcess(m)
+	if err != nil {
+		return trace.Summary{}, err
+	}
+	root := sys.Launch(s.Image, s.ID, parent)
 	if prepare != nil {
 		prepare(m, root)
 	}
 	sys.Run(ObservationWindow)
-	return subtreeSummary(m, root.PID)
+	return subtreeSummary(m, root.PID), nil
 }
 
 // TierOutcome is one deployment tier's result over the residual corpus.

@@ -56,7 +56,7 @@ func (r Table2Report) String() string {
 
 // pafishOn runs the Pafish battery on a machine profile, optionally under
 // Scarecrow.
-func pafishOn(profile winsim.ProfileName, seed int64, protected bool) pafish.Report {
+func pafishOn(profile winsim.ProfileName, seed int64, protected bool) (pafish.Report, error) {
 	m := winsim.NewProfileMachine(profile, seed)
 	sys := winapi.NewSystem(m)
 	var report pafish.Report
@@ -65,21 +65,28 @@ func pafishOn(profile winsim.ProfileName, seed int64, protected bool) pafish.Rep
 		return winapi.ExitOK
 	})
 	if protected {
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(string(profile))))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(string(profile))))
+		if err != nil {
+			return pafish.Report{}, fmt.Errorf("analysis: deploying scarecrow on %s: %w", profile, err)
+		}
 		if _, err := ctrl.LaunchTarget(`C:\pafish\pafish.exe`, "pafish.exe"); err != nil {
-			panic("analysis: " + err.Error())
+			return pafish.Report{}, fmt.Errorf("analysis: launching pafish: %w", err)
 		}
 	} else {
-		sys.Launch(`C:\pafish\pafish.exe`, "pafish.exe", m.Procs.FindByImage("explorer.exe")[0])
+		shells := m.Procs.FindByImage("explorer.exe")
+		if len(shells) == 0 {
+			return pafish.Report{}, fmt.Errorf("analysis: profile %q has no explorer.exe to launch pafish from", profile)
+		}
+		sys.Launch(`C:\pafish\pafish.exe`, "pafish.exe", shells[0])
 	}
 	sys.Run(ObservationWindow)
-	return report
+	return report, nil
 }
 
 // Table2 reproduces the Table II experiment. The with-Scarecrow VM column
 // uses the hardened Cuckoo guest, matching the paper's setup (CPUID
 // results and MAC updated alongside the Scarecrow deployment).
-func Table2(seed int64) Table2Report {
+func Table2(seed int64) (Table2Report, error) {
 	type envSpec struct {
 		name string
 		raw  winsim.ProfileName
@@ -93,8 +100,14 @@ func Table2(seed int64) Table2Report {
 	report := Table2Report{Cells: make(map[string]map[string]Table2Cell)}
 	for _, env := range envs {
 		report.Environments = append(report.Environments, env.name)
-		with := pafishOn(env.sc, seed, true)
-		without := pafishOn(env.raw, seed, false)
+		with, err := pafishOn(env.sc, seed, true)
+		if err != nil {
+			return Table2Report{}, err
+		}
+		without, err := pafishOn(env.raw, seed, false)
+		if err != nil {
+			return Table2Report{}, err
+		}
 		cells := make(map[string]Table2Cell)
 		wc, woc := with.CategoryCounts(), without.CategoryCounts()
 		for _, cat := range pafish.CategoryOrder {
@@ -105,7 +118,7 @@ func Table2(seed int64) Table2Report {
 			report.Totals = with.CategoryTotals()
 		}
 	}
-	return report
+	return report, nil
 }
 
 // Table3Row is one faked artifact of Table III with its steered value.
@@ -150,10 +163,10 @@ func (r Table3Report) String() string {
 }
 
 // Table3 reproduces the wear-and-tear steering experiment of Table III.
-func Table3(seed int64) Table3Report {
+func Table3(seed int64) (Table3Report, error) {
 	tree, err := weartear.TrainDefault(seed)
 	if err != nil {
-		panic("analysis: " + err.Error())
+		return Table3Report{}, fmt.Errorf("analysis: training wear-and-tear tree: %w", err)
 	}
 	holdout := weartear.Corpus(20, seed+99)
 
@@ -168,9 +181,12 @@ func Table3(seed int64) Table3Report {
 	})
 	cfg := core.RecommendedConfig(m.Profile)
 	cfg.WearAndTear = true
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	if err != nil {
+		return Table3Report{}, fmt.Errorf("analysis: deploying scarecrow: %w", err)
+	}
 	if _, err := ctrl.LaunchTarget(`C:\weartear\prober.exe`, "prober.exe"); err != nil {
-		panic("analysis: " + err.Error())
+		return Table3Report{}, fmt.Errorf("analysis: launching prober: %w", err)
 	}
 	sys.Run(ObservationWindow)
 
@@ -192,7 +208,7 @@ func Table3(seed int64) Table3Report {
 			APIs:         art.APIs,
 		})
 	}
-	return report
+	return report, nil
 }
 
 // CrawlReport wraps the §II-C crawl outcome for the CLI.

@@ -5,10 +5,17 @@
 // without Scarecrow, and kernel-activity tracing throughout. On top of the
 // lab sit the verdict logic of §IV-C and runners that regenerate every
 // table and figure of the evaluation.
+//
+// Failure is a first-class outcome: a run that errors or panics is
+// contained to its own SampleResult (Err, VerdictError) and the sweep
+// continues — one bad machine never loses the other 1,053 results. See
+// DESIGN.md's error-handling contract.
 package analysis
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -44,6 +51,14 @@ type Lab struct {
 	// Workers bounds run parallelism (the cluster width). Zero means
 	// GOMAXPROCS.
 	Workers int
+	// RetryFailures makes a sweep retry a failed run once on a fresh
+	// machine with a derived seed (the cluster operator's "re-image and
+	// requeue" move) before recording the failure.
+	RetryFailures bool
+	// FaultPlanFor, when non-nil, arms the machines of run index (attempt
+	// 1 or 2) with a deterministic fault plan. Test-and-drill hook: nil
+	// return leaves the run unfaulted.
+	FaultPlanFor func(index, attempt int) *winsim.FaultPlan
 }
 
 // NewLab returns the paper's evaluation setup: bare-metal machines and the
@@ -70,24 +85,35 @@ type Execution struct {
 	// direct-memory artifact (prologue bytes) Scarecrow plants but cannot
 	// observe being read.
 	HookDetectionLikely bool
+	// VirtualTime is the machine's clock at the end of the run.
+	VirtualTime time.Duration
 }
 
 // runRaw executes the specimen without Scarecrow: the agent (python.exe)
 // launches it, as in the real cluster.
-func (l *Lab) runRaw(s *malware.Specimen, seed int64) Execution {
+func (l *Lab) runRaw(s *malware.Specimen, seed int64, plan *winsim.FaultPlan) (Execution, error) {
 	m := winsim.NewProfileMachine(l.Profile, seed)
+	if plan != nil {
+		m.ArmFaults(*plan)
+	}
 	sys := winapi.NewSystem(m)
 	s.Register(sys)
 	m.FS.Touch(s.Image, 180<<10)
-	parent := agentProcess(m)
+	parent, err := agentProcess(m)
+	if err != nil {
+		return Execution{}, err
+	}
 	root := sys.Launch(s.Image, s.ID, parent)
 	sys.Run(ObservationWindow)
-	return Execution{Summary: subtreeSummary(m, root.PID)}
+	return Execution{Summary: subtreeSummary(m, root.PID), VirtualTime: m.Clock.Now()}, nil
 }
 
 // runProtected executes the specimen under the Scarecrow controller.
-func (l *Lab) runProtected(s *malware.Specimen, seed int64) Execution {
+func (l *Lab) runProtected(s *malware.Specimen, seed int64, plan *winsim.FaultPlan) (Execution, error) {
 	m := winsim.NewProfileMachine(l.Profile, seed)
+	if plan != nil {
+		m.ArmFaults(*plan)
+	}
 	sys := winapi.NewSystem(m)
 	s.Register(sys)
 	m.FS.Touch(s.Image, 180<<10)
@@ -95,37 +121,59 @@ func (l *Lab) runProtected(s *malware.Specimen, seed int64) Execution {
 	if db == nil {
 		db = core.NewDB()
 	}
-	ctrl := core.Deploy(sys, core.NewEngine(db, l.Config))
+	ctrl, err := core.Deploy(sys, core.NewEngine(db, l.Config))
+	if err != nil {
+		return Execution{}, fmt.Errorf("analysis: deploying scarecrow: %w", err)
+	}
 	root, err := ctrl.LaunchTarget(s.Image, s.ID)
 	if err != nil {
-		panic("analysis: " + err.Error())
+		return Execution{}, fmt.Errorf("analysis: launching %s: %w", s.ID, err)
 	}
 	sys.Run(ObservationWindow)
 	return Execution{
-		Summary:  subtreeSummary(m, root.PID),
-		Triggers: ctrl.Session.Triggers(),
-		Alerts:   ctrl.Session.Alerts(),
-	}
+		Summary:     subtreeSummary(m, root.PID),
+		Triggers:    ctrl.Session.Triggers(),
+		Alerts:      ctrl.Session.Alerts(),
+		VirtualTime: m.Clock.Now(),
+	}, nil
 }
 
 // agentProcess returns the machine's analysis agent when present (the
-// bare-metal cluster) and explorer otherwise.
-func agentProcess(m *winsim.Machine) *winsim.Process {
-	if agents := m.Procs.FindByImage("python.exe"); len(agents) > 0 {
-		return agents[0]
+// bare-metal cluster) and explorer otherwise. A profile providing neither
+// cannot parent a sample and is reported as an error rather than an
+// index-out-of-range panic.
+func agentProcess(m *winsim.Machine) (*winsim.Process, error) {
+	for _, image := range []string{"python.exe", "pythonw.exe", "explorer.exe"} {
+		if agents := m.Procs.FindByImage(image); len(agents) > 0 {
+			return agents[0], nil
+		}
 	}
-	if agents := m.Procs.FindByImage("pythonw.exe"); len(agents) > 0 {
-		return agents[0]
+	return nil, fmt.Errorf("analysis: profile %q has no analysis agent or explorer.exe to parent the sample", m.Profile)
+}
+
+// subtreeDescendants returns the PID set of the sample's process tree,
+// built by walking actual parent links. ProcessTable.All returns creation
+// order and parents are always created before their children, so one pass
+// suffices.
+func subtreeDescendants(m *winsim.Machine, rootPID int) map[int]bool {
+	desc := map[int]bool{rootPID: true}
+	for _, p := range m.Procs.All() {
+		if desc[p.ParentPID] {
+			desc[p.PID] = true
+		}
 	}
-	return m.Procs.FindByImage("explorer.exe")[0]
+	return desc
 }
 
 // subtreeSummary condenses the kernel events attributable to the sample's
-// process tree. PIDs allocate monotonically, so everything at or above the
-// root PID belongs to the sample's subtree.
+// process tree. Attribution follows parent links — a PID threshold would
+// also claim unrelated processes that merely started after the sample
+// (engine- or agent-spawned work in protected runs), corrupting the
+// file/registry diff the verdict rests on.
 func subtreeSummary(m *winsim.Machine, rootPID int) trace.Summary {
+	desc := subtreeDescendants(m, rootPID)
 	return trace.Summarize(m.Tracer.Filter(func(e trace.Event) bool {
-		return e.PID >= rootPID
+		return desc[e.PID]
 	}))
 }
 
@@ -135,34 +183,135 @@ type SampleResult struct {
 	Raw       Execution
 	Protected Execution
 	Verdict   Verdict
+	// Err is set when the run failed (launch error, injected fault,
+	// recovered panic); the Verdict is then VerdictError and both
+	// executions are zero. The failure is contained: surrounding sweeps
+	// keep going.
+	Err error
+	// Stack holds the goroutine stack of a recovered panic ("" for plain
+	// errors).
+	Stack string
+	// Attempts counts how many times the run executed (2 after a retry).
+	Attempts int
+	// RecoveredPanics counts panics recovered across those attempts.
+	RecoveredPanics int
 }
 
 // RunSample executes a sample with and without Scarecrow on freshly reset
 // machines ("at about the same time", §IV-C) and computes the verdict.
+// Failures — including panics out of the simulation — are contained into
+// the result's Err/Stack fields, never propagated.
 func (l *Lab) RunSample(s *malware.Specimen, runSeed int64) SampleResult {
-	raw := l.runRaw(s, l.Seed^runSeed)
-	prot := l.runProtected(s, l.Seed^runSeed)
+	res := l.runContained(s, runSeed, nil)
+	res.Attempts = 1
+	return res
+}
+
+// runContained is the containment boundary: one paired execution whose
+// panics are recovered into the result. This is the lab's analogue of the
+// scheduler's exitPanic/BudgetExceeded recovery — but for faults nobody
+// sanctioned.
+func (l *Lab) runContained(s *malware.Specimen, runSeed int64, plan *winsim.FaultPlan) (res SampleResult) {
+	res.Specimen = s
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("analysis: run of %s panicked: %v", s.ID, r)
+			res.Stack = string(debug.Stack())
+			res.RecoveredPanics++
+			res.Verdict = Verdict{Category: VerdictError}
+		}
+	}()
+	raw, err := l.runRaw(s, l.Seed^runSeed, plan)
+	if err != nil {
+		res.Err = err
+		res.Verdict = Verdict{Category: VerdictError}
+		return res
+	}
+	prot, err := l.runProtected(s, l.Seed^runSeed, plan)
+	if err != nil {
+		res.Err = err
+		res.Verdict = Verdict{Category: VerdictError}
+		return res
+	}
 	if len(prot.Triggers) == 0 {
 		// No hooked API observed a probe; if the sample still changed
 		// behaviour, the planted prologue bytes are the only deception it
 		// can have read.
 		prot.HookDetectionLikely = true
 	}
-	return SampleResult{
-		Specimen:  s,
-		Raw:       raw,
-		Protected: prot,
-		Verdict:   Judge(raw, prot),
-	}
+	res.Raw = raw
+	res.Protected = prot
+	res.Verdict = Judge(raw, prot)
+	return res
 }
 
-// RunCorpus evaluates many samples in parallel (the machine cluster of
-// Figure 3). Results keep corpus order.
-func (l *Lab) RunCorpus(samples []*malware.Specimen) []SampleResult {
+// retrySeedSalt derives the second-attempt run seed: a re-imaged cluster
+// node is a different machine, but a reproducibly different one.
+const retrySeedSalt = 0x5ca3ec40
+
+// runIndexed executes corpus position i, applying the lab's fault plan and
+// retry policy.
+func (l *Lab) runIndexed(i int, s *malware.Specimen) SampleResult {
+	runSeed := int64(i + 1)
+	res := l.runContained(s, runSeed, l.planFor(i, 1))
+	res.Attempts = 1
+	if res.Err != nil && l.RetryFailures {
+		retry := l.runContained(s, runSeed^retrySeedSalt, l.planFor(i, 2))
+		retry.Attempts = 2
+		retry.RecoveredPanics += res.RecoveredPanics
+		res = retry
+	}
+	return res
+}
+
+func (l *Lab) planFor(index, attempt int) *winsim.FaultPlan {
+	if l.FaultPlanFor == nil {
+		return nil
+	}
+	return l.FaultPlanFor(index, attempt)
+}
+
+// RunReport is the health summary of one corpus sweep: how many runs
+// failed, what was recovered, and what the sweep cost in wall and virtual
+// time. VerdictErrors tells figure/table readers how many samples are
+// excluded from the verdict counts.
+type RunReport struct {
+	// Samples is the corpus size.
+	Samples int
+	// VerdictErrors counts runs whose final outcome is VerdictError.
+	VerdictErrors int
+	// RecoveredPanics counts panics recovered across all attempts.
+	RecoveredPanics int
+	// Retries counts second attempts; Recovered counts those that
+	// succeeded.
+	Retries   int
+	Recovered int
+	// Workers is the cluster width used.
+	Workers int
+	// Wall is the real elapsed sweep time; Virtual sums the machine-clock
+	// time of every execution (the cluster-minutes the sweep modeled).
+	Wall    time.Duration
+	Virtual time.Duration
+}
+
+// String renders the health summary the way labrunner prints it.
+func (r RunReport) String() string {
+	return fmt.Sprintf(
+		"sweep health: %d runs, %d failed (VerdictError), %d recovered panics, %d retries (%d recovered), %d workers, %.1fs wall, %s virtual",
+		r.Samples, r.VerdictErrors, r.RecoveredPanics, r.Retries, r.Recovered,
+		r.Workers, r.Wall.Seconds(), r.Virtual)
+}
+
+// Sweep evaluates many samples in parallel (the machine cluster of
+// Figure 3) and reports sweep health. Results keep corpus order; a failed
+// run occupies its slot with Err set and a VerdictError verdict while the
+// rest of the sweep completes normally.
+func (l *Lab) Sweep(samples []*malware.Specimen) ([]SampleResult, RunReport) {
 	workers := l.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	start := time.Now()
 	results := make([]SampleResult, len(samples))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -171,7 +320,7 @@ func (l *Lab) RunCorpus(samples []*malware.Specimen) []SampleResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = l.RunSample(samples[i], int64(i+1))
+				results[i] = l.runIndexed(i, samples[i])
 			}
 		}()
 	}
@@ -180,5 +329,27 @@ func (l *Lab) RunCorpus(samples []*malware.Specimen) []SampleResult {
 	}
 	close(jobs)
 	wg.Wait()
+
+	report := RunReport{Samples: len(samples), Workers: workers, Wall: time.Since(start)}
+	for _, res := range results {
+		if res.Err != nil {
+			report.VerdictErrors++
+		}
+		report.RecoveredPanics += res.RecoveredPanics
+		if res.Attempts > 1 {
+			report.Retries++
+			if res.Err == nil {
+				report.Recovered++
+			}
+		}
+		report.Virtual += res.Raw.VirtualTime + res.Protected.VirtualTime
+	}
+	return results, report
+}
+
+// RunCorpus evaluates many samples in parallel, discarding the health
+// report. Results keep corpus order.
+func (l *Lab) RunCorpus(samples []*malware.Specimen) []SampleResult {
+	results, _ := l.Sweep(samples)
 	return results
 }

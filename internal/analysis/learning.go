@@ -58,7 +58,7 @@ func (s SignatureSurvey) String() string {
 // analysis rigs, aligns every diverging trace pair, and aggregates the
 // extracted evasion signatures — reproducing how the paper proposes to
 // keep the deception database current.
-func SurveySignatures(samples []*malware.Specimen, seed int64) SignatureSurvey {
+func SurveySignatures(samples []*malware.Specimen, seed int64) (SignatureSurvey, error) {
 	survey := SignatureSurvey{
 		Samples: len(samples),
 		ByKind:  make(map[string]int),
@@ -66,11 +66,17 @@ func SurveySignatures(samples []*malware.Specimen, seed int64) SignatureSurvey {
 	}
 	db := core.NewDB()
 	for i, s := range samples {
-		exposed := rawEvents(nil, s, seed+int64(i))
+		exposed, err := rawEvents(nil, s, seed+int64(i))
+		if err != nil {
+			return SignatureSurvey{}, err
+		}
 		var sig malgene.Signature
 		found := false
 		for _, r := range analysisRigs() {
-			evaded := rawEvents(r.prepare, s, seed+int64(i))
+			evaded, err := rawEvents(r.prepare, s, seed+int64(i))
+			if err != nil {
+				return SignatureSurvey{}, err
+			}
 			if got, ok := malgene.ExtractSignature(evaded, exposed); ok {
 				sig, found = got, true
 				break
@@ -88,13 +94,15 @@ func SurveySignatures(samples []*malware.Specimen, seed int64) SignatureSurvey {
 			survey.Learned++
 		}
 	}
-	return survey
+	return survey, nil
 }
 
 // rawEvents runs a sample without Scarecrow and returns its subtree's raw
 // event stream (for trace alignment, which needs events rather than
-// summaries).
-func rawEvents(prepare func(*winsim.Machine, *winsim.Process), s *malware.Specimen, seed int64) []trace.Event {
+// summaries). Attribution walks parent links, like subtreeSummary: a PID
+// threshold would misattribute events of unrelated processes created after
+// the sample.
+func rawEvents(prepare func(*winsim.Machine, *winsim.Process), s *malware.Specimen, seed int64) ([]trace.Event, error) {
 	var m *winsim.Machine
 	if prepare == nil {
 		m = winsim.NewCleanBareMetal(seed)
@@ -104,10 +112,15 @@ func rawEvents(prepare func(*winsim.Machine, *winsim.Process), s *malware.Specim
 	sys := winapi.NewSystem(m)
 	s.Register(sys)
 	m.FS.Touch(s.Image, 180<<10)
-	root := sys.Launch(s.Image, s.ID, agentProcess(m))
+	parent, err := agentProcess(m)
+	if err != nil {
+		return nil, err
+	}
+	root := sys.Launch(s.Image, s.ID, parent)
 	if prepare != nil {
 		prepare(m, root)
 	}
 	sys.Run(ObservationWindow)
-	return m.Tracer.Filter(func(e trace.Event) bool { return e.PID >= root.PID })
+	desc := subtreeDescendants(m, root.PID)
+	return m.Tracer.Filter(func(e trace.Event) bool { return desc[e.PID] }), nil
 }

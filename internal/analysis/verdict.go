@@ -8,12 +8,41 @@ import (
 	"scarecrow/internal/trace"
 )
 
+// VerdictCategory classifies a sample result for table/figure accounting.
+type VerdictCategory int
+
+const (
+	// VerdictSurvived: the sample's malicious behaviour went through
+	// despite Scarecrow.
+	VerdictSurvived VerdictCategory = iota
+	// VerdictDeactivated: Scarecrow stopped the sample (§IV-C criteria).
+	VerdictDeactivated
+	// VerdictError: the run itself failed (launch error, injected fault,
+	// recovered panic). Errored samples are excluded from the
+	// deactivated/survived counts and surfaced via RunReport.
+	VerdictError
+)
+
+func (c VerdictCategory) String() string {
+	switch c {
+	case VerdictDeactivated:
+		return "deactivated"
+	case VerdictError:
+		return "error"
+	default:
+		return "survived"
+	}
+}
+
 // Verdict is the §IV-C deactivation decision for one sample, computed
 // purely from the two executions' traces.
 type Verdict struct {
 	// Deactivated is the headline outcome: Scarecrow stopped the sample's
 	// malicious behaviour.
 	Deactivated bool
+	// Category restates the outcome including the error case; a Verdict
+	// built by Judge is never VerdictError.
+	Category VerdictCategory
 	// SpawnLoop marks samples that respawned themselves more than the
 	// threshold under Scarecrow (counted as deactivated: the loop never
 	// reaches code beyond the evasive logic).
@@ -39,6 +68,9 @@ func Judge(raw, prot Execution) Verdict {
 		ProtectedMutations:    prot.Summary.Mutations(),
 	}
 	v.Deactivated = v.SpawnLoop || !v.Suppressed.Empty()
+	if v.Deactivated {
+		v.Category = VerdictDeactivated
+	}
 	return v
 }
 

@@ -46,7 +46,10 @@ func run(t *testing.T, m *winsim.Machine, p Program, protected bool) (bool, trac
 	m.FS.Touch(p.InstallerImage, 40<<20)
 	var rootPID int
 	if protected {
-		ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+		if err != nil {
+			t.Fatal(err)
+		}
 		root, err := ctrl.LaunchTarget(p.InstallerImage, p.Name)
 		if err != nil {
 			t.Fatal(err)
@@ -132,7 +135,10 @@ func TestSelfPathCaveat(t *testing.T) {
 		return winapi.ExitOK
 	})
 	m.FS.Touch(image, 1<<20)
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ctrl.LaunchTarget(image, "pathwriter.exe"); err != nil {
 		t.Fatal(err)
 	}

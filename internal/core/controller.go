@@ -27,12 +27,18 @@ type Controller struct {
 	sys      *winapi.System
 	proc     *winsim.Process
 	injected map[int]bool
+	// followFailures records descendants whose follow-injection failed.
+	// The CreateProcess notification callback has no error channel (as in
+	// reality), so failures are recorded and alerted instead of lost.
+	followFailures []string
 }
 
 // Deploy installs Scarecrow on a machine: starts the controller process,
 // brings up the sinkhole proxy endpoint, and arranges descendant
-// follow-injection. Targets are not touched until LaunchTarget.
-func Deploy(sys *winapi.System, engine *Engine) *Controller {
+// follow-injection. Targets are not touched until LaunchTarget. A failed
+// deployment (kernel hook installation) returns an error rather than a
+// half-protected controller.
+func Deploy(sys *winapi.System, engine *Engine) (*Controller, error) {
 	ctrl := &Controller{
 		Engine:   engine,
 		Session:  NewSession(),
@@ -53,7 +59,7 @@ func Deploy(sys *winapi.System, engine *Engine) *Controller {
 
 	if engine.Config.KernelHooks {
 		if err := engine.InstallKernelHooks(sys, ctrl.Session); err != nil {
-			panic(fmt.Sprintf("core: kernel hook installation failed: %v", err))
+			return nil, fmt.Errorf("core: kernel hook installation failed: %w", err)
 		}
 	}
 
@@ -70,11 +76,15 @@ func Deploy(sys *winapi.System, engine *Engine) *Controller {
 				prev(parent, child)
 			}
 			if ctrl.injected[parent.PID] {
-				ctrl.inject(child)
+				if err := ctrl.inject(child); err != nil {
+					ctrl.followFailures = append(ctrl.followFailures, child.Image)
+					ctrl.Session.Alert(fmt.Sprintf("follow-injection into %s (PID %d) failed: %v",
+						child.Image, child.PID, err))
+				}
 			}
 		}
 	}
-	return ctrl
+	return ctrl, nil
 }
 
 // LaunchTarget starts an untrusted program under the controller (making
@@ -91,34 +101,39 @@ func (ct *Controller) LaunchTarget(image, cmdline string) (*winsim.Process, erro
 		ct.sys.RegisterProgram(ct.Engine.DB.HW.SamplePath, body)
 	}
 	child := ct.sys.Launch(image, cmdline, ct.proc)
-	ct.inject(child)
+	if err := ct.inject(child); err != nil {
+		return nil, fmt.Errorf("core: injecting %s: %w", image, err)
+	}
 	return child, nil
 }
 
 // Watch deploys hooks into an already-created process (used when a target
 // was launched by something else but should still be protected).
 func (ct *Controller) Watch(p *winsim.Process) error {
+	return ct.inject(p)
+}
+
+// inject installs the hook set into a process. A failure (unknown API,
+// injection fault) leaves the process unmarked so a later Watch may retry,
+// and is returned rather than panicking: one bad target must not take the
+// controller — or a whole corpus sweep — down with it.
+func (ct *Controller) inject(p *winsim.Process) error {
 	if ct.injected[p.PID] {
 		return nil
 	}
-	ct.inject(p)
-	return nil
-}
-
-func (ct *Controller) inject(p *winsim.Process) {
-	if ct.injected[p.PID] {
-		return
+	if err := ct.Engine.InstallHooks(ct.sys, p, ct.Session); err != nil {
+		return fmt.Errorf("core: hook installation in PID %d failed: %w", p.PID, err)
 	}
 	ct.injected[p.PID] = true
-	if err := ct.Engine.InstallHooks(ct.sys, p, ct.Session); err != nil {
-		// Installation can only fail on a programming error (unknown API
-		// name); surface it loudly rather than running unprotected.
-		panic(fmt.Sprintf("core: hook installation failed: %v", err))
-	}
+	return nil
 }
 
 // Injected reports whether a PID carries scarecrow.dll.
 func (ct *Controller) Injected(pid int) bool { return ct.injected[pid] }
+
+// FollowFailures returns the images of descendants whose follow-injection
+// failed (also surfaced as session alerts).
+func (ct *Controller) FollowFailures() []string { return ct.followFailures }
 
 // InjectedCount returns how many processes carry scarecrow.dll.
 func (ct *Controller) InjectedCount() int { return len(ct.injected) }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// A deployment whose kernel-hook installation fails must return an error,
+// not a half-protected controller.
+func TestDeployKernelHookFailure(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	m.ArmFaults(winsim.FaultPlan{FailInjection: true})
+	sys := winapi.NewSystem(m)
+	cfg := DefaultConfig()
+	cfg.KernelHooks = true
+	ctrl, err := Deploy(sys, NewEngine(NewDB(), cfg))
+	if err == nil {
+		t.Fatal("Deploy with a failing kernel-hook installation must error")
+	}
+	if ctrl != nil {
+		t.Error("a failed Deploy must not return a controller")
+	}
+	if !strings.Contains(err.Error(), "kernel hook installation failed") {
+		t.Errorf("error %q does not name the failing stage", err)
+	}
+}
+
+// LaunchTarget must propagate a hook-installation failure instead of
+// leaving an unprotected target running.
+func TestLaunchTargetInjectionFailure(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
+	m.ArmFaults(winsim.FaultPlan{FailInjection: true})
+	if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err == nil {
+		t.Fatal("LaunchTarget with failing injection must error")
+	}
+}
+
+// Watch must report injection failure and leave the process unmarked so a
+// later retry can succeed.
+func TestWatchInjectionFailureIsRetryable(t *testing.T) {
+	m := winsim.NewEndUserMachine(1)
+	sys := winapi.NewSystem(m)
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
+	p := sys.Launch(`C:\t.exe`, "", nil)
+
+	m.ArmFaults(winsim.FaultPlan{FailInjection: true})
+	if err := ctrl.Watch(p); err == nil {
+		t.Fatal("Watch with failing injection must error")
+	}
+	if ctrl.Injected(p.PID) {
+		t.Fatal("a failed injection must leave the process unmarked")
+	}
+
+	// Clear the fault; the retry succeeds.
+	m.ArmFaults(winsim.FaultPlan{})
+	if err := ctrl.Watch(p); err != nil {
+		t.Fatalf("retry after clearing the fault: %v", err)
+	}
+	if !ctrl.Injected(p.PID) {
+		t.Error("successful retry must mark the process injected")
+	}
+}

@@ -19,7 +19,7 @@ func deployOnEndUser(t *testing.T, cfg Config) (*Controller, *winapi.Context) {
 	sys.RegisterProgram(`C:\Users\alice\Downloads\target.exe`, func(ctx *winapi.Context) int {
 		return winapi.ExitOK
 	})
-	ctrl := Deploy(sys, NewEngine(NewDB(), cfg))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), cfg))
 	target, err := ctrl.LaunchTarget(`C:\Users\alice\Downloads\target.exe`, "target.exe")
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestCursorFrozen(t *testing.T) {
 	m.Mouse = winsim.NewMouse(true, 10, 10) // an active human
 	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +255,7 @@ func TestProloguesPatchedOnlyInTarget(t *testing.T) {
 	m := winsim.NewEndUserMachine(1)
 	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +291,7 @@ func TestFollowChildrenInjection(t *testing.T) {
 		childPID = child.PID
 		return 0
 	})
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +355,7 @@ func TestMitigationAlertOnSelfSpawnLoop(t *testing.T) {
 		}
 		return 0
 	})
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	if _, err := ctrl.LaunchTarget(`C:\w.exe`, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestMitigationKillStopsLoop(t *testing.T) {
 	})
 	cfg := DefaultConfig()
 	cfg.Mitigation = MitigationKillOnFork
-	ctrl := Deploy(sys, NewEngine(NewDB(), cfg))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), cfg))
 	if _, err := ctrl.LaunchTarget(`C:\w.exe`, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +431,7 @@ func TestWearAndTearOffByDefault(t *testing.T) {
 func TestLaunchTargetRequiresRegisteredProgram(t *testing.T) {
 	m := winsim.NewEndUserMachine(1)
 	sys := winapi.NewSystem(m)
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	if _, err := ctrl.LaunchTarget(`C:\unknown.exe`, ""); err == nil {
 		t.Error("launching an unregistered image should fail")
 	}
@@ -637,7 +637,7 @@ func deployWith(t *testing.T, m *winsim.Machine, db *DB, cfg Config) (*Controlle
 	t.Helper()
 	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return winapi.ExitOK })
-	ctrl := Deploy(sys, NewEngine(db, cfg))
+	ctrl := mustDeploy(t, sys, NewEngine(db, cfg))
 	target, err := ctrl.LaunchTarget(`C:\t.exe`, "t.exe")
 	if err != nil {
 		t.Fatal(err)
@@ -698,4 +698,15 @@ func TestCategoryAblationToggles(t *testing.T) {
 	if _, st := ctx.GetModuleHandle("SbieDll.dll"); !st.OK() {
 		t.Error("library deception should remain active")
 	}
+}
+
+// mustDeploy deploys Scarecrow or fails the test; the happy-path tests
+// here are not about deployment errors.
+func mustDeploy(t testing.TB, sys *winapi.System, engine *Engine) *Controller {
+	t.Helper()
+	ctrl, err := Deploy(sys, engine)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return ctrl
 }

@@ -86,6 +86,12 @@ type DB struct {
 	regKeys map[string]VendorProfile
 	// regValues maps "key|value" (lowercased) to a deceptive string.
 	regValues map[string]regFake
+	// fileDirs holds the path-form file entries (those containing a
+	// separator), sorted. MatchFile resolves directory-prefix probes with
+	// a longest-prefix scan over this slice so overlapping entries match
+	// the deepest one deterministically, independent of map iteration
+	// order.
+	fileDirs []string
 	// HW carries the deceptive hardware configuration.
 	HW HardwareFakes
 	// SinkholeIP is the proxy address all non-existent domains resolve to.
@@ -136,7 +142,7 @@ func NewDB() *DB {
 	for _, f := range []string{
 		`c:\analysis`, `c:\sandbox`, `c:\cuckoo`, `c:\tools\sysinternals`, `c:\ida`,
 	} {
-		db.files[f] = VendorGeneric
+		db.AddFile(f, VendorGeneric)
 	}
 
 	// (b) Processes: 24 analysis-tool and VM-service processes, protected
@@ -238,11 +244,20 @@ func (db *DB) MatchFile(path string) (VendorProfile, bool) {
 			return v, true
 		}
 	}
-	// Directory prefixes: probing C:\analysis\x.bin matches C:\analysis.
-	for dir, v := range db.files {
-		if strings.HasPrefix(dir, `c:\`) && strings.HasPrefix(lower, dir+`\`) {
-			return v, true
+	// Directory prefixes: probing C:\analysis\x.bin matches the deceptive
+	// directory C:\analysis. Any drive may host a deceptive directory
+	// (crawled sandboxes mount tool trees on D: and E: too). When entries
+	// overlap (C:\analysis and C:\analysis\tools), the longest — deepest —
+	// prefix wins; two distinct same-length prefixes of one probe cannot
+	// both match, so the result is unique and deterministic.
+	best := -1
+	for i, dir := range db.fileDirs {
+		if strings.HasPrefix(lower, dir+`\`) && (best < 0 || len(dir) > len(db.fileDirs[best])) {
+			best = i
 		}
+	}
+	if best >= 0 {
+		return db.files[db.fileDirs[best]], true
 	}
 	return "", false
 }
@@ -316,9 +331,18 @@ func (db *DB) DeceptiveProcesses() []string {
 	return out
 }
 
-// AddFile registers an extra deceptive file (crawled or learned).
+// AddFile registers an extra deceptive file (crawled or learned). Entries
+// given as paths (rather than bare base names) also act as deceptive
+// directory prefixes for MatchFile.
 func (db *DB) AddFile(path string, vendor VendorProfile) {
-	db.files[strings.ToLower(strings.ReplaceAll(path, "/", `\`))] = vendor
+	key := strings.ToLower(strings.ReplaceAll(path, "/", `\`))
+	if _, exists := db.files[key]; !exists && strings.ContainsRune(key, '\\') {
+		i := sort.SearchStrings(db.fileDirs, key)
+		db.fileDirs = append(db.fileDirs, "")
+		copy(db.fileDirs[i+1:], db.fileDirs[i:])
+		db.fileDirs[i] = key
+	}
+	db.files[key] = vendor
 }
 
 // AddProcess registers an extra deceptive process image.

@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+// Overlapping directory entries must resolve by longest prefix, and the
+// answer must be stable across repeated probes (the old map-iteration scan
+// returned whichever entry the runtime enumerated first).
+func TestMatchFileOverlappingDirs(t *testing.T) {
+	db := NewDB()
+	// The stock DB already carries c:\analysis; nest a vendor-specific
+	// tool tree inside it.
+	db.AddFile(`C:\analysis\tools`, VendorCuckoo)
+
+	for i := 0; i < 50; i++ {
+		vendor, ok := db.MatchFile(`C:\analysis\tools\dump.bin`)
+		if !ok {
+			t.Fatalf("probe %d: nested path did not match", i)
+		}
+		if vendor != VendorCuckoo {
+			t.Fatalf("probe %d: got vendor %q, want the deepest entry %q", i, vendor, VendorCuckoo)
+		}
+	}
+
+	// A probe inside the outer directory but outside the nested one still
+	// matches the outer entry.
+	vendor, ok := db.MatchFile(`C:\analysis\agent.py.bak`)
+	if !ok || vendor != VendorGeneric {
+		t.Fatalf("outer probe: got (%q, %v), want (%q, true)", vendor, ok, VendorGeneric)
+	}
+}
+
+// Deceptive directories may live on any drive: crawled sandboxes mount
+// tool trees on D: and E: too. The old scan only considered c:\ entries.
+func TestMatchFileNonCDrive(t *testing.T) {
+	db := NewDB()
+	db.AddFile(`D:\lab\hooks`, VendorSandboxie)
+
+	vendor, ok := db.MatchFile(`d:\lab\hooks\inject.dll`)
+	if !ok {
+		t.Fatal("probe under a D: deceptive directory did not match")
+	}
+	if vendor != VendorSandboxie {
+		t.Fatalf("got vendor %q, want %q", vendor, VendorSandboxie)
+	}
+	if _, ok := db.MatchFile(`d:\lab\other\file.txt`); ok {
+		t.Error("probe outside the deceptive directory must not match")
+	}
+}
+
+// Base-name entries (no path separator) must not become directory-prefix
+// candidates.
+func TestMatchFileBaseNameNotPrefix(t *testing.T) {
+	db := NewDB()
+	db.AddFile(`vboxhook.dll`, VendorVBox)
+
+	if _, ok := db.MatchFile(`c:\vboxhook.dll\payload.bin`); ok {
+		t.Error("base-name entry must not match as a directory prefix")
+	}
+	if v, ok := db.MatchFile(`c:\anywhere\vboxhook.dll`); !ok || v != VendorVBox {
+		t.Errorf("base-name match: got (%q, %v), want (%q, true)", v, ok, VendorVBox)
+	}
+}

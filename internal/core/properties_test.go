@@ -67,7 +67,7 @@ func TestPropertyHooksNeverLeakAcrossProcesses(t *testing.T) {
 	m := winsim.NewEndUserMachine(1)
 	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestPropertyDeterministicDeployments(t *testing.T) {
 		m := winsim.NewEndUserMachine(9)
 		sys := winapi.NewSystem(m)
 		sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
-		ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+		ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 		target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
 		if err != nil {
 			t.Fatal(err)
@@ -126,7 +126,7 @@ func TestPropertyGenuineAnswersPassThroughUnchanged(t *testing.T) {
 	m := winsim.NewEndUserMachine(3)
 	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
-	ctrl := Deploy(sys, NewEngine(NewDB(), DefaultConfig()))
+	ctrl := mustDeploy(t, sys, NewEngine(NewDB(), DefaultConfig()))
 	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
 	if err != nil {
 		t.Fatal(err)
@@ -184,7 +184,7 @@ func TestPropertySpawnLedgerMonotonic(t *testing.T) {
 		})
 		cfg := DefaultConfig()
 		cfg.SpawnAlarmThreshold = 1 << 30 // never alarm; just count
-		ctrl := Deploy(sys, NewEngine(NewDB(), cfg))
+		ctrl := mustDeploy(t, sys, NewEngine(NewDB(), cfg))
 		if _, err := ctrl.LaunchTarget(`C:\t.exe`, ""); err != nil {
 			return false
 		}

@@ -168,7 +168,10 @@ func TestAdditionalChecksAgainstScarecrow(t *testing.T) {
 	m := winsim.NewEndUserMachine(1)
 	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\t.exe`, func(ctx *winapi.Context) int { return 0 })
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(m.Profile)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	target, err := ctrl.LaunchTarget(`C:\t.exe`, "")
 	if err != nil {
 		t.Fatal(err)

@@ -1,7 +1,7 @@
 // Package lint is scarecrow's in-tree static-analysis suite: a small,
 // self-contained framework in the style of golang.org/x/tools/go/analysis
 // (which is deliberately not imported so the repo builds with a bare
-// toolchain and no module downloads) plus four repo-specific analyzers
+// toolchain and no module downloads) plus five repo-specific analyzers
 // that turn the simulation's runtime invariants into build errors:
 //
 //   - statuscheck: a winapi.Status result must never be silently dropped.
@@ -13,6 +13,9 @@
 //     machine's seeded RNG, never the wall clock or global math/rand.
 //   - tracecomplete: trace.Event literals must populate the fields the
 //     labrunner diffing keys on (Kind, PID, Image, Target).
+//   - nopanic: the fault-contained packages (internal/analysis,
+//     internal/core) must return errors, never panic — the lab's
+//     containment promise is that no single run can kill a corpus sweep.
 //
 // The paper's whole deception premise is consistency — one mismatched
 // artifact (an unhooked API, a wrong timestamp) lets evasive malware see
@@ -88,7 +91,7 @@ func (p *Pass) PackageSyntax(path string) ([]*ast.File, error) {
 
 // Analyzers returns the full scarelint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete}
+	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete, NoPanic}
 }
 
 // Run executes the analyzers over the packages and returns all diagnostics

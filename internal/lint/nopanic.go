@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanicScope lists the package trees whose failures must stay contained:
+// the lab cluster (internal/analysis) promises that one bad run never kills
+// a corpus sweep, and the deployment framework (internal/core) returns
+// errors so the lab can keep that promise. A panic in either tree would
+// bypass the containment boundary (Lab.runContained) and take a whole
+// sweep down, so panics there are findings. The only sanctioned
+// panic/recover channels — winsim.BudgetExceeded and the scheduler's
+// exitPanic — both live outside this scope.
+var NoPanicScope = []string{
+	"scarecrow/internal/analysis",
+	"scarecrow/internal/core",
+}
+
+// NoPanic forbids calls to the panic builtin in the contained packages.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in fault-contained packages (internal/analysis, internal/core); return an error instead",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if pass.Pkg == nil || !packagePathIn(pass.Pkg.Path(), NoPanicScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Resolve through the type checker: a method or local function
+			// that happens to be named "panic" is not the builtin.
+			if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin || ident.Name != "panic" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in a fault-contained package; return an error instead (sweeps recover panics, but contained code must not originate them)")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+// The fixture is checked twice: loaded under a fault-contained import path
+// every panic call is a finding, and loaded under a tooling path the
+// analyzer stays silent.
+func TestNoPanicInScope(t *testing.T) {
+	RunFixture(t, NoPanic, "nopanic", "scarecrow/internal/analysis/lintfixture")
+}
+
+func TestNoPanicOutOfScope(t *testing.T) {
+	RunFixture(t, NoPanic, "nopanic_out", "scarecrow/internal/lint/testdata/nopanic_out")
+}

@@ -1,0 +1,44 @@
+// Fixture: panic calls inside a fault-contained package (this fixture is
+// loaded under a scarecrow/internal/analysis/... import path, which places
+// it in the nopanic scope).
+package fixture
+
+import "errors"
+
+func explode(err error) {
+	if err != nil {
+		panic(err) // want `panic in a fault-contained package`
+	}
+	panic("unconditional") // want `panic in a fault-contained package`
+}
+
+// Sanctioned: returning the error instead.
+func contained(err error) error {
+	if err != nil {
+		return errors.New("wrapped: " + err.Error())
+	}
+	return nil
+}
+
+// A method that happens to be named "panic" is not the builtin and must
+// not be flagged.
+type alarm struct{}
+
+func (alarm) panic(msg string) string { return "alarm: " + msg }
+
+func falsePositives() string {
+	var a alarm
+	return a.panic("drill")
+}
+
+// Recovering a panic someone else raised is the containment boundary's
+// job and stays legal; only originating one is a finding.
+func recoverBoundary(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("recovered")
+		}
+	}()
+	f()
+	return nil
+}

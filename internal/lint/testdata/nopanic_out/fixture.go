@@ -1,0 +1,10 @@
+// Fixture: the same panicking code loaded under a tooling import path,
+// outside the nopanic scope — the analyzer must stay silent.
+package fixture
+
+func explode(err error) {
+	if err != nil {
+		panic(err)
+	}
+	panic("unconditional")
+}

@@ -87,7 +87,10 @@ func TestContinuousLearningPipeline(t *testing.T) {
 		sys := winapi.NewSystem(m)
 		s.Register(sys)
 		m.FS.Touch(s.Image, 64<<10)
-		ctrl := core.Deploy(sys, core.NewEngine(db, core.RecommendedConfig(m.Profile)))
+		ctrl, err := core.Deploy(sys, core.NewEngine(db, core.RecommendedConfig(m.Profile)))
+		if err != nil {
+			t.Fatal(err)
+		}
 		root, err := ctrl.LaunchTarget(s.Image, s.ID)
 		if err != nil {
 			t.Fatal(err)

@@ -36,7 +36,10 @@ func runProtected(t *testing.T, profile winsim.ProfileName) Report {
 		report = Run(ctx)
 		return winapi.ExitOK
 	})
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(string(profile))))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(string(profile))))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ctrl.LaunchTarget(`C:\pafish\pafish.exe`, "pafish.exe"); err != nil {
 		t.Fatal(err)
 	}

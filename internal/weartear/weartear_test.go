@@ -123,7 +123,10 @@ func TestTableIIISteering(t *testing.T) {
 	})
 	cfg := core.DefaultConfig()
 	cfg.WearAndTear = true
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ctrl.LaunchTarget(`C:\weartear\prober.exe`, "prober.exe"); err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +258,10 @@ func TestForestSteering(t *testing.T) {
 	})
 	cfg := core.DefaultConfig()
 	cfg.WearAndTear = true
-	ctrl := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ctrl.LaunchTarget(`C:\weartear\prober.exe`, "prober.exe"); err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,9 @@ func newProcState() *procState {
 // itself observable to anti-hooking checks — which is a feature, not a bug,
 // for Scarecrow. Later installs wrap earlier ones.
 func (s *System) InstallHook(pid int, api string, handler HookHandler) error {
+	if s.M.Faults.InjectionFault() {
+		return fmt.Errorf("winapi: injected fault: hook installation for %q failed in PID %d", api, pid)
+	}
 	meta, ok := apiCatalog[api]
 	if !ok {
 		return fmt.Errorf("winapi: unknown API %q", api)

@@ -28,6 +28,9 @@ func kernelHookable(api string) bool { return strings.HasPrefix(api, "Nt") }
 // process on the machine. Later installs wrap earlier ones, as with
 // user-mode hooks.
 func (s *System) InstallKernelHook(api string, handler HookHandler) error {
+	if s.M.Faults.InjectionFault() {
+		return fmt.Errorf("winapi: injected fault: kernel hook installation for %q failed", api)
+	}
 	meta, ok := apiCatalog[api]
 	if !ok {
 		return fmt.Errorf("winapi: unknown API %q", api)

@@ -1,0 +1,103 @@
+package winsim
+
+import "fmt"
+
+// Deterministic fault injection. A real analysis cluster loses machines:
+// disks fill, hives corrupt, injection races a crashing target. The lab's
+// containment guarantees (one bad run must never kill a corpus sweep) are
+// only trustworthy if every recovery path is exercised by tests, so a
+// machine can be armed with a FaultPlan that fails the N-th file, registry,
+// or process operation — or hook injection — at a seed-independent,
+// reproducible point. Faults are a property of one Machine; a fresh machine
+// (the Deep Freeze reset) starts clean unless armed again.
+
+// FaultPlan schedules deterministic failures on one machine. Ordinals are
+// 1-based and count operations performed after ArmFaults; zero means the
+// corresponding class never fails.
+type FaultPlan struct {
+	// FailFileOp fails the N-th file-system operation with a MachineFault
+	// panic (modeling an I/O error surfacing mid-syscall).
+	FailFileOp int
+	// FailRegOp fails the N-th registry operation the same way.
+	FailRegOp int
+	// FailProcOp fails the N-th process creation the same way.
+	FailProcOp int
+	// FailInjection makes hook installation (user and kernel) return an
+	// error, modeling a target that crashes or races during DLL injection.
+	FailInjection bool
+}
+
+// MachineFault is the panic value raised by an armed fault injector when a
+// scheduled operation fault fires. Unlike BudgetExceeded it is NOT
+// recovered by the scheduler: it unwinds to the lab's per-run containment
+// boundary, exactly like an unexpected runtime fault would.
+type MachineFault struct {
+	// Op names the faulted operation class ("file", "registry", "process").
+	Op string
+	// N is the 1-based ordinal at which the fault fired.
+	N int
+}
+
+// Error renders the fault like the I/O error it models.
+func (f MachineFault) Error() string {
+	return fmt.Sprintf("winsim: injected fault on %s operation %d", f.Op, f.N)
+}
+
+// FaultInjector counts operations on one machine and fires the armed plan.
+// All methods are nil-receiver safe, so unarmed machines pay only a nil
+// check per operation.
+type FaultInjector struct {
+	plan    FaultPlan
+	fileOps int
+	regOps  int
+	procOps int
+}
+
+// fileOp counts one file-system operation, panicking if the plan says so.
+func (fi *FaultInjector) fileOp() {
+	if fi == nil {
+		return
+	}
+	fi.fileOps++
+	if fi.plan.FailFileOp > 0 && fi.fileOps == fi.plan.FailFileOp {
+		panic(MachineFault{Op: "file", N: fi.fileOps})
+	}
+}
+
+// regOp counts one registry operation.
+func (fi *FaultInjector) regOp() {
+	if fi == nil {
+		return
+	}
+	fi.regOps++
+	if fi.plan.FailRegOp > 0 && fi.regOps == fi.plan.FailRegOp {
+		panic(MachineFault{Op: "registry", N: fi.regOps})
+	}
+}
+
+// procOp counts one process creation.
+func (fi *FaultInjector) procOp() {
+	if fi == nil {
+		return
+	}
+	fi.procOps++
+	if fi.plan.FailProcOp > 0 && fi.procOps == fi.plan.FailProcOp {
+		panic(MachineFault{Op: "process", N: fi.procOps})
+	}
+}
+
+// InjectionFault reports whether hook installation should fail.
+func (fi *FaultInjector) InjectionFault() bool {
+	return fi != nil && fi.plan.FailInjection
+}
+
+// ArmFaults installs a fault plan on the machine. Operations performed
+// before arming (profile population, agent processes) are not counted, so
+// ordinals are stable regardless of how the machine was provisioned.
+func (m *Machine) ArmFaults(plan FaultPlan) {
+	fi := &FaultInjector{plan: plan}
+	m.Faults = fi
+	m.FS.faults = fi
+	m.Registry.faults = fi
+	m.Procs.faults = fi
+}

@@ -1,0 +1,127 @@
+package winsim
+
+import (
+	"errors"
+	"testing"
+)
+
+// catchFault runs f and returns the MachineFault it panicked with, if any.
+func catchFault(f func()) (fault *MachineFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			mf, ok := r.(MachineFault)
+			if !ok {
+				panic(r)
+			}
+			fault = &mf
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestFaultPlanFileOrdinal(t *testing.T) {
+	m := NewMachine("test", 1)
+	m.ArmFaults(FaultPlan{FailFileOp: 3})
+
+	// Ordinals count from arming: the first two operations succeed.
+	m.FS.Touch(`C:\a.txt`, 1)
+	m.FS.Touch(`C:\b.txt`, 1)
+	fault := catchFault(func() { m.FS.Exists(`C:\a.txt`) })
+	if fault == nil {
+		t.Fatal("third file operation did not fault")
+	}
+	if fault.Op != "file" || fault.N != 3 {
+		t.Fatalf("fault = %+v, want Op=file N=3", *fault)
+	}
+	// The plan is one-shot: operation 4 proceeds normally.
+	if !m.FS.Exists(`C:\b.txt`) {
+		t.Error("file operations after the faulted ordinal must succeed")
+	}
+}
+
+func TestFaultPlanRegistryOrdinal(t *testing.T) {
+	m := NewMachine("test", 1)
+	m.ArmFaults(FaultPlan{FailRegOp: 2})
+
+	if _, err := m.Registry.CreateKey(`HKLM\SOFTWARE\Test`); err != nil {
+		t.Fatal(err)
+	}
+	fault := catchFault(func() { m.Registry.OpenKey(`HKLM\SOFTWARE\Test`) })
+	if fault == nil {
+		t.Fatal("second registry operation did not fault")
+	}
+	if fault.Op != "registry" || fault.N != 2 {
+		t.Fatalf("fault = %+v, want Op=registry N=2", *fault)
+	}
+}
+
+func TestFaultPlanProcessOrdinal(t *testing.T) {
+	m := NewMachine("test", 1)
+	m.ArmFaults(FaultPlan{FailProcOp: 1})
+
+	fault := catchFault(func() { m.Procs.Create(`C:\x.exe`, "x.exe", 4, 0) })
+	if fault == nil {
+		t.Fatal("first process creation did not fault")
+	}
+	if fault.Op != "process" || fault.N != 1 {
+		t.Fatalf("fault = %+v, want Op=process N=1", *fault)
+	}
+	if p := m.Procs.Create(`C:\y.exe`, "y.exe", 4, 0); p == nil {
+		t.Error("process creation after the faulted ordinal must succeed")
+	}
+}
+
+func TestMachineFaultIsError(t *testing.T) {
+	var err error = MachineFault{Op: "file", N: 7}
+	want := "winsim: injected fault on file operation 7"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	var mf MachineFault
+	if !errors.As(err, &mf) || mf.N != 7 {
+		t.Error("MachineFault must be usable as an error value")
+	}
+}
+
+// An unarmed machine has a nil injector everywhere; every operation class
+// must tolerate it.
+func TestUnarmedMachineIsFaultFree(t *testing.T) {
+	m := NewMachine("test", 1)
+	if m.Faults != nil {
+		t.Fatal("fresh machine must start unarmed")
+	}
+	m.FS.Touch(`C:\a.txt`, 1)
+	if _, err := m.Registry.CreateKey(`HKLM\SOFTWARE\Test`); err != nil {
+		t.Fatal(err)
+	}
+	m.Procs.Create(`C:\x.exe`, "x.exe", 4, 0)
+	if m.Faults.InjectionFault() {
+		t.Error("nil injector must report no injection fault")
+	}
+}
+
+// Profile provisioning happens before arming, so ordinals are independent
+// of how richly the profile populated the machine.
+func TestArmFaultsCountsFromArming(t *testing.T) {
+	for _, profile := range []ProfileName{ProfileBareMetalSandbox, ProfileEndUser} {
+		m := NewProfileMachine(profile, 1)
+		m.ArmFaults(FaultPlan{FailFileOp: 1})
+		fault := catchFault(func() { m.FS.Exists(`C:\Windows`) })
+		if fault == nil {
+			t.Errorf("%s: first post-arm file operation did not fault", profile)
+		}
+	}
+}
+
+func TestInjectionFault(t *testing.T) {
+	m := NewMachine("test", 1)
+	m.ArmFaults(FaultPlan{FailInjection: true})
+	if !m.Faults.InjectionFault() {
+		t.Error("armed injection fault not reported")
+	}
+	m.ArmFaults(FaultPlan{})
+	if m.Faults.InjectionFault() {
+		t.Error("re-arming with an empty plan must clear the injection fault")
+	}
+}

@@ -48,6 +48,7 @@ type Volume struct {
 type FileSystem struct {
 	nodes   map[string]*fsNode // normalized path -> node
 	volumes map[byte]*Volume
+	faults  *FaultInjector // nil unless the machine is armed (faults.go)
 }
 
 // NewFileSystem returns a file system containing only a C: volume root.
@@ -140,6 +141,7 @@ func (fs *FileSystem) MkdirAll(path string) {
 // creating parent directories as needed and charging the volume's free
 // space.
 func (fs *FileSystem) WriteFile(path string, data []byte) error {
+	fs.faults.fileOp()
 	if strings.HasPrefix(path, `\\.\`) {
 		return fmt.Errorf("filesystem: cannot write device %q", path)
 	}
@@ -166,6 +168,7 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 // declared size but no stored contents; used to provision large deceptive
 // file trees cheaply.
 func (fs *FileSystem) Touch(path string, size int64) {
+	fs.faults.fileOp()
 	if dir := parentDir(path); dir != "" {
 		fs.MkdirAll(dir)
 	}
@@ -183,6 +186,7 @@ func (fs *FileSystem) AddDevice(path string) {
 
 // ReadFile returns the stored contents of a regular file.
 func (fs *FileSystem) ReadFile(path string) ([]byte, bool) {
+	fs.faults.fileOp()
 	n, ok := fs.nodes[NormalizePath(path)]
 	if !ok || n.info.Kind != FileRegular {
 		return nil, false
@@ -194,6 +198,7 @@ func (fs *FileSystem) ReadFile(path string) ([]byte, bool) {
 
 // Stat returns metadata for the node at path.
 func (fs *FileSystem) Stat(path string) (FileInfo, bool) {
+	fs.faults.fileOp()
 	n, ok := fs.nodes[NormalizePath(path)]
 	if !ok {
 		return FileInfo{}, false
@@ -203,6 +208,7 @@ func (fs *FileSystem) Stat(path string) (FileInfo, bool) {
 
 // Exists reports whether any node exists at path.
 func (fs *FileSystem) Exists(path string) bool {
+	fs.faults.fileOp()
 	_, ok := fs.nodes[NormalizePath(path)]
 	return ok
 }
@@ -210,6 +216,7 @@ func (fs *FileSystem) Exists(path string) bool {
 // Delete removes the node at path, reporting whether it existed. Deleting a
 // directory removes its entire subtree.
 func (fs *FileSystem) Delete(path string) bool {
+	fs.faults.fileOp()
 	norm := NormalizePath(path)
 	n, ok := fs.nodes[norm]
 	if !ok {
@@ -230,6 +237,7 @@ func (fs *FileSystem) Delete(path string) bool {
 // List returns the display paths of the direct children of the directory at
 // path, sorted.
 func (fs *FileSystem) List(path string) []string {
+	fs.faults.fileOp()
 	prefix := NormalizePath(path)
 	if !strings.HasSuffix(prefix, `\`) {
 		prefix += `\`

@@ -73,6 +73,11 @@ type Machine struct {
 	// without Scarecrow.
 	MonitorHookedAPIs []string
 
+	// Faults, when armed via ArmFaults, injects deterministic failures
+	// into file, registry, process, and injection operations (faults.go).
+	// Nil on every machine that has not been armed.
+	Faults *FaultInjector
+
 	rng *rand.Rand
 }
 

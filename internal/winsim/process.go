@@ -98,7 +98,8 @@ func (p *Process) LoadModule(name string) bool {
 type ProcessTable struct {
 	nextPID int
 	procs   map[int]*Process
-	order   []int // creation order
+	order   []int          // creation order
+	faults  *FaultInjector // nil unless the machine is armed (faults.go)
 }
 
 // NewProcessTable returns an empty table. PIDs start at 4 (the System
@@ -109,6 +110,7 @@ func NewProcessTable() *ProcessTable {
 
 // Create registers a new process and returns it.
 func (t *ProcessTable) Create(image, cmdline string, parentPID int, start time.Duration) *Process {
+	t.faults.procOp()
 	p := &Process{
 		PID:         t.nextPID,
 		ParentPID:   parentPID,

@@ -108,7 +108,8 @@ func (k *Key) ValueCount() int { return len(k.values) }
 // backslash separators and begin with a hive name such as HKEY_LOCAL_MACHINE
 // (or its HKLM/HKCU abbreviations); comparisons are case-insensitive.
 type Registry struct {
-	hives map[string]*Key // lowercased canonical hive name
+	hives  map[string]*Key // lowercased canonical hive name
+	faults *FaultInjector  // nil unless the machine is armed (faults.go)
 }
 
 // Canonical hive names.
@@ -168,6 +169,7 @@ func splitRegPath(path string) []string {
 
 // OpenKey returns the key at path, or false if any element is missing.
 func (r *Registry) OpenKey(path string) (*Key, bool) {
+	r.faults.regOp()
 	cur, parts, err := r.splitPath(path)
 	if err != nil || cur == nil {
 		return nil, false
@@ -191,6 +193,7 @@ func (r *Registry) KeyExists(path string) bool {
 // CreateKey creates the key at path (and any missing ancestors) and returns
 // it. Existing keys are returned unchanged.
 func (r *Registry) CreateKey(path string) (*Key, error) {
+	r.faults.regOp()
 	cur, parts, err := r.splitPath(path)
 	if err != nil {
 		return nil, err
@@ -213,6 +216,7 @@ func (r *Registry) CreateKey(path string) (*Key, error) {
 // DeleteKey removes the key at path and its entire subtree. It returns
 // false if the key does not exist or path names a hive root.
 func (r *Registry) DeleteKey(path string) bool {
+	r.faults.regOp()
 	cur, parts, err := r.splitPath(path)
 	if err != nil || cur == nil || len(parts) == 0 {
 		return false
