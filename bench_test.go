@@ -9,6 +9,8 @@
 package scarecrow
 
 import (
+	"encoding/json"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -73,6 +75,7 @@ func BenchmarkFigure4MalGeneCorpus(b *testing.B) {
 	b.ReportMetric(report.SpawnLoopRate(), "%spawnloops")
 	b.ReportMetric(float64(report.SpawnersUsingIsDebugger), "isdbg-spawners")
 	b.ReportMetric(float64(report.Health.VerdictErrors), "run-errors")
+	b.ReportMetric(report.Health.Throughput(), "runs/s")
 	b.Logf("\n%s", report)
 	b.Logf("%s", report.Health)
 }
@@ -90,6 +93,92 @@ func BenchmarkFigure4Sample100(b *testing.B) {
 		report = analysis.Figure4(analysis.NewLab(42), corpus)
 	}
 	b.ReportMetric(report.DeactivationRate(), "%deactivated")
+	b.ReportMetric(report.Health.Throughput(), "runs/s")
+}
+
+// BenchmarkSweepReset measures the Deep Freeze reset itself: acquiring a
+// run-ready bare-metal machine by cloning the template snapshot (the lab's
+// default) versus building one from scratch. Alongside the standard ns/op
+// (the clone cost) it reports fresh_ns/op, reset_ns/op, and speedup_x, and
+// writes the comparison to BENCH_sweep.json.
+func BenchmarkSweepReset(b *testing.B) {
+	template := winsim.NewBareMetalSandbox(0).Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		template.Clone(int64(i))
+	}
+	b.StopTimer()
+	resetNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+	const freshRuns = 25
+	start := time.Now()
+	for i := 0; i < freshRuns; i++ {
+		winsim.NewBareMetalSandbox(int64(i))
+	}
+	freshNs := float64(time.Since(start).Nanoseconds()) / freshRuns
+
+	speedup := 0.0
+	if resetNs > 0 {
+		speedup = freshNs / resetNs
+	}
+	b.ReportMetric(resetNs, "reset_ns/op")
+	b.ReportMetric(freshNs, "fresh_ns/op")
+	b.ReportMetric(speedup, "speedup_x")
+	writeSweepBench(b, resetNs, freshNs, speedup)
+}
+
+// writeSweepBench persists the reset comparison so CI and ROADMAP readers
+// get the headline numbers without re-running the benchmark.
+func writeSweepBench(b *testing.B, resetNs, freshNs, speedup float64) {
+	doc := struct {
+		Benchmark string  `json:"benchmark"`
+		Profile   string  `json:"profile"`
+		ResetNs   float64 `json:"reset_ns_per_op"`
+		FreshNs   float64 `json:"fresh_ns_per_op"`
+		SpeedupX  float64 `json:"speedup_x"`
+	}{
+		Benchmark: "BenchmarkSweepReset",
+		Profile:   string(winsim.ProfileBareMetalSandbox),
+		ResetNs:   resetNs,
+		FreshNs:   freshNs,
+		SpeedupX:  speedup,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sweep.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepThroughput sweeps the stratified 100-sample corpus slice
+// with the template pool on (default) and off, reporting machine executions
+// per second for each — the end-to-end effect of the O(1) reset.
+func BenchmarkSweepThroughput(b *testing.B) {
+	full := malware.MalGeneCorpus()
+	var corpus []*malware.Specimen
+	for i := 0; i < len(full); i += len(full) / 100 {
+		corpus = append(corpus, full[i])
+	}
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{
+		{"pooled", false},
+		{"fresh", true},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var report analysis.RunReport
+			for i := 0; i < b.N; i++ {
+				lab := analysis.NewLab(42)
+				lab.DisablePooling = mode.noPool
+				_, report = lab.Sweep(corpus)
+			}
+			b.ReportMetric(report.Throughput(), "runs/s")
+		})
+	}
 }
 
 // BenchmarkTable2Pafish regenerates Table II: the 56-feature Pafish

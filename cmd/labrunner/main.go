@@ -26,10 +26,23 @@ import (
 	"scarecrow/internal/malware"
 )
 
+// noPool disables the lab's template snapshot pool, rebuilding every
+// machine from scratch (the pre-pool behaviour; results are identical
+// either way, only slower).
+var noPool bool
+
+// newLab builds an experiment lab honoring the -no-pool flag.
+func newLab(seed int64) *analysis.Lab {
+	lab := analysis.NewLab(seed)
+	lab.DisablePooling = noPool
+	return lab
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of tables")
+	flag.BoolVar(&noPool, "no-pool", false, "rebuild machines from scratch instead of cloning the template snapshot")
 	flag.Parse()
 	var err error
 	if *asJSON {
@@ -47,11 +60,11 @@ func main() {
 // lab). Experiments that only print prose are not exposed here.
 func runJSON(experiment string, seed int64) error {
 	builders := map[string]func(int64) (any, error){
-		"table1": func(s int64) (any, error) { return analysis.Table1(analysis.NewLab(s)), nil },
+		"table1": func(s int64) (any, error) { return analysis.Table1(newLab(s)), nil },
 		"table2": func(s int64) (any, error) { return analysis.Table2(s) },
 		"table3": func(s int64) (any, error) { return analysis.Table3(s) },
 		"figure4": func(s int64) (any, error) {
-			return analysis.Figure4(analysis.NewLab(s), malware.MalGeneCorpus()), nil
+			return analysis.Figure4(newLab(s), malware.MalGeneCorpus()), nil
 		},
 		"benign":    func(s int64) (any, error) { return analysis.RunBenign(s) },
 		"kernel":    func(s int64) (any, error) { return analysis.KernelExtension(s), nil },
@@ -120,7 +133,7 @@ func header(title string) {
 
 func table1(seed int64) error {
 	header("Table I — effectiveness on the Joe Security samples")
-	report := analysis.Table1(analysis.NewLab(seed))
+	report := analysis.Table1(newLab(seed))
 	fmt.Print(report)
 	fmt.Println(report.Health)
 	return nil
@@ -149,7 +162,7 @@ func table3(seed int64) error {
 func figure4(seed int64) error {
 	header("Figure 4 — effectiveness on the MalGene corpus (this takes a while)")
 	start := time.Now()
-	report := analysis.Figure4(analysis.NewLab(seed), malware.MalGeneCorpus())
+	report := analysis.Figure4(newLab(seed), malware.MalGeneCorpus())
 	fmt.Print(report)
 	fmt.Println(report.Health)
 	fmt.Printf("(corpus evaluated in %.1fs wall time)\n", time.Since(start).Seconds())
@@ -184,7 +197,7 @@ func crawl(seed int64) error {
 
 func case1(seed int64) error {
 	header("Case I — Kasidet's comprehensive evasive disjunction")
-	lab := analysis.NewLab(seed)
+	lab := newLab(seed)
 	res := lab.RunSample(malware.Kasidet(), 1)
 	if res.Err != nil {
 		return res.Err
@@ -212,14 +225,14 @@ func case2(seed int64) error {
 func isolation(seed int64) error {
 	header("§VI-B — profile isolation against a Scarecrow-aware detector")
 	detector := malware.ScarecrowAware()
-	stock := analysis.NewLab(seed)
+	stock := newLab(seed)
 	res := stock.RunSample(detector, 1)
 	if res.Err != nil {
 		return res.Err
 	}
 	fmt.Printf("stock deployment:    deactivated=%v (conflicting vendors unmask the engine)\n",
 		res.Verdict.Deactivated)
-	iso := analysis.NewLab(seed)
+	iso := newLab(seed)
 	iso.Config.ProfileIsolation = true
 	res = iso.RunSample(detector, 1)
 	if res.Err != nil {
@@ -277,7 +290,7 @@ func survey(seed int64) error {
 
 func toolKill(seed int64) error {
 	header("§II-B(b) — counter-forensic tool killing vs protected decoys")
-	res := analysis.NewLab(seed).RunSample(malware.ToolKiller(), 1)
+	res := newLab(seed).RunSample(malware.ToolKiller(), 1)
 	if res.Err != nil {
 		return res.Err
 	}

@@ -17,6 +17,7 @@ func main() {
 	n := flag.Int("n", 120, "number of corpus samples to sweep")
 	full := flag.Bool("full", false, "evaluate the complete 1,054-sample corpus")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	noPool := flag.Bool("no-pool", false, "rebuild machines from scratch instead of cloning the template snapshot")
 	flag.Parse()
 
 	corpus := malware.MalGeneCorpus()
@@ -33,7 +34,9 @@ func main() {
 
 	fmt.Printf("sweeping %d samples on the simulated cluster...\n", len(corpus))
 	start := time.Now()
-	report := analysis.Figure4(analysis.NewLab(*seed), corpus)
+	lab := analysis.NewLab(*seed)
+	lab.DisablePooling = *noPool
+	report := analysis.Figure4(lab, corpus)
 	fmt.Print(report)
 	fmt.Println(report.Health)
 	fmt.Printf("wall time: %.1fs\n", time.Since(start).Seconds())

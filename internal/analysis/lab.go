@@ -1,10 +1,11 @@
 // Package analysis is the experiment environment of Figure 3: a cluster of
 // simulated bare-metal Windows machines, each reset to a clean state before
-// every sample (a fresh winsim.Machine per run models the Deep Freeze
-// reset), an agent that runs the sample for one virtual minute with or
-// without Scarecrow, and kernel-activity tracing throughout. On top of the
-// lab sit the verdict logic of §IV-C and runners that regenerate every
-// table and figure of the evaluation.
+// every sample (a winsim.Machine cloned per run from a per-profile template
+// snapshot models the Deep Freeze reset in O(1); see Lab.acquireMachine),
+// an agent that runs the sample for one virtual minute with or without
+// Scarecrow, and kernel-activity tracing throughout. On top of the lab sit
+// the verdict logic of §IV-C and runners that regenerate every table and
+// figure of the evaluation.
 //
 // Failure is a first-class outcome: a run that errors or panics is
 // contained to its own SampleResult (Err, VerdictError) and the sweep
@@ -59,6 +60,43 @@ type Lab struct {
 	// 1 or 2) with a deterministic fault plan. Test-and-drill hook: nil
 	// return leaves the run unfaulted.
 	FaultPlanFor func(index, attempt int) *winsim.FaultPlan
+	// DisablePooling forces every run to rebuild its machine from scratch
+	// instead of cloning the per-profile template snapshot — the A/B
+	// timing knob for comparing the O(1) reset against the full re-image.
+	// Results are bit-identical either way (the differential harness in
+	// differential_test.go enforces it).
+	DisablePooling bool
+
+	// poolMu guards the lazily built template snapshot. The template is
+	// keyed by profile so a Lab whose Profile is reassigned between runs
+	// transparently rebuilds it.
+	poolMu          sync.Mutex
+	template        *winsim.Snapshot
+	templateProfile winsim.ProfileName
+}
+
+// templateSeed seeds the pool's template machine. The value is irrelevant
+// to clones — Snapshot.Clone re-seeds — but fixed so template construction
+// is reproducible.
+const templateSeed = 0
+
+// acquireMachine is the cluster's Deep Freeze reset: it returns a machine
+// for the given seed, cloned from the per-profile template snapshot in O(1)
+// (or built from scratch when pooling is disabled). Profile construction
+// never consumes the machine RNG, so a clone re-seeded for this run is
+// bit-identical to NewProfileMachine(profile, seed).
+func (l *Lab) acquireMachine(seed int64) *winsim.Machine {
+	if l.DisablePooling {
+		return winsim.NewProfileMachine(l.Profile, seed)
+	}
+	l.poolMu.Lock()
+	if l.template == nil || l.templateProfile != l.Profile {
+		l.template = winsim.NewProfileMachine(l.Profile, templateSeed).Snapshot()
+		l.templateProfile = l.Profile
+	}
+	template := l.template
+	l.poolMu.Unlock()
+	return template.Clone(seed)
 }
 
 // NewLab returns the paper's evaluation setup: bare-metal machines and the
@@ -92,7 +130,7 @@ type Execution struct {
 // runRaw executes the specimen without Scarecrow: the agent (python.exe)
 // launches it, as in the real cluster.
 func (l *Lab) runRaw(s *malware.Specimen, seed int64, plan *winsim.FaultPlan) (Execution, error) {
-	m := winsim.NewProfileMachine(l.Profile, seed)
+	m := l.acquireMachine(seed)
 	if plan != nil {
 		m.ArmFaults(*plan)
 	}
@@ -110,7 +148,7 @@ func (l *Lab) runRaw(s *malware.Specimen, seed int64, plan *winsim.FaultPlan) (E
 
 // runProtected executes the specimen under the Scarecrow controller.
 func (l *Lab) runProtected(s *malware.Specimen, seed int64, plan *winsim.FaultPlan) (Execution, error) {
-	m := winsim.NewProfileMachine(l.Profile, seed)
+	m := l.acquireMachine(seed)
 	if plan != nil {
 		m.ArmFaults(*plan)
 	}
@@ -292,6 +330,16 @@ type RunReport struct {
 	// time of every execution (the cluster-minutes the sweep modeled).
 	Wall    time.Duration
 	Virtual time.Duration
+}
+
+// Throughput returns machine executions per wall-clock second (each sample
+// costs two executions: raw and protected). The sweep-rate figure the
+// benchmarks report.
+func (r RunReport) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(2*r.Samples) / r.Wall.Seconds()
 }
 
 // String renders the health summary the way labrunner prints it.

@@ -41,6 +41,21 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
+// Clone returns an independent recorder holding a copy of the events
+// recorded so far. Used by winsim's snapshot subsystem: every machine
+// cloned from a snapshot must own its own recorder, so concurrent cloned
+// runs can never interleave trace events.
+func (r *Recorder) Clone() *Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nr := &Recorder{}
+	if len(r.events) > 0 {
+		nr.events = make([]Event, len(r.events))
+		copy(nr.events, r.events)
+	}
+	return nr
+}
+
 // Reset discards all recorded events.
 func (r *Recorder) Reset() {
 	r.mu.Lock()

@@ -25,6 +25,11 @@ type FileInfo struct {
 	Size int64
 }
 
+// fsNode is immutable once installed in the node map: every operation that
+// changes a file (WriteFile, Touch, AddDevice) installs a NEW node rather
+// than mutating the existing one. The snapshot subsystem (snapshot.go)
+// relies on this to share nodes copy-on-write across cloned machines — if
+// you add an in-place mutation, deep-copy nodes in FileSystem.clone first.
 type fsNode struct {
 	info FileInfo
 	data []byte

@@ -78,12 +78,17 @@ type Machine struct {
 	// Nil on every machine that has not been armed.
 	Faults *FaultInjector
 
-	rng *rand.Rand
+	// rng draws from rngSrc; both point at the same underlying state.
+	// rngSrc is kept alongside so Snapshot can capture the exact RNG
+	// position (math/rand sources are opaque; see snapshot.go).
+	rng    *rand.Rand
+	rngSrc *rngSource
 }
 
 // NewMachine builds an empty machine with the given profile name and seed.
 // Profiles (see profiles.go) populate it.
 func NewMachine(profile string, seed int64) *Machine {
+	src := newRNGSource(seed)
 	return &Machine{
 		Profile:              profile,
 		OS:                   Windows7,
@@ -99,7 +104,8 @@ func NewMachine(profile string, seed int64) *Machine {
 		Tracer:               trace.NewRecorder(),
 		SleepFactor:          1.0,
 		DebuggerAttachedPIDs: make(map[int]bool),
-		rng:                  rand.New(rand.NewSource(seed)),
+		rng:                  rand.New(src),
+		rngSrc:               src,
 	}
 }
 

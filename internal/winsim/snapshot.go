@@ -1,0 +1,292 @@
+package winsim
+
+// Deep-Freeze snapshot pool. The paper's cluster re-images every bare-metal
+// machine with Deep Freeze before each sample; the simulation used to model
+// that reset by rebuilding the whole Machine (profile population, registry,
+// filesystem, wear-and-tear forest) from scratch for every run — the
+// dominant cost of a corpus sweep. Snapshot captures the complete mutable
+// state of a machine once; Clone and Restore then produce machines that are
+// observationally identical to a fresh build at a fraction of the cost.
+//
+// Sharing contract (copy-on-write): a clone shares only data that is never
+// mutated in place after creation —
+//
+//   - *fsNode values (FileSystem replaces whole nodes on WriteFile/Touch
+//     and never mutates info or data of an existing node; see fsNode),
+//   - Value.Data byte slices (BinaryValue copies at construction; nothing
+//     writes into a stored slice),
+//   - strings (immutable in Go).
+//
+// Everything else — every map, every slice header, every struct reached by
+// pointer (Clock, Registry keys, processes, volumes, windows, hardware,
+// network tables, event log, mouse, tracer, fault injector, RNG state) — is
+// deep-copied, so no write on one machine can ever be observed on another.
+// The differential harness in internal/analysis and FuzzSnapshotRestore
+// enforce the contract behaviourally; TestSnapshotCoversEveryField enforces
+// it structurally (a new field breaks the build until snapshotSpec and
+// clone() account for it).
+
+import (
+	"math/rand"
+)
+
+// rngSource is the machine's deterministic random source: a SplitMix64
+// generator whose entire state is one word, so Snapshot can capture the
+// exact RNG position and Restore can resume it mid-stream (math/rand's
+// stock source is opaque and unserializable). It implements rand.Source64.
+type rngSource struct {
+	state uint64
+}
+
+// newRNGSource returns a source seeded like rand.NewSource: the same seed
+// always yields the same stream.
+func newRNGSource(seed int64) *rngSource {
+	return &rngSource{state: uint64(seed)}
+}
+
+// Seed resets the source to the canonical stream for seed.
+func (s *rngSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 advances the SplitMix64 state and returns the next output.
+func (s *rngSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative 63-bit value, as rand.Source requires.
+func (s *rngSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Snapshot is a frozen deep copy of one machine's complete observable
+// state: registry, filesystem, process table, windows, event log, hardware,
+// network, mouse, clock, trace stream, RNG position, and fault-plan arming.
+// A snapshot is immutable after capture and safe for concurrent Clone calls
+// from many goroutines (the lab's template pool does exactly that).
+type Snapshot struct {
+	m *Machine
+}
+
+// Snapshot captures the machine's current state. The machine remains live;
+// later mutations are not reflected in the snapshot.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{m: m.clone()}
+}
+
+// Clone builds a new machine from the snapshot with a fresh RNG stream for
+// the given seed. Cloning a snapshot of a freshly built profile machine is
+// observationally identical to NewProfileMachine(profile, seed) — the O(1)
+// Deep Freeze reset — because profile construction never consumes the RNG.
+func (s *Snapshot) Clone(seed int64) *Machine {
+	nm := s.m.clone()
+	nm.rngSrc.Seed(seed)
+	return nm
+}
+
+// Restore rewinds the machine to the snapshot point, including the RNG
+// position and the trace stream, so execution after Restore replays exactly
+// as execution after the original Snapshot call. Callers holding references
+// to the machine's previous subsystems (e.g. a winapi.System built before
+// Restore) must rebuild them: Restore swaps in fresh deep copies.
+func (m *Machine) Restore(s *Snapshot) {
+	*m = *s.m.clone()
+}
+
+// clone deep-copies the machine. Every field of Machine (and of each state
+// type it reaches) must be handled here and listed in snapshotSpec;
+// TestSnapshotCoversEveryField fails the build otherwise.
+func (m *Machine) clone() *Machine {
+	nm := &Machine{
+		Profile:               m.Profile,
+		OS:                    m.OS,
+		SleepFactor:           m.SleepFactor,
+		RegistryQuotaUsed:     m.RegistryQuotaUsed,
+		KernelDebuggerPresent: m.KernelDebuggerPresent,
+	}
+	if m.MonitorHookedAPIs != nil {
+		nm.MonitorHookedAPIs = append([]string(nil), m.MonitorHookedAPIs...)
+	}
+	if m.Faults != nil {
+		fi := *m.Faults
+		nm.Faults = &fi
+	}
+	clk := *m.Clock
+	nm.Clock = &clk
+	nm.Registry = m.Registry.clone(nm.Faults)
+	nm.FS = m.FS.clone(nm.Faults)
+	nm.Procs = m.Procs.clone(nm.Faults)
+	nm.Windows = m.Windows.clone()
+	hw := *m.HW
+	if m.HW.MACs != nil {
+		hw.MACs = append([]string(nil), m.HW.MACs...)
+	}
+	nm.HW = &hw
+	nm.Net = m.Net.clone()
+	nm.EventLog = m.EventLog.clone()
+	mouse := *m.Mouse
+	nm.Mouse = &mouse
+	nm.Tracer = m.Tracer.Clone()
+	nm.DebuggerAttachedPIDs = make(map[int]bool, len(m.DebuggerAttachedPIDs))
+	for pid, v := range m.DebuggerAttachedPIDs {
+		nm.DebuggerAttachedPIDs[pid] = v
+	}
+	if m.rngSrc != nil {
+		nm.rngSrc = &rngSource{state: m.rngSrc.state}
+	} else {
+		nm.rngSrc = newRNGSource(0)
+	}
+	nm.rng = rand.New(nm.rngSrc)
+	return nm
+}
+
+// clone deep-copies the registry tree and rewires fault injection to the
+// cloning machine's injector. Value.Data slices are shared (see the sharing
+// contract above).
+func (r *Registry) clone(fi *FaultInjector) *Registry {
+	nr := &Registry{hives: make(map[string]*Key, len(r.hives)), faults: fi}
+	for name, hive := range r.hives {
+		nr.hives[name] = cloneKey(hive)
+	}
+	return nr
+}
+
+func cloneKey(k *Key) *Key {
+	nk := &Key{
+		name:    k.name,
+		subkeys: make(map[string]*Key, len(k.subkeys)),
+		values:  make(map[string]*kvPair, len(k.values)),
+	}
+	for name, sk := range k.subkeys {
+		nk.subkeys[name] = cloneKey(sk)
+	}
+	for name, p := range k.values {
+		nk.values[name] = &kvPair{name: p.name, value: p.value}
+	}
+	return nk
+}
+
+// clone copies the file system. The node map is copied but the *fsNode
+// values are shared copy-on-write: FileSystem only ever replaces whole
+// nodes, so a shared node is immutable and a write on one machine installs
+// a new node without touching the other's. Volumes are mutated in place
+// (WriteFile charges FreeBytes) and therefore deep-copied.
+func (fs *FileSystem) clone(fi *FaultInjector) *FileSystem {
+	nf := &FileSystem{
+		nodes:   make(map[string]*fsNode, len(fs.nodes)),
+		volumes: make(map[byte]*Volume, len(fs.volumes)),
+		faults:  fi,
+	}
+	for path, node := range fs.nodes {
+		nf.nodes[path] = node
+	}
+	for letter, v := range fs.volumes {
+		vol := *v
+		nf.volumes[letter] = &vol
+	}
+	return nf
+}
+
+// clone deep-copies the process table: Process objects are mutated in place
+// throughout a run (state, PEB, modules), so every one is copied.
+func (t *ProcessTable) clone(fi *FaultInjector) *ProcessTable {
+	nt := &ProcessTable{
+		nextPID: t.nextPID,
+		procs:   make(map[int]*Process, len(t.procs)),
+		order:   append([]int(nil), t.order...),
+		faults:  fi,
+	}
+	for pid, p := range t.procs {
+		np := *p
+		if p.Modules != nil {
+			np.Modules = append([]string(nil), p.Modules...)
+		}
+		nt.procs[pid] = &np
+	}
+	return nt
+}
+
+func (wm *WindowManager) clone() *WindowManager {
+	nw := &WindowManager{}
+	if wm.windows != nil {
+		nw.windows = append([]Window(nil), wm.windows...)
+	}
+	return nw
+}
+
+func (n *Network) clone() *Network {
+	nn := &Network{
+		records:    make(map[string]string, len(n.records)),
+		reachable:  make(map[string]bool, len(n.reachable)),
+		SinkholeIP: n.SinkholeIP,
+		Cache:      n.Cache.clone(),
+	}
+	for d, a := range n.records {
+		nn.records[d] = a
+	}
+	for a, ok := range n.reachable {
+		nn.reachable[a] = ok
+	}
+	return nn
+}
+
+func (c *DNSCache) clone() *DNSCache {
+	nc := &DNSCache{present: make(map[string]struct{}, len(c.present))}
+	if c.order != nil {
+		nc.order = append([]string(nil), c.order...)
+	}
+	for d := range c.present {
+		nc.present[d] = struct{}{}
+	}
+	return nc
+}
+
+func (l *EventLog) clone() *EventLog {
+	nl := &EventLog{count: l.count, sources: make(map[string]int, len(l.sources))}
+	for s, n := range l.sources {
+		nl.sources[s] = n
+	}
+	return nl
+}
+
+// snapshotSpec names, for every state type the snapshot reaches, the exact
+// fields clone() accounts for. TestSnapshotCoversEveryField reflects over
+// the real types and fails on any mismatch in either direction, so adding a
+// field to the machine without snapshot support breaks the build here — not
+// a sweep three PRs later.
+var snapshotSpec = map[string][]string{
+	"Machine": {
+		"Profile", "OS", "Clock", "Registry", "FS", "Procs", "Windows",
+		"HW", "Net", "EventLog", "Mouse", "Tracer", "SleepFactor",
+		"RegistryQuotaUsed", "DebuggerAttachedPIDs", "KernelDebuggerPresent",
+		"MonitorHookedAPIs", "Faults", "rng", "rngSrc",
+	},
+	"OSVersion":     {"Major", "Minor", "Build"},
+	"Clock":         {"now", "bootOffset", "deadline", "cyclesPerNano"},
+	"Registry":      {"hives", "faults"},
+	"Key":           {"name", "subkeys", "values"},
+	"kvPair":        {"name", "value"},
+	"Value":         {"Type", "Str", "Num", "Data"},
+	"FileSystem":    {"nodes", "volumes", "faults"},
+	"fsNode":        {"info", "data"},
+	"FileInfo":      {"Path", "Kind", "Size"},
+	"Volume":        {"Letter", "TotalBytes", "FreeBytes", "SerialNumber"},
+	"ProcessTable":  {"nextPID", "procs", "order", "faults"},
+	"Process":       {"PID", "ParentPID", "Image", "CommandLine", "PEB", "Modules", "State", "ExitCode", "StartTime", "ExitTime", "Protected", "SpawnDepth"},
+	"PEB":           {"BeingDebugged", "NumberOfProcessors", "ImageBaseAddress"},
+	"WindowManager": {"windows"},
+	"Window":        {"Class", "Title", "PID"},
+	"Hardware": {
+		"NumCores", "RAMBytes", "CPUVendor", "CPUBrand", "HypervisorPresent",
+		"HypervisorVendor", "CPUIDCycles", "RDTSCCycles", "MACs", "DiskModel",
+		"BIOSSerial", "SystemManufacturer", "SystemProductName",
+		"ComputerName", "UserName",
+	},
+	"Network":       {"records", "SinkholeIP", "reachable", "Cache"},
+	"DNSCache":      {"order", "present"},
+	"EventLog":      {"count", "sources"},
+	"Mouse":         {"Active", "baseX", "baseY"},
+	"FaultInjector": {"plan", "fileOps", "regOps", "procOps"},
+	"FaultPlan":     {"FailFileOp", "FailRegOp", "FailProcOp", "FailInjection"},
+	"rngSource":     {"state"},
+}

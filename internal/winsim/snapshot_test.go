@@ -1,0 +1,306 @@
+package winsim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scarecrow/internal/trace"
+)
+
+// TestSnapshotCoversEveryField reflects over every state type the snapshot
+// reaches and fails if its field set differs from what snapshotSpec says
+// clone() handles — in either direction. Adding a field to the machine
+// without snapshot support breaks the build here, not a sweep three PRs
+// later.
+func TestSnapshotCoversEveryField(t *testing.T) {
+	types := map[string]reflect.Type{
+		"Machine":       reflect.TypeOf(Machine{}),
+		"OSVersion":     reflect.TypeOf(OSVersion{}),
+		"Clock":         reflect.TypeOf(Clock{}),
+		"Registry":      reflect.TypeOf(Registry{}),
+		"Key":           reflect.TypeOf(Key{}),
+		"kvPair":        reflect.TypeOf(kvPair{}),
+		"Value":         reflect.TypeOf(Value{}),
+		"FileSystem":    reflect.TypeOf(FileSystem{}),
+		"fsNode":        reflect.TypeOf(fsNode{}),
+		"FileInfo":      reflect.TypeOf(FileInfo{}),
+		"Volume":        reflect.TypeOf(Volume{}),
+		"ProcessTable":  reflect.TypeOf(ProcessTable{}),
+		"Process":       reflect.TypeOf(Process{}),
+		"PEB":           reflect.TypeOf(PEB{}),
+		"WindowManager": reflect.TypeOf(WindowManager{}),
+		"Window":        reflect.TypeOf(Window{}),
+		"Hardware":      reflect.TypeOf(Hardware{}),
+		"Network":       reflect.TypeOf(Network{}),
+		"DNSCache":      reflect.TypeOf(DNSCache{}),
+		"EventLog":      reflect.TypeOf(EventLog{}),
+		"Mouse":         reflect.TypeOf(Mouse{}),
+		"FaultInjector": reflect.TypeOf(FaultInjector{}),
+		"FaultPlan":     reflect.TypeOf(FaultPlan{}),
+		"rngSource":     reflect.TypeOf(rngSource{}),
+	}
+	for name := range snapshotSpec {
+		if _, ok := types[name]; !ok {
+			t.Errorf("snapshotSpec names %q but the test has no reflect.Type for it", name)
+		}
+	}
+	for name, typ := range types {
+		spec, ok := snapshotSpec[name]
+		if !ok {
+			t.Errorf("type %s reached by Snapshot but absent from snapshotSpec", name)
+			continue
+		}
+		want := make(map[string]bool, len(spec))
+		for _, f := range spec {
+			want[f] = true
+		}
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		for _, f := range got {
+			if !want[f] {
+				t.Errorf("%s.%s is not accounted for in Snapshot/Restore: handle it in clone() and add it to snapshotSpec", name, f)
+			}
+			delete(want, f)
+		}
+		var stale []string
+		for f := range want {
+			stale = append(stale, f)
+		}
+		sort.Strings(stale)
+		if len(stale) > 0 {
+			t.Errorf("snapshotSpec lists fields %v for %s that no longer exist", stale, name)
+		}
+	}
+}
+
+// digest renders the complete observable machine state as a string, for
+// comparing machines across snapshot/restore/clone boundaries.
+func digest(m *Machine) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile=%s os=%d.%d.%d clock=%v uptime=%v deadline=%v quota=%d sleep=%g kdbg=%v hooked=%v\n",
+		m.Profile, m.OS.Major, m.OS.Minor, m.OS.Build, m.Clock.Now(), m.Clock.Uptime(),
+		m.Clock.Deadline(), m.RegistryQuotaUsed, m.SleepFactor, m.KernelDebuggerPresent, m.MonitorHookedAPIs)
+	fmt.Fprintf(&sb, "hw=%+v\n", *m.HW)
+	m.FS.Walk(func(info FileInfo) { fmt.Fprintf(&sb, "fs %s kind=%d size=%d\n", info.Path, info.Kind, info.Size) })
+	for _, v := range m.FS.Volumes() {
+		fmt.Fprintf(&sb, "vol %c total=%d free=%d serial=%d\n", v.Letter, v.TotalBytes, v.FreeBytes, v.SerialNumber)
+	}
+	m.Registry.Walk(func(path string, k *Key) {
+		fmt.Fprintf(&sb, "reg %s", path)
+		for _, vn := range k.ValueNames() {
+			v, _ := m.Registry.QueryValue(path, vn)
+			fmt.Fprintf(&sb, " %s=%d/%q/%d/%v", vn, v.Type, v.Str, v.Num, v.Data)
+		}
+		sb.WriteByte('\n')
+	})
+	for _, p := range m.Procs.All() {
+		fmt.Fprintf(&sb, "proc %d parent=%d img=%s cmd=%q state=%d exit=%d start=%v end=%v depth=%d prot=%v mods=%v peb=%+v\n",
+			p.PID, p.ParentPID, p.Image, p.CommandLine, p.State, p.ExitCode, p.StartTime, p.ExitTime,
+			p.SpawnDepth, p.Protected, p.Modules, p.PEB)
+	}
+	fmt.Fprintf(&sb, "windows=%v classes=%v\n", len(m.Windows.Classes()), m.Windows.Classes())
+	fmt.Fprintf(&sb, "eventlog count=%d sources=%v\n", m.EventLog.Count(), m.EventLog.Sources())
+	fmt.Fprintf(&sb, "dnscache=%v sinkhole=%q\n", m.Net.Cache.Entries(), m.Net.SinkholeIP)
+	for _, e := range m.Tracer.Events() {
+		fmt.Fprintf(&sb, "ev %+v\n", e)
+	}
+	fmt.Fprintf(&sb, "rng=%d\n", m.rngSrc.state)
+	return sb.String()
+}
+
+// TestSnapshotCloneMatchesFreshBuild: the O(1) reset must be bit-identical
+// to the Deep Freeze re-image it replaces, for every profile.
+func TestSnapshotCloneMatchesFreshBuild(t *testing.T) {
+	for _, name := range []ProfileName{
+		ProfileCleanBareMetal, ProfileBareMetalSandbox, ProfileCuckooSandbox,
+		ProfileCuckooHardened, ProfileEndUser, ProfileVirusTotal, ProfileMalwr,
+	} {
+		t.Run(string(name), func(t *testing.T) {
+			template := NewProfileMachine(name, 0).Snapshot()
+			clone := template.Clone(99)
+			fresh := NewProfileMachine(name, 99)
+			if digest(clone) != digest(fresh) {
+				t.Error("pooled clone diverges from fresh build")
+			}
+		})
+	}
+}
+
+// TestSnapshotIsolation: mutations on a clone must never leak into the
+// snapshot or into sibling clones, across every subsystem including the
+// copy-on-write shared ones.
+func TestSnapshotIsolation(t *testing.T) {
+	template := NewBareMetalSandbox(1).Snapshot()
+	a, b := template.Clone(1), template.Clone(1)
+
+	a.FS.Touch(`C:\leak.txt`, 1)
+	if err := a.FS.WriteFile(`C:\Windows\System32\drivers\etc\hosts`, []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	a.FS.Delete(`C:\Windows\System32\cmd.exe`)
+	mustSet(a.Registry, `HKLM\SOFTWARE\Leak`, "v", DWordValue(1))
+	a.Registry.DeleteKey(`HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`)
+	p := a.SpawnProcess(`C:\leak.exe`, "leak", nil)
+	a.Procs.All()[0].LoadModule("leak.dll")
+	a.Windows.Add(Window{Class: "LeakWnd", PID: p.PID})
+	a.Net.AddRecord("leak.example", "203.0.113.7")
+	a.Net.Cache.Add("leak.example")
+	a.EventLog.Append("Leak", 3)
+	a.HW.MACs[0] = "de:ad:be:ef:00:00"
+	a.Clock.Advance(time.Second)
+	a.Rand().Int63()
+	if v := a.FS.VolumeFor(`C:\`); v != nil {
+		v.FreeBytes = 1
+	}
+
+	if digest(b) != digest(template.Clone(1)) {
+		t.Fatal("mutating clone A changed clone B")
+	}
+	if a.Tracer == b.Tracer {
+		t.Fatal("clones share a trace recorder")
+	}
+}
+
+// TestSnapshotRestoreRewindsState: Restore must rewind every subsystem to
+// the snapshot point, including clock, trace stream, and RNG position, so
+// subsequent execution replays bit for bit.
+func TestSnapshotRestoreRewindsState(t *testing.T) {
+	m := NewEndUserMachine(7)
+	m.Clock.Advance(3 * time.Second)
+	m.Rand().Int63()
+	m.SpawnProcess(`C:\pre.exe`, "", nil)
+	snap := m.Snapshot()
+	want := digest(m)
+
+	// Diverge: heavy mutation after the snapshot point.
+	m.Clock.Advance(time.Minute)
+	m.Rand().Int63()
+	m.FS.Touch(`C:\post.txt`, 9)
+	mustSet(m.Registry, `HKLM\SOFTWARE\Post`, "v", StringValue("x"))
+	m.ExitProcess(m.Procs.All()[0], 3)
+	if digest(m) == want {
+		t.Fatal("mutations did not change the digest; test is vacuous")
+	}
+
+	m.Restore(snap)
+	if digest(m) != want {
+		t.Fatal("Restore did not rewind to the snapshot point")
+	}
+
+	// Replay: two restores of the same snapshot must execute identically,
+	// RNG stream included.
+	replay := func(m *Machine) string {
+		m.SpawnProcess(fmt.Sprintf(`C:\replay-%d.exe`, m.Rand().Intn(1000)), "", nil)
+		m.Sleep(time.Duration(m.Rand().Intn(100)) * time.Millisecond)
+		m.FS.Touch(fmt.Sprintf(`C:\r%d.bin`, m.Rand().Intn(1000)), 4)
+		return digest(m)
+	}
+	first := replay(m)
+	m2 := NewMachine("other", 0)
+	m2.Restore(snap)
+	if second := replay(m2); first != second {
+		t.Error("execution after Restore diverged between two restored machines")
+	}
+}
+
+// TestSnapshotRestoresFaultArming: a snapshot taken of an armed machine
+// must restore the plan and the operation counters, wired to the restored
+// subsystems rather than the originals.
+func TestSnapshotRestoresFaultArming(t *testing.T) {
+	m := NewBareMetalSandbox(1)
+	m.ArmFaults(FaultPlan{FailFileOp: 3})
+	m.FS.Touch(`C:\one.txt`, 1) // op 1
+	snap := m.Snapshot()
+
+	c := snap.Clone(1)
+	c.FS.Exists(`C:\one.txt`) // op 2
+	func() {
+		defer func() {
+			if _, ok := recover().(MachineFault); !ok {
+				t.Error("third file op on clone did not fire the restored fault plan")
+			}
+		}()
+		c.FS.Exists(`C:\one.txt`) // op 3: must fault
+	}()
+
+	// The original machine still holds its own counter at 1: ops 2 and 3
+	// were the clone's. Op 2 and 3 here must fault at 3 as well.
+	m.FS.Exists(`C:\one.txt`)
+	defer func() {
+		if _, ok := recover().(MachineFault); !ok {
+			t.Error("original machine lost its fault arming after Snapshot")
+		}
+	}()
+	m.FS.Exists(`C:\one.txt`)
+}
+
+// TestClonePropertyQuick is the testing/quick property of the snapshot
+// pool: for any seed, two Clone(seed) calls from the same template run a
+// fixed workload to identical trace streams and states, and any other seed
+// still yields a machine that passes the profile invariants pinned by
+// machine_test.go (deterministic counts, distinctive resources).
+func TestClonePropertyQuick(t *testing.T) {
+	template := NewProfileMachine(ProfileBareMetalSandbox, 0).Snapshot()
+	reference := NewProfileMachine(ProfileBareMetalSandbox, 0)
+
+	workload := func(m *Machine) string {
+		parent := m.Procs.FindByImage("python.exe")[0]
+		p := m.SpawnProcess(`C:\sample.exe`, "sample.exe", parent)
+		m.Sleep(time.Duration(m.Rand().Intn(500)) * time.Millisecond)
+		m.FS.Touch(fmt.Sprintf(`C:\Users\john\drop%04d.bin`, m.Rand().Intn(10000)), 128)
+		mustSet(m.Registry, RegRunKey, fmt.Sprintf("persist%d", m.Rand().Intn(100)), StringValue(p.Image))
+		m.ExitProcess(p, m.Rand().Intn(2))
+		return digest(m)
+	}
+
+	property := func(seed int64) bool {
+		a, b := template.Clone(seed), template.Clone(seed)
+		if workload(a) != workload(b) {
+			t.Logf("seed %d: same-seed clones diverged", seed)
+			return false
+		}
+		// A differently seeded clone is a different machine (RNG stream)
+		// but the same profile: all build-time invariants must hold.
+		c := template.Clone(seed + 1)
+		if c.FS.CountFiles() != reference.FS.CountFiles() ||
+			c.Registry.CountKeys() != reference.Registry.CountKeys() ||
+			len(c.Procs.All()) != len(reference.Procs.All()) {
+			t.Logf("seed %d: clone broke profile determinism invariants", seed)
+			return false
+		}
+		if len(c.Procs.FindByImage("python.exe")) == 0 ||
+			!c.FS.Exists(`C:\analysis\fibratus.exe`) ||
+			c.HW.ComputerName != "ANALYSIS-07" {
+			t.Logf("seed %d: clone lost profile distinctives", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecorderCloneIndependent pins the trace-side contract the pool
+// depends on: a cloned recorder sees no events recorded on the original
+// afterwards, and vice versa.
+func TestRecorderCloneIndependent(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Record(trace.Event{Kind: trace.KindFileCreate, PID: 1})
+	c := r.Clone()
+	r.Record(trace.Event{Kind: trace.KindFileCreate, PID: 2})
+	c.Record(trace.Event{Kind: trace.KindFileCreate, PID: 3})
+	if r.Len() != 2 || c.Len() != 2 {
+		t.Fatalf("lens = %d, %d, want 2, 2", r.Len(), c.Len())
+	}
+	if ev := c.Events(); ev[1].PID != 3 {
+		t.Errorf("clone events = %+v", ev)
+	}
+}
