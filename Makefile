@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race cover fuzz-smoke ci
+.PHONY: build test vet lint race cover fuzz-smoke service-smoke hooks ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,25 @@ cover:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/winsim
 
+# service-smoke drives a real scarecrowd over localhost with scarebench:
+# 200 verdicts at concurrency 8 cycling 20 unique keys, failing on any
+# request error or a zero cache hit-rate, and leaves the throughput/latency
+# summary in BENCH_service.json.
+service-smoke:
+	$(GO) build -o scarecrowd ./cmd/scarecrowd
+	$(GO) build -o scarebench ./cmd/scarebench
+	@./scarecrowd -addr 127.0.0.1:18080 & \
+	DAEMON=$$!; \
+	./scarebench -addr http://127.0.0.1:18080 -n 200 -c 8 -require-hits -out BENCH_service.json; \
+	STATUS=$$?; \
+	kill $$DAEMON 2>/dev/null; wait $$DAEMON 2>/dev/null; \
+	exit $$STATUS
+
+# hooks installs the repo's pre-commit hook (vet + scarelint) into .git.
+hooks:
+	install -m 0755 scripts/pre-commit .git/hooks/pre-commit
+	@echo "installed .git/hooks/pre-commit (go vet + scarelint)"
+
 # ci mirrors .github/workflows/ci.yml: the tier-1 verify plus the static
 # checks. `make ci` green locally means CI is green.
-ci: build vet lint race cover fuzz-smoke
+ci: build vet lint race cover fuzz-smoke service-smoke

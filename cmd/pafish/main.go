@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,42 +27,50 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	flag.Parse()
 
-	defer func() {
-		if r := recover(); r != nil {
-			fmt.Fprintln(os.Stderr, "pafish:", r)
-			os.Exit(1)
-		}
-	}()
+	if _, err := run(os.Stdout, *profile, *protected, *verbose, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pafish:", err)
+		os.Exit(1)
+	}
+}
 
-	m := winsim.NewProfileMachine(winsim.ProfileName(*profile), *seed)
-	sys := winapi.NewSystem(m)
+// run executes one Pafish battery and prints the report to w. The report
+// is also returned so tests can assert on trigger counts directly.
+func run(w io.Writer, profile string, protected, verbose bool, seed int64) (pafish.Report, error) {
 	var report pafish.Report
+	if !winsim.ValidProfile(winsim.ProfileName(profile)) {
+		return report, fmt.Errorf("unknown profile %q", profile)
+	}
+	m := winsim.NewProfileMachine(winsim.ProfileName(profile), seed)
+	sys := winapi.NewSystem(m)
 	sys.RegisterProgram(`C:\pafish\pafish.exe`, func(ctx *winapi.Context) int {
 		report = pafish.Run(ctx)
 		return winapi.ExitOK
 	})
-	if *protected {
-		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(*profile)))
+	if protected {
+		ctrl, err := core.Deploy(sys, core.NewEngine(core.NewDB(), core.RecommendedConfig(profile)))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pafish:", err)
-			os.Exit(1)
+			return report, err
 		}
 		if _, err := ctrl.LaunchTarget(`C:\pafish\pafish.exe`, "pafish.exe"); err != nil {
-			fmt.Fprintln(os.Stderr, "pafish:", err)
-			os.Exit(1)
+			return report, err
 		}
 	} else {
-		sys.Launch(`C:\pafish\pafish.exe`, "pafish.exe", m.Procs.FindByImage("explorer.exe")[0])
+		parents := m.Procs.FindByImage("explorer.exe")
+		if len(parents) == 0 {
+			return report, fmt.Errorf("profile %q has no explorer.exe to parent pafish", profile)
+		}
+		sys.Launch(`C:\pafish\pafish.exe`, "pafish.exe", parents[0])
 	}
 	sys.Run(time.Minute)
 
-	fmt.Printf("pafish on %s (scarecrow=%v): %d/%d features triggered\n",
-		*profile, *protected, report.Triggered(), len(report.Results))
-	fmt.Print(report)
-	if *verbose {
-		fmt.Println("triggered features:")
+	fmt.Fprintf(w, "pafish on %s (scarecrow=%v): %d/%d features triggered\n",
+		profile, protected, report.Triggered(), len(report.Results))
+	fmt.Fprint(w, report)
+	if verbose {
+		fmt.Fprintln(w, "triggered features:")
 		for _, name := range report.TriggeredNames() {
-			fmt.Println(" ", name)
+			fmt.Fprintln(w, " ", name)
 		}
 	}
+	return report, nil
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The Table II smoke check: a stock VirtualBox Cuckoo trips many features
+// raw; the same environment under Scarecrow trips strictly more —
+// Scarecrow's deceptions deliberately make every machine look like an
+// analysis rig, which is exactly what Pafish probes for. The run is
+// deterministic per seed.
+func TestRunVBoxSandbox(t *testing.T) {
+	var out strings.Builder
+	raw, err := run(&out, "cuckoo-vbox-sandbox", false, false, 1)
+	if err != nil {
+		t.Fatalf("raw run: %v", err)
+	}
+	if raw.Triggered() == 0 {
+		t.Fatalf("raw Cuckoo/VBox run triggered no pafish features")
+	}
+	if !strings.Contains(out.String(), "features triggered") {
+		t.Errorf("report output missing summary line: %q", out.String())
+	}
+
+	prot, err := run(&out, "cuckoo-vbox-sandbox", true, true, 1)
+	if err != nil {
+		t.Fatalf("protected run: %v", err)
+	}
+	if prot.Triggered() <= raw.Triggered() {
+		t.Errorf("scarecrow did not amplify the analysis fingerprint: raw %d, protected %d",
+			raw.Triggered(), prot.Triggered())
+	}
+
+	again, err := run(&out, "cuckoo-vbox-sandbox", false, false, 1)
+	if err != nil {
+		t.Fatalf("repeat run: %v", err)
+	}
+	if again.Triggered() != raw.Triggered() {
+		t.Errorf("same seed, different trigger count: %d vs %d", again.Triggered(), raw.Triggered())
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(&out, "amiga-500", false, false, 1); err == nil {
+		t.Fatalf("unknown profile accepted")
+	}
+}

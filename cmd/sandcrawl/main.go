@@ -7,6 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"scarecrow/internal/core"
@@ -18,21 +20,33 @@ func main() {
 	samples := flag.Int("show", 5, "how many example resources to print per class")
 	flag.Parse()
 
+	if err := run(os.Stdout, *seed, *samples); err != nil {
+		fmt.Fprintln(os.Stderr, "sandcrawl:", err)
+		os.Exit(1)
+	}
+}
+
+// run crawls the public-sandbox profiles, prints the inventory to w, and
+// extends a fresh deception database with the findings.
+func run(w io.Writer, seed int64, samples int) error {
 	start := time.Now()
-	r := crawler.CrawlPublicSandboxes(*seed)
-	fmt.Printf("crawl finished in %.1fs\n", time.Since(start).Seconds())
-	fmt.Printf("unique files:            %d\n", len(r.Files))
-	fmt.Printf("unique processes:        %d\n", len(r.Processes))
-	fmt.Printf("unique registry entries: %d\n", len(r.RegistryKeys))
+	r := crawler.CrawlPublicSandboxes(seed)
+	fmt.Fprintf(w, "crawl finished in %.1fs\n", time.Since(start).Seconds())
+	fmt.Fprintf(w, "unique files:            %d\n", len(r.Files))
+	fmt.Fprintf(w, "unique processes:        %d\n", len(r.Processes))
+	fmt.Fprintf(w, "unique registry entries: %d\n", len(r.RegistryKeys))
+	if len(r.Files) == 0 && len(r.Processes) == 0 && len(r.RegistryKeys) == 0 {
+		return fmt.Errorf("crawl found no unique resources; the sandbox profiles cannot be indistinguishable from clean bare metal")
+	}
 
 	show := func(label string, items []string) {
-		n := *samples
+		n := samples
 		if n > len(items) {
 			n = len(items)
 		}
-		fmt.Printf("%s (first %d):\n", label, n)
+		fmt.Fprintf(w, "%s (first %d):\n", label, n)
 		for _, item := range items[:n] {
-			fmt.Println(" ", item)
+			fmt.Fprintln(w, " ", item)
 		}
 	}
 	show("files", r.Files)
@@ -40,7 +54,7 @@ func main() {
 	show("registry", r.RegistryKeys)
 
 	for _, cfg := range r.SandboxConfigs {
-		fmt.Printf("sandbox config: disk=%dGB ram=%dGB cores=%d host=%s user=%s\n",
+		fmt.Fprintf(w, "sandbox config: disk=%dGB ram=%dGB cores=%d host=%s user=%s\n",
 			cfg.DiskTotalBytes>>30, cfg.RAMBytes>>30, cfg.NumCores, cfg.ComputerName, cfg.UserName)
 	}
 
@@ -48,8 +62,9 @@ func main() {
 	before := db.Counts()
 	r.ExtendDB(db)
 	after := db.Counts()
-	fmt.Printf("deception DB files: %d -> %d, processes: %d -> %d, registry: %d -> %d\n",
+	fmt.Fprintf(w, "deception DB files: %d -> %d, processes: %d -> %d, registry: %d -> %d\n",
 		before[core.CategoryFile], after[core.CategoryFile],
 		before[core.CategoryProcess], after[core.CategoryProcess],
 		before[core.CategoryRegistry], after[core.CategoryRegistry])
+	return nil
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scarecrow/internal/service"
+)
+
+// The bench loop against an in-process scarecrowd: all requests succeed,
+// the cycled keys produce cache hits, and the daemon counters line up.
+func TestBenchAgainstInProcessService(t *testing.T) {
+	srv := service.NewServer(service.Config{Workers: 2, QueueDepth: 16, CacheSize: 64})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	summary, err := bench(benchOptions{
+		Addr:    ts.URL,
+		N:       40,
+		C:       4,
+		Samples: []string{"kasidet", "wannacry"},
+		Seeds:   2,
+		Wait:    5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	if summary.Errors != 0 {
+		t.Fatalf("bench reported %d errors", summary.Errors)
+	}
+	if summary.UniqueKeys != 4 {
+		t.Errorf("unique keys = %d, want 4", summary.UniqueKeys)
+	}
+	// 40 requests over 4 unique keys: at most 4 lab runs, the rest cache
+	// hits or coalesced.
+	if summary.LabRuns > 4 {
+		t.Errorf("lab runs = %d, want <= 4 (caching/coalescing broken)", summary.LabRuns)
+	}
+	if summary.CacheHitRate == 0 {
+		t.Errorf("cache hit rate = 0, want > 0 after %d replays", summary.Requests)
+	}
+	if summary.VerdictsPerS <= 0 || summary.ExecutionsPerS != 2*summary.VerdictsPerS {
+		t.Errorf("throughput accounting wrong: %v verdicts/s, %v executions/s",
+			summary.VerdictsPerS, summary.ExecutionsPerS)
+	}
+	if summary.LatencyMaxMs < summary.LatencyP50Ms {
+		t.Errorf("latency percentiles inverted: p50 %v > max %v", summary.LatencyP50Ms, summary.LatencyMaxMs)
+	}
+	if !strings.Contains(summary.String(), "verdicts/s") {
+		t.Errorf("summary rendering missing throughput: %s", summary)
+	}
+}
+
+func TestBenchUnreachableDaemon(t *testing.T) {
+	_, err := bench(benchOptions{
+		Addr:    "http://127.0.0.1:1",
+		N:       1,
+		C:       1,
+		Samples: []string{"kasidet"},
+		Seeds:   1,
+		Wait:    200 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "never became healthy") {
+		t.Fatalf("unreachable daemon: err = %v, want health-wait failure", err)
+	}
+}
+
+func TestBenchNoSamples(t *testing.T) {
+	srv := service.NewServer(service.Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, err := bench(benchOptions{Addr: ts.URL, N: 1, C: 1, Samples: []string{" "}, Seeds: 1, Wait: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "no samples") {
+		t.Fatalf("empty sample list: err = %v, want no-samples failure", err)
+	}
+}

@@ -109,38 +109,18 @@ func dumpTrace(path string, lab *analysis.Lab, spec *malware.Specimen) error {
 	return trace.WriteJSONL(f, m.Tracer.Events())
 }
 
+// resolve looks the sample up in the shared specimen catalog
+// (internal/malware), the same resolver the scarecrowd service uses.
 func resolve(name string) (*malware.Specimen, error) {
-	switch {
-	case name == "wannacry":
-		return malware.WannaCry(), nil
-	case name == "locky":
-		return malware.Locky(), nil
-	case name == "kasidet":
-		return malware.Kasidet(), nil
-	case name == "scaware":
-		return malware.ScarecrowAware(), nil
-	case name == "spawner":
-		return malware.CorpusSelfSpawner(), nil
-	case strings.HasPrefix(name, "joe:"):
-		if s, ok := malware.JoeSecurityByID(strings.TrimPrefix(name, "joe:")); ok {
-			return s, nil
-		}
-		return nil, fmt.Errorf("unknown Joe Security sample %q", name)
-	case strings.HasPrefix(name, "mg:"):
-		id := strings.TrimPrefix(name, "mg:")
-		for _, s := range malware.MalGeneCorpus() {
-			if s.ID == id {
-				return s, nil
-			}
-		}
-		return nil, fmt.Errorf("unknown corpus sample %q", name)
-	default:
+	s, err := malware.Resolve(name)
+	if err != nil {
 		return nil, fmt.Errorf("unknown sample %q (try -list)", name)
 	}
+	return s, nil
 }
 
 func printList() {
-	fmt.Println("case studies: wannacry, locky, kasidet, scaware, spawner")
+	fmt.Println("case studies:", strings.Join(malware.CatalogNames(), ", "))
 	fmt.Println("joe security samples (Table I):")
 	for _, s := range malware.JoeSecuritySamples() {
 		fmt.Printf("  joe:%s  %s\n", s.ID, s.Notes)

@@ -1,0 +1,98 @@
+// Command scarecrowd serves verdicts over HTTP: a concurrent front end to
+// the analysis lab cluster. Submit a specimen (catalog name or evasion
+// recipe) with a machine profile and seed; get back the canonical verdict
+// JSON — deactivated or survived, first trigger, suppressed behaviour.
+//
+//	scarecrowd -addr :8080 -workers 8
+//
+//	curl -s localhost:8080/v1/verdict -d '{"specimen":"kasidet"}'
+//	curl -s localhost:8080/v1/submit  -d '{"specimen":"wannacry","seed":7}'
+//	curl -s localhost:8080/v1/result/j00000002
+//	curl -s localhost:8080/statusz
+//
+// Identical (specimen, profile, seed) submissions are served from an LRU
+// verdict cache — runs are deterministic, so the cached bytes are exact —
+// and concurrent identical submissions coalesce onto a single lab run. A
+// full queue answers 429 with Retry-After instead of blocking. SIGINT and
+// SIGTERM drain gracefully: in-flight jobs finish (up to -drain), new
+// submissions are refused.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scarecrow/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "lab workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cache   = flag.Int("cache", 4096, "verdict cache entries")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *drain, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "scarecrowd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until a termination signal drains it.
+// ready, when non-nil, receives the bound listen address once the socket
+// is open (tests bind :0 and need the resolved port).
+func run(addr string, workers, queue, cache int, drain time.Duration, ready chan<- string) error {
+	srv := service.NewServer(service.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		CacheSize:  cache,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	fmt.Printf("scarecrowd: serving on %s (workers=%d)\n", ln.Addr(), srv.Snapshot().Workers)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	case s := <-sig:
+		fmt.Printf("scarecrowd: %v, draining (deadline %s)\n", s, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue: queued
+	// and running verdicts complete, new submissions would get 503 anyway.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "scarecrowd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := srv.Snapshot()
+	fmt.Printf("scarecrowd: drained. %d runs, %d cache hits (%.0f%% hit rate), %d coalesced, %d rejected\n",
+		st.LabRuns, st.CacheHits, 100*st.CacheHitRate, st.Coalesced, st.Rejected)
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The daemon end to end: boot on an ephemeral port, serve a verdict and a
+// cache-hit replay, then drain cleanly on SIGTERM.
+func TestDaemonServesAndDrains(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", 2, 8, 64, 30*time.Second, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	body := []byte(`{"specimen":"kasidet","seed":3}`)
+	resp, err = http.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	v1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdict: status %d, body %s", resp.StatusCode, v1)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(v1, &doc); err != nil {
+		t.Fatalf("verdict not JSON: %v", err)
+	}
+	if doc["category"] == "error" {
+		t.Fatalf("verdict errored: %s", v1)
+	}
+
+	resp, err = http.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("verdict replay: %v", err)
+	}
+	v2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Scarecrow-Cache") != "hit" {
+		t.Errorf("replay not served from cache")
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("replay bytes differ:\n%s\nvs\n%s", v1, v2)
+	}
+
+	// SIGTERM drains; run returns nil.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("signalling self: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	err := run("256.256.256.256:99999", 1, 1, 1, time.Second, nil)
+	if err == nil || !strings.Contains(err.Error(), "listening") {
+		t.Fatalf("bad addr: err = %v, want listen failure", err)
+	}
+}

@@ -245,6 +245,20 @@ func (l *Lab) RunSample(s *malware.Specimen, runSeed int64) SampleResult {
 	return res
 }
 
+// RunSampleSeeded executes one contained paired run on machines seeded
+// exactly with seed, independent of the lab's own Seed. This is the
+// verdict-service entry point: scarecrowd keys its cache on
+// (specimen, profile, seed), so the machine seed must be a pure function
+// of the request, not of which worker's lab happens to serve it. A Lab is
+// not safe for concurrent use — the service gives each worker its own.
+func (l *Lab) RunSampleSeeded(s *malware.Specimen, seed int64) SampleResult {
+	// runContained derives the machine seed as l.Seed^runSeed; cancel the
+	// lab term so the machines see exactly seed.
+	res := l.runContained(s, l.Seed^seed, nil)
+	res.Attempts = 1
+	return res
+}
+
 // runContained is the containment boundary: one paired execution whose
 // panics are recovered into the result. This is the lab's analogue of the
 // scheduler's exitPanic/BudgetExceeded recovery — but for faults nobody

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"scarecrow/internal/core"
+	"scarecrow/internal/trace"
+)
+
+// VerdictDoc is the wire form of one SampleResult: everything a verdict
+// consumer needs, flattened into JSON-stable fields. Serialization is
+// deterministic — map keys are sorted by encoding/json, trace.Diff lists
+// are pre-sorted, and triggers keep virtual-time order — so the same
+// (specimen, profile, seed) always marshals to the same bytes. scarecrowd
+// caches and coalesces on exactly that property.
+type VerdictDoc struct {
+	// Specimen identity.
+	Specimen string `json:"specimen"`
+	Family   string `json:"family,omitempty"`
+	Source   string `json:"source,omitempty"`
+
+	// The §IV-C decision.
+	Category    string `json:"category"`
+	Deactivated bool   `json:"deactivated"`
+	SpawnLoop   bool   `json:"spawn_loop,omitempty"`
+	// FirstTrigger is the Table I trigger column ("IsDebuggerPresent()",
+	// "Hook detection", "N/A").
+	FirstTrigger string `json:"first_trigger"`
+
+	// Human-readable behaviour comparison (Table I columns 2–3).
+	BehaviourWithout string `json:"behaviour_without"`
+	BehaviourWith    string `json:"behaviour_with"`
+
+	// Machine-readable evidence.
+	Suppressed            trace.Diff           `json:"suppressed"`
+	UsedIsDebuggerPresent bool                 `json:"used_isdebuggerpresent,omitempty"`
+	RawMutations          int                  `json:"raw_mutations"`
+	ProtectedMutations    int                  `json:"protected_mutations"`
+	Triggers              []core.TriggerReport `json:"triggers,omitempty"`
+	Alerts                []string             `json:"alerts,omitempty"`
+	HookDetectionLikely   bool                 `json:"hook_detection_likely,omitempty"`
+
+	// Run accounting.
+	VirtualNS       int64  `json:"virtual_ns"`
+	Attempts        int    `json:"attempts"`
+	RecoveredPanics int    `json:"recovered_panics,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+// Doc flattens the result into its wire form.
+func (r SampleResult) Doc() VerdictDoc {
+	doc := VerdictDoc{
+		Category:              r.Verdict.Category.String(),
+		Deactivated:           r.Verdict.Deactivated,
+		SpawnLoop:             r.Verdict.SpawnLoop,
+		FirstTrigger:          r.FirstTrigger(),
+		BehaviourWithout:      r.BehaviourWithout(),
+		BehaviourWith:         r.BehaviourWith(),
+		Suppressed:            r.Verdict.Suppressed,
+		UsedIsDebuggerPresent: r.Verdict.UsedIsDebuggerPresent,
+		RawMutations:          r.Verdict.RawMutations,
+		ProtectedMutations:    r.Verdict.ProtectedMutations,
+		Triggers:              r.Protected.Triggers,
+		Alerts:                r.Protected.Alerts,
+		HookDetectionLikely:   r.Protected.HookDetectionLikely,
+		VirtualNS:             int64(r.Raw.VirtualTime + r.Protected.VirtualTime),
+		Attempts:              r.Attempts,
+		RecoveredPanics:       r.RecoveredPanics,
+	}
+	if r.Specimen != nil {
+		doc.Specimen = r.Specimen.ID
+		doc.Family = r.Specimen.Family
+		doc.Source = string(r.Specimen.Source)
+	}
+	if r.Err != nil {
+		doc.Error = r.Err.Error()
+	}
+	return doc
+}
+
+// Virtual returns the total machine-clock time the paired run modeled.
+func (d VerdictDoc) Virtual() time.Duration {
+	return time.Duration(d.VirtualNS)
+}
+
+// MarshalVerdict renders the result as canonical verdict JSON — the bytes
+// scarecrowd serves, caches, and load-tests against. Identical results
+// marshal to identical bytes.
+func (r SampleResult) MarshalVerdict() ([]byte, error) {
+	buf, err := json.Marshal(r.Doc())
+	if err != nil {
+		return nil, fmt.Errorf("analysis: marshalling verdict for %s: %w", r.Doc().Specimen, err)
+	}
+	return buf, nil
+}

@@ -25,6 +25,8 @@ const (
 
 func (c VerdictCategory) String() string {
 	switch c {
+	case VerdictSurvived:
+		return "survived"
 	case VerdictDeactivated:
 		return "deactivated"
 	case VerdictError:

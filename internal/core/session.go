@@ -7,21 +7,23 @@ import (
 )
 
 // TriggerReport is one fingerprinting attempt a hook observed and deceived:
-// the scarecrow.dll → scarecrow.exe IPC message of Figure 2.
+// the scarecrow.dll → scarecrow.exe IPC message of Figure 2. The JSON tags
+// fix the wire shape scarecrowd's verdict documents embed (virtual time as
+// integer nanoseconds, lower-snake names).
 type TriggerReport struct {
 	// Time is the virtual time of the call.
-	Time time.Duration
+	Time time.Duration `json:"time_ns"`
 	// PID is the probing process.
-	PID int
+	PID int `json:"pid"`
 	// API is the hooked entry point that fired.
-	API string
+	API string `json:"api"`
 	// Category classifies the deceived resource.
-	Category Category
+	Category Category `json:"category"`
 	// Vendor is the analysis-environment vendor profile the resource
 	// imitates.
-	Vendor VendorProfile
+	Vendor VendorProfile `json:"vendor,omitempty"`
 	// Resource names the specific probed resource.
-	Resource string
+	Resource string `json:"resource"`
 }
 
 // String renders the report like the paper's Table I trigger column.

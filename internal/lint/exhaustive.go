@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive enforces enum coverage at the two places the repo renders an
+// integer enum by name:
+//
+//   - a String() string method whose body switches on the receiver must
+//     have a case for every package-level constant of the enum type (a
+//     default clause is allowed, but only for out-of-range values — it
+//     must not stand in for a declared constant);
+//   - a package-level map literal keyed by the enum type whose variable
+//     name ends in "Names" (kindNames, shapeNames, ...) must have an entry
+//     for every constant.
+//
+// The wire format depends on this: trace.Kind marshals by name via
+// kindNames, and winapi.Status renders into verdict documents via its
+// String switch. A constant added without its name would either fail at
+// serialization time (Kind) or silently degrade to a numeric fallback
+// (Status) — both long after the enum was extended. This analyzer moves
+// that failure to compile time.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "String() switches and ...Names map literals must cover every constant of their enum type",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	enums := enumConstants(pass.Pkg)
+	if len(enums) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				pass.checkStringSwitch(d, enums)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						pass.checkNamesMap(vs, enums)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// enumConstants collects, per defined integer type of the package, its
+// package-level constants. Scope names come back sorted, so the constant
+// order (and therefore diagnostic order) is deterministic.
+func enumConstants(pkg *types.Package) map[*types.TypeName][]*types.Const {
+	enums := make(map[*types.TypeName][]*types.Const)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(c.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		tn := named.Obj()
+		if tn.Pkg() != pkg {
+			continue
+		}
+		if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		enums[tn] = append(enums[tn], c)
+	}
+	return enums
+}
+
+// checkStringSwitch verifies that a String() method switching on its
+// receiver names every constant of the receiver's type.
+func (p *Pass) checkStringSwitch(fn *ast.FuncDecl, enums map[*types.TypeName][]*types.Const) {
+	if fn.Name.Name != "String" || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) != 1 {
+		return
+	}
+	recvField := fn.Recv.List[0]
+	if len(recvField.Names) != 1 {
+		return
+	}
+	recvObj := p.TypesInfo.Defs[recvField.Names[0]]
+	if recvObj == nil {
+		return
+	}
+	named, ok := types.Unalias(recvObj.Type()).(*types.Named)
+	if !ok {
+		return
+	}
+	consts, ok := enums[named.Obj()]
+	if !ok || len(consts) < 2 {
+		return
+	}
+
+	covered := make(map[types.Object]bool)
+	var firstSwitch *ast.SwitchStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		tag, ok := sw.Tag.(*ast.Ident)
+		if !ok || p.TypesInfo.Uses[tag] != recvObj {
+			return true
+		}
+		if firstSwitch == nil {
+			firstSwitch = sw
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range cc.List {
+				var obj types.Object
+				switch e := expr.(type) {
+				case *ast.Ident:
+					obj = p.TypesInfo.Uses[e]
+				case *ast.SelectorExpr:
+					obj = p.TypesInfo.Uses[e.Sel]
+				}
+				if obj != nil {
+					covered[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if firstSwitch == nil {
+		return // renders some other way (a names map, fmt) — not this check's business
+	}
+	if missing := missingConstants(consts, covered); len(missing) > 0 {
+		p.Reportf(firstSwitch.Pos(), "%s constants missing from String switch: %s",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// checkNamesMap verifies that a package-level map[Enum]... literal whose
+// variable name ends in "Names" keys every constant of the enum.
+func (p *Pass) checkNamesMap(vs *ast.ValueSpec, enums map[*types.TypeName][]*types.Const) {
+	for i, ident := range vs.Names {
+		if !strings.HasSuffix(ident.Name, "Names") || i >= len(vs.Values) {
+			continue
+		}
+		lit, ok := vs.Values[i].(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		tv, ok := p.TypesInfo.Types[lit]
+		if !ok {
+			continue
+		}
+		m, ok := types.Unalias(tv.Type).Underlying().(*types.Map)
+		if !ok {
+			continue
+		}
+		keyNamed, ok := types.Unalias(m.Key()).(*types.Named)
+		if !ok {
+			continue
+		}
+		consts, ok := enums[keyNamed.Obj()]
+		if !ok {
+			continue
+		}
+		covered := make(map[types.Object]bool)
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			var obj types.Object
+			switch e := kv.Key.(type) {
+			case *ast.Ident:
+				obj = p.TypesInfo.Uses[e]
+			case *ast.SelectorExpr:
+				obj = p.TypesInfo.Uses[e.Sel]
+			}
+			if obj != nil {
+				covered[obj] = true
+			}
+		}
+		if missing := missingConstants(consts, covered); len(missing) > 0 {
+			p.Reportf(lit.Pos(), "%s constants missing from %s: %s",
+				keyNamed.Obj().Name(), ident.Name, strings.Join(missing, ", "))
+		}
+	}
+}
+
+func missingConstants(consts []*types.Const, covered map[types.Object]bool) []string {
+	var missing []string
+	for _, c := range consts {
+		if !covered[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,7 +1,7 @@
 // Package lint is scarecrow's in-tree static-analysis suite: a small,
 // self-contained framework in the style of golang.org/x/tools/go/analysis
 // (which is deliberately not imported so the repo builds with a bare
-// toolchain and no module downloads) plus five repo-specific analyzers
+// toolchain and no module downloads) plus six repo-specific analyzers
 // that turn the simulation's runtime invariants into build errors:
 //
 //   - statuscheck: a winapi.Status result must never be silently dropped.
@@ -16,6 +16,10 @@
 //   - nopanic: the fault-contained packages (internal/analysis,
 //     internal/core) must return errors, never panic — the lab's
 //     containment promise is that no single run can kill a corpus sweep.
+//   - exhaustive: String() switches and ...Names map literals must cover
+//     every constant of their enum type, so extending an enum (a new
+//     winapi.Status, a new trace.Kind) cannot silently break the
+//     name-based wire encoding verdict documents rely on.
 //
 // The paper's whole deception premise is consistency — one mismatched
 // artifact (an unhooked API, a wrong timestamp) lets evasive malware see
@@ -91,7 +95,7 @@ func (p *Pass) PackageSyntax(path string) ([]*ast.File, error) {
 
 // Analyzers returns the full scarelint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete, NoPanic}
+	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete, NoPanic, Exhaustive}
 }
 
 // Run executes the analyzers over the packages and returns all diagnostics

@@ -1,0 +1,82 @@
+// Fixture: enum-coverage findings for the exhaustive analyzer. A String
+// switch hiding a constant behind default, and a names map missing an
+// entry, are both findings; complete renderings and non-enum switches are
+// not.
+package fixture
+
+import "fmt"
+
+// Color's String switch forgets Blue — the default would silently claim it.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+func (c Color) String() string {
+	switch c { // want `Color constants missing from String switch: Blue`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	default:
+		return "unknown"
+	}
+}
+
+// Shape's names map forgets Triangle — serialization by name would fail.
+type Shape int
+
+const (
+	Circle Shape = iota
+	Square
+	Triangle
+)
+
+var shapeNames = map[Shape]string{ // want `Shape constants missing from shapeNames: Triangle`
+	Circle: "circle",
+	Square: "square",
+}
+
+// Grade is fully covered both ways: no findings.
+type Grade int
+
+const (
+	Pass Grade = iota
+	Fail
+)
+
+func (g Grade) String() string {
+	switch g {
+	case Pass:
+		return "pass"
+	case Fail:
+		return "fail"
+	default:
+		return fmt.Sprintf("Grade(%d)", int(g))
+	}
+}
+
+var gradeNames = map[Grade]string{
+	Pass: "pass",
+	Fail: "fail",
+}
+
+// A String method that renders via the (complete) names map instead of a
+// switch is out of this check's scope.
+func (s Shape) Render() string { return shapeNames[s] }
+
+// A switch over something other than the receiver is not a coverage site.
+func (g Grade) Compare(other Grade) string {
+	switch other {
+	case Pass:
+		return "they passed"
+	}
+	return "they did not"
+}
+
+// keep the fixture's vars referenced so it compiles vet-clean
+var _ = shapeNames
+var _ = gradeNames

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// verdictCache is a fixed-capacity LRU over canonical verdict JSON, keyed
+// by the request's (specimen, profile, seed) canonical key. Because runs
+// are deterministic (the differential harness proves pooled and fresh
+// machines produce bit-identical results), a cached verdict is exact, not
+// approximate — eviction is purely a memory bound.
+type verdictCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key     string
+	verdict []byte
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached verdict bytes for key, promoting the entry. The
+// returned slice is shared — callers must not mutate it.
+func (c *verdictCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).verdict, true
+}
+
+// Put inserts or refreshes a verdict, evicting the least recently used
+// entry when over capacity.
+func (c *verdictCache) Put(key string, verdict []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).verdict = verdict
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, verdict: verdict})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the hit/miss counters and current size.
+func (c *verdictCache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (c *verdictCache) HitRate() float64 {
+	hits, misses, _ := c.Stats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newVerdictCache(2)
+	c.Put("a", []byte("va"))
+	c.Put("b", []byte("vb"))
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatalf("a missing before eviction")
+	}
+	c.Put("c", []byte("vc"))
+	if _, ok := c.Get("b"); ok {
+		t.Errorf("b survived eviction; want it dropped as LRU")
+	}
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("va")) {
+		t.Errorf("a lost or corrupted after eviction: %q %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || !bytes.Equal(v, []byte("vc")) {
+		t.Errorf("c lost or corrupted: %q %v", v, ok)
+	}
+	if _, _, size := c.Stats(); size != 2 {
+		t.Errorf("size = %d, want 2", size)
+	}
+}
+
+func TestCacheRefreshKeepsOneEntry(t *testing.T) {
+	c := newVerdictCache(4)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if v, ok := c.Get("k"); !ok || string(v) != "new" {
+		t.Fatalf("refresh: got %q %v, want new", v, ok)
+	}
+	if _, _, size := c.Stats(); size != 1 {
+		t.Errorf("refresh duplicated the entry: size = %d", size)
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := newVerdictCache(4)
+	if r := c.HitRate(); r != 0 {
+		t.Fatalf("empty cache hit rate = %v, want 0", r)
+	}
+	c.Put("k", []byte("v"))
+	c.Get("k")    // hit
+	c.Get("miss") // miss
+	if r := c.HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+}
+
+func TestCacheZeroCapacityNeverStores(t *testing.T) {
+	c := newVerdictCache(0)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("zero-capacity cache stored an entry")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newVerdictCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("corrupted read: key %q value %q", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

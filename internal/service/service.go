@@ -1,0 +1,498 @@
+// Package service is scarecrowd's verdict engine: a concurrent front end
+// over the analysis lab cluster that answers "is this specimen evasive,
+// and does Scarecrow deactivate it?" over HTTP.
+//
+// Architecture: a bounded job queue feeds a fixed pool of workers. Each
+// worker owns its own analysis.Lab per machine profile — the lab's
+// template-snapshot pool and the machines' trace recorders are
+// single-owner structures, so nothing lab-shaped is ever shared between
+// goroutines. Backpressure is explicit: a full queue rejects the
+// submission (HTTP 429 + Retry-After) instead of blocking the listener.
+//
+// Because runs are deterministic (PR 3's differential harness proves
+// pooled and fresh machines bit-identical), the verdict for a
+// (specimen, profile, seed) triple is a pure function of the request. The
+// service exploits that twice: an LRU cache serves repeat submissions
+// without a run, and in-flight submissions for the same key coalesce onto
+// one queued job. Both paths return byte-identical verdict JSON.
+//
+// Failure stays contained: a panic anywhere in a run is absorbed by the
+// lab (SampleResult.Err, VerdictError) or, as a last resort, by the
+// worker's own recover — a poisoned specimen fails its own job and the
+// worker keeps serving.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"scarecrow/internal/analysis"
+	"scarecrow/internal/core"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/winsim"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the lab-cluster width (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; a full queue rejects submissions
+	// with ErrQueueFull (default 4× workers).
+	QueueDepth int
+	// CacheSize is the verdict LRU capacity in entries (default 4096).
+	CacheSize int
+	// RetryAfter is the backoff the 429 response advertises (default 1s).
+	RetryAfter time.Duration
+	// Resolver turns a request into a runnable specimen + canonical cache
+	// key. Nil means the built-in catalog/recipe resolver; tests and
+	// embedders can extend the catalog.
+	Resolver func(SubmitRequest) (*malware.Specimen, string, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// JobState is the lifecycle of one submission.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing the paired run.
+	JobRunning JobState = "running"
+	// JobDone: the verdict is available.
+	JobDone JobState = "done"
+)
+
+// Job is one accepted submission. Fields are owned by the server's mutex;
+// readers outside the package use the accessor methods.
+type Job struct {
+	// ID addresses the job in GET /v1/result/{id}.
+	ID string
+	// Key is the canonical (specimen, profile, seed) identity.
+	Key string
+
+	spec resolved
+
+	mu       sync.Mutex
+	state    JobState
+	verdict  []byte // canonical verdict JSON, set once at completion
+	cacheHit bool
+	created  time.Time
+	done     chan struct{}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Verdict returns the canonical verdict JSON, or nil while pending. The
+// slice is shared — callers must not mutate it.
+func (j *Job) Verdict() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.verdict
+}
+
+// CacheHit reports whether the verdict was served from the cache without
+// a run.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Done returns a channel closed when the verdict is available.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Sentinel submission failures, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = fmt.Errorf("service: job queue full")
+	// ErrDraining: the server is shutting down (HTTP 503).
+	ErrDraining = fmt.Errorf("service: draining, not accepting submissions")
+)
+
+// Server is the verdict service: worker pool, bounded queue, verdict
+// cache, and job registry. Create with NewServer, start with Start, serve
+// via Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *verdictCache
+	queue chan *Job
+
+	mu       sync.Mutex
+	draining bool
+	nextID   uint64
+	jobs     map[string]*Job // job ID → job
+	inflight map[string]*Job // canonical key → queued/running job
+	// finished is the FIFO of completed job IDs backing the registry's
+	// retention bound: the oldest done jobs are forgotten once
+	// jobRetention is exceeded, so a long-running daemon's registry stays
+	// bounded. Polling a forgotten ID is a 404.
+	finished []string
+	// serving statistics (all under mu)
+	submitted, completed, coalesced, rejected uint64
+	labRuns, verdictErrors, recoveredPanics   uint64
+	virtual                                   time.Duration
+
+	workers sync.WaitGroup
+	started time.Time
+}
+
+// NewServer builds a stopped server; Start launches the workers.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		cache:    newVerdictCache(cfg.CacheSize),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		started:  time.Now(),
+	}
+}
+
+// Start launches the worker pool. Submissions made before Start sit in
+// the queue and run once workers exist.
+func (s *Server) Start() {
+	s.mu.Lock()
+	s.started = time.Now()
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit validates, resolves, and enqueues a request. The returned job may
+// already be done (cache hit), may be shared with earlier submissions of
+// the same key (coalesced), or may be freshly queued. ErrQueueFull and
+// ErrDraining are the refusal modes; resolution failures are client
+// errors.
+func (s *Server) Submit(req SubmitRequest) (*Job, error) {
+	res, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.submitted++
+
+	// Exact-replay fast path: determinism makes the cached bytes the
+	// verdict, not an approximation of it.
+	if verdict, ok := s.cache.Get(res.key); ok {
+		job := s.newJobLocked(res)
+		job.state = JobDone
+		job.verdict = verdict
+		job.cacheHit = true
+		close(job.done)
+		s.retireLocked(job.ID)
+		return job, nil
+	}
+
+	// Coalesce: an identical submission already queued or running absorbs
+	// this one — same job, one run, shared verdict bytes.
+	if job, ok := s.inflight[res.key]; ok {
+		s.coalesced++
+		return job, nil
+	}
+
+	job := s.newJobLocked(res)
+	select {
+	case s.queue <- job:
+		s.inflight[res.key] = job
+		return job, nil
+	default:
+		// Backpressure: refuse rather than block the caller (the HTTP
+		// listener turns this into 429 + Retry-After).
+		s.rejected++
+		delete(s.jobs, job.ID)
+		return nil, ErrQueueFull
+	}
+}
+
+func (s *Server) resolve(req SubmitRequest) (resolved, error) {
+	if s.cfg.Resolver != nil {
+		spec, key, err := s.cfg.Resolver(req)
+		if err != nil {
+			return resolved{}, err
+		}
+		if spec != nil {
+			profile := DefaultProfile
+			if req.Profile != "" {
+				profile = winsim.ProfileName(req.Profile)
+				if !winsim.ValidProfile(profile) {
+					return resolved{}, fmt.Errorf("unknown profile %q", req.Profile)
+				}
+			}
+			seed := int64(defaultSeed)
+			if req.Seed != nil {
+				seed = *req.Seed
+			}
+			return resolved{
+				specimen: spec,
+				profile:  profile,
+				seed:     seed,
+				key:      fmt.Sprintf("%s|%s|%d", key, profile, seed),
+			}, nil
+		}
+		// A nil specimen without error means "not mine": fall through to
+		// the built-in resolver.
+	}
+	return resolveRequest(req)
+}
+
+// newJobLocked allocates and registers a job; the caller holds s.mu.
+func (s *Server) newJobLocked(res resolved) *Job {
+	s.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("j%08d", s.nextID),
+		Key:     res.key,
+		spec:    res,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	return job
+}
+
+// jobRetention bounds the finished-job registry. Recent enough that any
+// reasonable poller finds its verdict, small enough that the daemon's
+// memory is dominated by the verdict cache, not job bookkeeping.
+const jobRetention = 8192
+
+// retireLocked records a completed job in the retention FIFO and forgets
+// the oldest entries beyond the bound. The caller holds s.mu.
+func (s *Server) retireLocked(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > jobRetention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Lookup returns a job by ID.
+func (s *Server) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// worker drains the queue. Each worker owns its own labs, one per machine
+// profile, so the template-snapshot pool and trace recorders are never
+// shared across goroutines; the lab seed is irrelevant because runs go
+// through RunSampleSeeded.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	labs := make(map[winsim.ProfileName]*analysis.Lab)
+	for job := range s.queue {
+		lab, ok := labs[job.spec.profile]
+		if !ok {
+			lab = &analysis.Lab{
+				Profile: job.spec.profile,
+				Config:  core.RecommendedConfig(string(job.spec.profile)),
+			}
+			labs[job.spec.profile] = lab
+		}
+		s.runJob(lab, job)
+	}
+}
+
+// runJob executes one job and completes it. The lab already contains every
+// in-run failure (runContained recovers panics into SampleResult.Err); the
+// enclosing recover is the worker's own last line — it converts a defect in
+// the service layer itself (marshalling, a lab bug) into a VerdictError
+// result instead of a dead worker and an orphaned job.
+func (s *Server) runJob(lab *analysis.Lab, job *Job) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Skip completion if the job already published (the panic came from
+		// after complete); closing Done twice would itself panic.
+		job.mu.Lock()
+		alreadyDone := job.state == JobDone
+		job.mu.Unlock()
+		if alreadyDone {
+			return
+		}
+		res := analysis.SampleResult{
+			Specimen:        job.spec.specimen,
+			Err:             fmt.Errorf("service: job %s panicked outside the lab: %v", job.ID, r),
+			Stack:           string(debug.Stack()),
+			Verdict:         analysis.Verdict{Category: analysis.VerdictError},
+			Attempts:        1,
+			RecoveredPanics: 1,
+		}
+		s.complete(job, mustMarshal(res), res)
+	}()
+
+	job.mu.Lock()
+	job.state = JobRunning
+	job.mu.Unlock()
+
+	res := lab.RunSampleSeeded(job.spec.specimen, job.spec.seed)
+	s.complete(job, mustMarshal(res), res)
+}
+
+// mustMarshal renders the canonical verdict JSON, degrading to a minimal
+// error document if marshalling itself fails (VerdictDoc is plain data, so
+// in practice it never does).
+func mustMarshal(res analysis.SampleResult) []byte {
+	verdict, err := res.MarshalVerdict()
+	if err != nil {
+		id := ""
+		if res.Specimen != nil {
+			id = res.Specimen.ID
+		}
+		verdict = []byte(fmt.Sprintf(`{"specimen":%q,"category":"error","error":%q}`, id, err.Error()))
+	}
+	return verdict
+}
+
+// complete publishes the verdict: resolves the coalescing entry, fills the
+// cache (clean runs only — a failed run should be retryable, not pinned),
+// updates the aggregate report, and wakes waiters.
+func (s *Server) complete(job *Job, verdict []byte, res analysis.SampleResult) {
+	s.mu.Lock()
+	s.completed++
+	s.labRuns++
+	s.recoveredPanics += uint64(res.RecoveredPanics)
+	s.virtual += res.Raw.VirtualTime + res.Protected.VirtualTime
+	if res.Err != nil {
+		s.verdictErrors++
+	} else {
+		s.cache.Put(job.Key, verdict)
+	}
+	delete(s.inflight, job.Key)
+	s.retireLocked(job.ID)
+	s.mu.Unlock()
+
+	job.mu.Lock()
+	job.state = JobDone
+	job.verdict = verdict
+	job.mu.Unlock()
+	close(job.done)
+}
+
+// Shutdown drains gracefully: new submissions are refused immediately,
+// queued and running jobs complete, and the call returns when the workers
+// exit or the context expires (whichever comes first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	// Submissions synchronize on s.mu, so nobody can be mid-send here:
+	// closing the queue is safe and lets workers drain the backlog.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain deadline exceeded: %w", ctx.Err())
+	}
+}
+
+// Report aggregates the serving state into the lab's sweep-health shape:
+// completed runs, error counts, recovered panics, wall and virtual time.
+// Throughput() on the result is machine executions per second since Start.
+func (s *Server) Report() analysis.RunReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return analysis.RunReport{
+		Samples:         int(s.labRuns),
+		VerdictErrors:   int(s.verdictErrors),
+		RecoveredPanics: int(s.recoveredPanics),
+		Workers:         s.cfg.Workers,
+		Wall:            time.Since(s.started),
+		Virtual:         s.virtual,
+	}
+}
+
+// Stats is the /statusz snapshot.
+type Stats struct {
+	Uptime     time.Duration `json:"uptime_ns"`
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queue_depth"`
+	QueueCap   int           `json:"queue_cap"`
+	Submitted  uint64        `json:"submitted"`
+	Completed  uint64        `json:"completed"`
+	Coalesced  uint64        `json:"coalesced"`
+	Rejected   uint64        `json:"rejected"`
+	LabRuns    uint64        `json:"lab_runs"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheSize    int     `json:"cache_size"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Report      analysis.RunReport `json:"report"`
+	ThroughputS float64            `json:"throughput_exec_per_s"`
+}
+
+// Snapshot collects the current serving statistics.
+func (s *Server) Snapshot() Stats {
+	report := s.Report()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits, misses, size := s.cache.Stats()
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return Stats{
+		Uptime:       time.Since(s.started),
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		Submitted:    s.submitted,
+		Completed:    s.completed,
+		Coalesced:    s.coalesced,
+		Rejected:     s.rejected,
+		LabRuns:      s.labRuns,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheSize:    size,
+		CacheHitRate: rate,
+		Report:       report,
+		ThroughputS:  report.Throughput(),
+	}
+}

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"scarecrow/internal/evasion"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/winsim"
+)
+
+// SubmitRequest is the body of POST /v1/submit and /v1/verdict: which
+// specimen to run (a catalog name or an inline evasion recipe), on which
+// machine profile, with which seed. The triple (specimen, profile, seed)
+// fully determines the verdict — runs are deterministic — so it is also
+// the cache and coalescing key.
+type SubmitRequest struct {
+	// Specimen names a built-in sample (wannacry, locky, kasidet, scaware,
+	// spawner, toolkiller, joe:<id>, mg:<id>). Exactly one of Specimen and
+	// Recipe must be set.
+	Specimen string `json:"specimen,omitempty"`
+	// Recipe assembles a custom evasive specimen from named probes.
+	Recipe *Recipe `json:"recipe,omitempty"`
+	// Profile is the machine profile (default baremetal-sandbox).
+	Profile string `json:"profile,omitempty"`
+	// Seed drives machine construction (default 1).
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// Recipe describes an evasive specimen as data: a disjunction of named
+// probes, a reaction, and a payload. It is the over-the-wire counterpart
+// of malware.Specimen for samples that are not in the catalog.
+type Recipe struct {
+	// Checks lists probe names from RecipeChecks, tried in order (the
+	// specimen's evasive disjunction — any one firing triggers React).
+	Checks []string `json:"checks"`
+	// React is one of RecipeReactions (default "terminate").
+	React string `json:"react,omitempty"`
+	// Payload is one of RecipePayloads (default "persist").
+	Payload string `json:"payload,omitempty"`
+}
+
+// recipeChecks maps wire names to evasion-probe constructors. Arguments
+// are canned: a recipe names behaviours, not parameters, so the same name
+// always builds the same probe and cache keys stay meaningful.
+var recipeChecks = map[string]func() evasion.Check{
+	"debugger-api":    evasion.DebuggerAPI,
+	"remote-debugger": evasion.RemoteDebugger,
+	"kernel-debugger": evasion.KernelDebugger,
+	"vmware-registry": func() evasion.Check {
+		return evasion.RegistryKey("reg:vmware-tools", `HKLM\SOFTWARE\VMware, Inc.\VMware Tools`)
+	},
+	"vbox-registry": func() evasion.Check {
+		return evasion.RegistryKey("reg:vbox-guestadd", `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`)
+	},
+	"vbox-driver": func() evasion.Check {
+		return evasion.FileExists("file:vboxmouse", `C:\Windows\System32\drivers\VBoxMouse.sys`)
+	},
+	"sandboxie-module": func() evasion.Check {
+		return evasion.ModuleLoaded("mod:sbiedll", "SbieDll.dll")
+	},
+	"ollydbg-window": func() evasion.Check {
+		return evasion.WindowPresent("win:ollydbg", "OLLYDBG")
+	},
+	"small-ram":   func() evasion.Check { return evasion.SmallRAM(2 << 30) },
+	"low-uptime":  func() evasion.Check { return evasion.LowUptime(12 * time.Minute) },
+	"sample-path": evasion.SamplePath,
+	"vm-mac": func() evasion.Check {
+		return evasion.VMMAC("08:00:27", "00:0c:29", "00:50:56")
+	},
+	"hook-scan": func() evasion.Check {
+		return evasion.InlineHook("IsDebuggerPresent", "RegOpenKeyEx")
+	},
+	"peb-read":     func() evasion.Check { return evasion.FewCoresPEB(2) },
+	"rdtsc-timing": func() evasion.Check { return evasion.RDTSCVMExit(1000) },
+	"nxdomain-sinkhole": func() evasion.Check {
+		return evasion.NXDomainResolves("scarecrowd-killswitch.invalid")
+	},
+}
+
+// recipeReactions maps wire names to reaction constructors.
+var recipeReactions = map[string]func() malware.Reaction{
+	"terminate":   malware.ReactTerminate,
+	"sleep":       malware.ReactSleepLoop,
+	"self-spawn":  func() malware.Reaction { return malware.ReactSelfSpawn(30 * time.Millisecond) },
+	"self-delete": malware.ReactSelfDelete,
+	"benign":      func() malware.Reaction { return malware.ReactBenign("recipe") },
+}
+
+// recipePayloads maps wire names to payload constructors, parameterized by
+// the recipe's derived ID so dropped artifacts are distinguishable.
+var recipePayloads = map[string]func(id string) malware.Payload{
+	"persist": func(id string) malware.Payload {
+		return malware.PayloadRegistryPersist(id, id+"_svc.exe")
+	},
+	"dropper": func(id string) malware.Payload {
+		return malware.Compose(
+			malware.PayloadDropper(id+"_drop.exe"),
+			malware.PayloadRegistryPersist(id, id+"_svc.exe"),
+		)
+	},
+	"ransomware": func(id string) malware.Payload {
+		return malware.PayloadRansomware(".crypt", "_"+id+"_RECOVER.txt")
+	},
+	"beacon": func(id string) malware.Payload {
+		return malware.PayloadBeacon(id + ".dga-c2.net")
+	},
+}
+
+// RecipeChecks, RecipeReactions and RecipePayloads list the valid wire
+// names, sorted — validation errors and docs enumerate them.
+func RecipeChecks() []string    { return sortedKeys(recipeChecks) }
+func RecipeReactions() []string { return sortedKeys(recipeReactions) }
+func RecipePayloads() []string  { return sortedKeys(recipePayloads) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolved is a validated request: the specimen is freshly built (never
+// shared between jobs) and key is the canonical cache identity.
+type resolved struct {
+	specimen *malware.Specimen
+	profile  winsim.ProfileName
+	seed     int64
+	key      string
+}
+
+// DefaultProfile is the profile used when a request leaves it empty: the
+// paper's bare-metal analysis cluster.
+const DefaultProfile = winsim.ProfileBareMetalSandbox
+
+// defaultSeed seeds runs that do not pin one. Any fixed value works; 1
+// matches the CLI defaults.
+const defaultSeed = 1
+
+// resolveRequest validates the request and builds its specimen and
+// canonical key. Errors are client errors (HTTP 400).
+func resolveRequest(req SubmitRequest) (resolved, error) {
+	var r resolved
+	r.profile = DefaultProfile
+	if req.Profile != "" {
+		r.profile = winsim.ProfileName(req.Profile)
+		if !winsim.ValidProfile(r.profile) {
+			names := make([]string, 0, len(winsim.Profiles()))
+			for _, p := range winsim.Profiles() {
+				names = append(names, string(p))
+			}
+			return r, fmt.Errorf("unknown profile %q (known: %s)", req.Profile, strings.Join(names, ", "))
+		}
+	}
+	r.seed = defaultSeed
+	if req.Seed != nil {
+		r.seed = *req.Seed
+	}
+
+	var specKey string
+	switch {
+	case req.Specimen != "" && req.Recipe != nil:
+		return r, fmt.Errorf("specimen and recipe are mutually exclusive")
+	case req.Specimen != "":
+		s, err := malware.Resolve(req.Specimen)
+		if err != nil {
+			return r, err
+		}
+		r.specimen = s
+		specKey = "cat:" + req.Specimen
+	case req.Recipe != nil:
+		s, canon, err := buildRecipe(*req.Recipe)
+		if err != nil {
+			return r, err
+		}
+		r.specimen = s
+		specKey = "rcp:" + canon
+	default:
+		return r, fmt.Errorf("request must name a specimen or carry a recipe")
+	}
+	r.key = fmt.Sprintf("%s|%s|%d", specKey, r.profile, r.seed)
+	return r, nil
+}
+
+// buildRecipe assembles a specimen from a recipe and returns it with the
+// recipe's canonical form. Check order is preserved — it decides which
+// probe fires first, so differently ordered recipes are different
+// specimens.
+func buildRecipe(rec Recipe) (*malware.Specimen, string, error) {
+	if len(rec.Checks) == 0 {
+		return nil, "", fmt.Errorf("recipe needs at least one check (known: %s)", strings.Join(RecipeChecks(), ", "))
+	}
+	checks := make([]evasion.Check, 0, len(rec.Checks))
+	for _, name := range rec.Checks {
+		mk, ok := recipeChecks[name]
+		if !ok {
+			return nil, "", fmt.Errorf("unknown recipe check %q (known: %s)", name, strings.Join(RecipeChecks(), ", "))
+		}
+		checks = append(checks, mk())
+	}
+	react := rec.React
+	if react == "" {
+		react = "terminate"
+	}
+	mkReact, ok := recipeReactions[react]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown recipe reaction %q (known: %s)", react, strings.Join(RecipeReactions(), ", "))
+	}
+	payload := rec.Payload
+	if payload == "" {
+		payload = "persist"
+	}
+	mkPayload, ok := recipePayloads[payload]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown recipe payload %q (known: %s)", payload, strings.Join(RecipePayloads(), ", "))
+	}
+
+	canon := fmt.Sprintf("checks=%s;react=%s;payload=%s", strings.Join(rec.Checks, "+"), react, payload)
+	id := fmt.Sprintf("rcp%08x", fnvHash(canon))
+	s := &malware.Specimen{
+		ID:      id,
+		Family:  "Recipe",
+		Source:  malware.Source("recipe"),
+		Image:   malware.ImagePath(id),
+		Checks:  checks,
+		React:   mkReact(),
+		Payload: mkPayload(id),
+		Notes:   canon,
+	}
+	return s, canon, nil
+}
+
+func fnvHash(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"scarecrow/internal/winsim"
+)
+
+func TestResolveCatalogRequest(t *testing.T) {
+	r, err := resolveRequest(SubmitRequest{Specimen: "wannacry", Seed: seedPtr(9)})
+	if err != nil {
+		t.Fatalf("resolve wannacry: %v", err)
+	}
+	if r.specimen == nil || r.specimen.Family != "WannaCry" {
+		t.Fatalf("specimen = %+v, want WannaCry", r.specimen)
+	}
+	if r.profile != DefaultProfile {
+		t.Errorf("profile = %s, want default %s", r.profile, DefaultProfile)
+	}
+	if r.seed != 9 {
+		t.Errorf("seed = %d, want 9", r.seed)
+	}
+	if want := "cat:wannacry|baremetal-sandbox|9"; r.key != want {
+		t.Errorf("key = %q, want %q", r.key, want)
+	}
+}
+
+func TestResolveRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		req  SubmitRequest
+		want string
+	}{
+		{"empty", SubmitRequest{}, "must name a specimen"},
+		{"unknown specimen", SubmitRequest{Specimen: "bogus"}, "unknown"},
+		{"unknown profile", SubmitRequest{Specimen: "wannacry", Profile: "vax-cluster"}, "unknown profile"},
+		{"both specimen and recipe", SubmitRequest{Specimen: "wannacry", Recipe: &Recipe{Checks: []string{"debugger-api"}}}, "mutually exclusive"},
+		{"empty recipe", SubmitRequest{Recipe: &Recipe{}}, "at least one check"},
+		{"unknown check", SubmitRequest{Recipe: &Recipe{Checks: []string{"crystal-ball"}}}, "unknown recipe check"},
+		{"unknown reaction", SubmitRequest{Recipe: &Recipe{Checks: []string{"debugger-api"}, React: "explode"}}, "unknown recipe reaction"},
+		{"unknown payload", SubmitRequest{Recipe: &Recipe{Checks: []string{"debugger-api"}, Payload: "mining"}}, "unknown recipe payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := resolveRequest(tc.req); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("resolveRequest(%+v): err = %v, want containing %q", tc.req, err, tc.want)
+			}
+		})
+	}
+}
+
+// Every profile the simulator exposes is accepted by the validator, and the
+// default is among them.
+func TestAllProfilesResolvable(t *testing.T) {
+	sawDefault := false
+	for _, p := range winsim.Profiles() {
+		r, err := resolveRequest(SubmitRequest{Specimen: "wannacry", Profile: string(p)})
+		if err != nil {
+			t.Errorf("profile %s rejected: %v", p, err)
+			continue
+		}
+		if r.profile != p {
+			t.Errorf("profile %s resolved to %s", p, r.profile)
+		}
+		if p == DefaultProfile {
+			sawDefault = true
+		}
+	}
+	if !sawDefault {
+		t.Errorf("default profile %s not in winsim.Profiles()", DefaultProfile)
+	}
+}
+
+// The recipe's canonical form — and therefore its cache key and derived
+// specimen ID — is a pure function of the recipe, order-sensitive in
+// checks (order decides which probe fires first).
+func TestRecipeCanonicalKey(t *testing.T) {
+	rec := Recipe{Checks: []string{"debugger-api", "vbox-registry"}, React: "sleep", Payload: "beacon"}
+	s1, canon1, err := buildRecipe(rec)
+	if err != nil {
+		t.Fatalf("buildRecipe: %v", err)
+	}
+	s2, canon2, err := buildRecipe(rec)
+	if err != nil {
+		t.Fatalf("buildRecipe (repeat): %v", err)
+	}
+	if canon1 != canon2 || s1.ID != s2.ID {
+		t.Fatalf("recipe canonicalization unstable: %q/%s vs %q/%s", canon1, s1.ID, canon2, s2.ID)
+	}
+	if s1 == s2 {
+		t.Fatalf("buildRecipe returned a shared specimen; each job needs its own")
+	}
+	if want := "checks=debugger-api+vbox-registry;react=sleep;payload=beacon"; canon1 != want {
+		t.Errorf("canon = %q, want %q", canon1, want)
+	}
+
+	flipped := Recipe{Checks: []string{"vbox-registry", "debugger-api"}, React: "sleep", Payload: "beacon"}
+	_, canonFlipped, err := buildRecipe(flipped)
+	if err != nil {
+		t.Fatalf("buildRecipe (flipped): %v", err)
+	}
+	if canonFlipped == canon1 {
+		t.Errorf("check order lost in canonical form: %q", canonFlipped)
+	}
+}
+
+// Defaults: react=terminate, payload=persist, profile and seed filled in.
+func TestRecipeDefaults(t *testing.T) {
+	r, err := resolveRequest(SubmitRequest{Recipe: &Recipe{Checks: []string{"hook-scan"}}})
+	if err != nil {
+		t.Fatalf("resolve minimal recipe: %v", err)
+	}
+	if !strings.Contains(r.key, "react=terminate") || !strings.Contains(r.key, "payload=persist") {
+		t.Errorf("key %q missing defaulted react/payload", r.key)
+	}
+	if r.seed != defaultSeed {
+		t.Errorf("seed = %d, want default %d", r.seed, defaultSeed)
+	}
+}
+
+// Every advertised wire name actually constructs.
+func TestRecipeTablesComplete(t *testing.T) {
+	for _, name := range RecipeChecks() {
+		recipeChecks[name]() // must construct without panicking
+	}
+	for _, name := range RecipeReactions() {
+		if recipeReactions[name]() == nil {
+			t.Errorf("reaction %q constructs nil", name)
+		}
+	}
+	for _, name := range RecipePayloads() {
+		if recipePayloads[name]("rcptest") == nil {
+			t.Errorf("payload %q constructs nil", name)
+		}
+	}
+}

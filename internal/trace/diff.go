@@ -11,26 +11,29 @@ import (
 // written/created/deleted, and registry keys/values modified. Self-spawn
 // counts are tracked separately because a self-spawning loop is itself a
 // deactivation signal under Scarecrow.
+// The JSON field names are part of scarecrowd's verdict wire format;
+// encoding/json emits map keys sorted, so two summaries of the same
+// execution always serialize byte-identically.
 type Summary struct {
 	// ProcessesCreated maps child image name (lowercased) to creation count,
 	// excluding self-spawns of the root image.
-	ProcessesCreated map[string]int
+	ProcessesCreated map[string]int `json:"processes_created,omitempty"`
 	// SelfSpawns counts creations of processes whose image equals the
 	// spawning process's own image.
-	SelfSpawns int
+	SelfSpawns int `json:"self_spawns,omitempty"`
 	// FilesWritten maps file paths (lowercased) written or created.
-	FilesWritten map[string]int
+	FilesWritten map[string]int `json:"files_written,omitempty"`
 	// FilesDeleted maps file paths (lowercased) deleted.
-	FilesDeleted map[string]int
+	FilesDeleted map[string]int `json:"files_deleted,omitempty"`
 	// RegistryModified maps modified registry keys (lowercased) to the
 	// number of set/create/delete operations against them.
-	RegistryModified map[string]int
+	RegistryModified map[string]int `json:"registry_modified,omitempty"`
 	// Injections counts process-injection events.
-	Injections int
+	Injections int `json:"injections,omitempty"`
 	// APICalls maps API names to invocation counts.
-	APICalls map[string]int
+	APICalls map[string]int `json:"api_calls,omitempty"`
 	// DNSQueries maps queried domains (lowercased) to counts.
-	DNSQueries map[string]int
+	DNSQueries map[string]int `json:"dns_queries,omitempty"`
 }
 
 // Summarize builds a Summary from a sequence of events.
@@ -95,20 +98,22 @@ func (s Summary) Mutations() int {
 // Diff describes the significant activities present in a baseline trace but
 // absent from a protected trace. A non-empty Diff for a malware sample means
 // Scarecrow suppressed those activities.
+// Every list is sorted (missingKeys sorts), so a Diff serializes
+// deterministically — scarecrowd's cached verdicts rely on it.
 type Diff struct {
 	// MissingProcesses lists child images created in the baseline run but
 	// not in the protected run.
-	MissingProcesses []string
+	MissingProcesses []string `json:"missing_processes,omitempty"`
 	// MissingFileWrites lists files written in the baseline run only.
-	MissingFileWrites []string
+	MissingFileWrites []string `json:"missing_file_writes,omitempty"`
 	// MissingFileDeletes lists files deleted in the baseline run only.
-	MissingFileDeletes []string
+	MissingFileDeletes []string `json:"missing_file_deletes,omitempty"`
 	// MissingRegistryMods lists registry keys modified in the baseline run
 	// only.
-	MissingRegistryMods []string
+	MissingRegistryMods []string `json:"missing_registry_mods,omitempty"`
 	// InjectionsSuppressed is the number of baseline injections with no
 	// counterpart in the protected run.
-	InjectionsSuppressed int
+	InjectionsSuppressed int `json:"injections_suppressed,omitempty"`
 }
 
 // Empty reports whether the protected run reproduced every significant

@@ -11,6 +11,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -82,6 +83,31 @@ func (k Kind) String() string {
 		return s
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind by name ("FileWrite"), never by ordinal:
+// verdict documents served over the wire must stay stable when new kinds
+// are inserted into the enum.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	name, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("trace: kind %d has no name; extend kindNames", int(k))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON decodes a kind from its name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("trace: decoding kind: %w", err)
+	}
+	kind, ok := kindByName[name]
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", name)
+	}
+	*k = kind
+	return nil
 }
 
 // Event is a single kernel activity record.

@@ -32,6 +32,29 @@ const (
 	ProfileMalwr      ProfileName = "malwr-sandbox"
 )
 
+// Profiles lists every profile NewProfileMachine accepts, in declaration
+// order. Front ends (scarecrowd request validation, CLI usage strings)
+// enumerate this instead of hard-coding names.
+func Profiles() []ProfileName {
+	return []ProfileName{
+		ProfileCleanBareMetal, ProfileBareMetalSandbox,
+		ProfileCuckooSandbox, ProfileCuckooHardened,
+		ProfileEndUser, ProfileVirusTotal, ProfileMalwr,
+	}
+}
+
+// ValidProfile reports whether name is a profile NewProfileMachine can
+// build (which panics on unknown names — validate first at trust
+// boundaries).
+func ValidProfile(name ProfileName) bool {
+	for _, p := range Profiles() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
 // rdtsc/cpuid timing model shared by the profiles. Pafish's
 // rdtsc_diff_vmexit check flags environments whose CPUID cost exceeds
 // roughly 1000 cycles. Hardware-assisted hypervisors trap CPUID (stock
