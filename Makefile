@@ -22,38 +22,38 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# cover enforces statement-coverage floors on the two packages the snapshot
-# pool lives in. Floors sit below current coverage (winsim 97%, analysis
-# 85% under -short) with margin for flutter, and exist to catch a PR that
-# lands a subsystem without tests — not to chase decimal points.
+# cover enforces statement-coverage floors on the packages whose failure
+# modes are subtle: the snapshot pool (winsim, analysis) and the durable
+# verdict store. Floors sit below current coverage with margin for
+# flutter, and exist to catch a PR that lands a subsystem without tests —
+# not to chase decimal points.
 cover:
 	$(GO) test -short -coverprofile=cover_winsim.out ./internal/winsim
 	$(GO) test -short -coverprofile=cover_analysis.out ./internal/analysis
+	$(GO) test -short -coverprofile=cover_store.out ./internal/store
 	@$(GO) tool cover -func=cover_winsim.out | awk '/^total:/ { c=$$3+0; \
 		if (c < 90) { printf "FAIL: internal/winsim coverage %.1f%% < 90%%\n", c; exit 1 } \
 		printf "internal/winsim coverage %.1f%% (floor 90%%)\n", c }'
 	@$(GO) tool cover -func=cover_analysis.out | awk '/^total:/ { c=$$3+0; \
 		if (c < 75) { printf "FAIL: internal/analysis coverage %.1f%% < 75%%\n", c; exit 1 } \
 		printf "internal/analysis coverage %.1f%% (floor 75%%)\n", c }'
+	@$(GO) tool cover -func=cover_store.out | awk '/^total:/ { c=$$3+0; \
+		if (c < 85) { printf "FAIL: internal/store coverage %.1f%% < 85%%\n", c; exit 1 } \
+		printf "internal/store coverage %.1f%% (floor 85%%)\n", c }'
 
-# fuzz-smoke gives the snapshot/restore fuzzer a short budget on every CI
-# run; found inputs land in testdata/fuzz and become regression tests.
+# fuzz-smoke gives the deterministic-state fuzzers a short budget on every
+# CI run: snapshot/restore round-trips and WAL record decoding. Found
+# inputs land in testdata/fuzz and become regression tests.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/winsim
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/store
 
-# service-smoke drives a real scarecrowd over localhost with scarebench:
-# 200 verdicts at concurrency 8 cycling 20 unique keys, failing on any
-# request error or a zero cache hit-rate, and leaves the throughput/latency
-# summary in BENCH_service.json.
+# service-smoke drives a real scarecrowd over localhost end to end:
+# classic cache/coalescing bench, cold+warm campaign sweep over SSE, and
+# a SIGKILL + restart that must replay committed verdicts byte-identical
+# from the WAL. Artifacts: BENCH_service.json, BENCH_campaign.json.
 service-smoke:
-	$(GO) build -o scarecrowd ./cmd/scarecrowd
-	$(GO) build -o scarebench ./cmd/scarebench
-	@./scarecrowd -addr 127.0.0.1:18080 & \
-	DAEMON=$$!; \
-	./scarebench -addr http://127.0.0.1:18080 -n 200 -c 8 -require-hits -out BENCH_service.json; \
-	STATUS=$$?; \
-	kill $$DAEMON 2>/dev/null; wait $$DAEMON 2>/dev/null; \
-	exit $$STATUS
+	bash scripts/service-smoke.sh
 
 # hooks installs the repo's pre-commit hook (vet + scarelint) into .git.
 hooks:

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"scarecrow/internal/campaign"
+	"scarecrow/internal/malware"
+)
+
+// runCampaignMode drives -campaign: run the cold/warm sweep, print and
+// write the report, and exit nonzero on sweep errors or a missed
+// -min-warm-speedup gate.
+func runCampaignMode(opts campaignOptions, out string, minSpeedup float64) {
+	report, err := benchCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scarebench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	if out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+	}
+	if report.Cold.Errors > 0 || report.Warm.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "scarebench: sweep errors (cold %d, warm %d)\n", report.Cold.Errors, report.Warm.Errors)
+		os.Exit(1)
+	}
+	if minSpeedup > 0 && report.WarmSpeedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "scarebench: warm speedup %.1fx below the required %.1fx — the cache/store replay path is not paying off\n",
+			report.WarmSpeedup, minSpeedup)
+		os.Exit(1)
+	}
+}
+
+// campaignOptions sizes the batch benchmark.
+type campaignOptions struct {
+	Addr  string
+	Seeds int
+	Quota int
+	Wait  time.Duration
+}
+
+// CampaignReport is the -campaign artifact (BENCH_campaign.json): the
+// same catalog sweep run twice against one daemon. The cold pass pays
+// for the lab runs; the warm pass must be served from the verdict cache
+// and WAL, so its speedup is a direct measurement of what persistence
+// buys a corpus re-sweep.
+type CampaignReport struct {
+	Benchmark string `json:"benchmark"`
+	Addr      string `json:"addr"`
+	Specimens int    `json:"specimens"`
+	Seeds     int    `json:"seeds"`
+	Jobs      int    `json:"jobs"`
+	Quota     int    `json:"quota"`
+
+	Cold campaign.Summary `json:"cold"`
+	Warm campaign.Summary `json:"warm"`
+
+	// WarmSpeedup is cold wall time over warm wall time.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+func (r CampaignReport) String() string {
+	return fmt.Sprintf(
+		"scarebench campaign: %d specimens x %d seeds = %d jobs (quota %d)\n"+
+			"  cold: %.2fs wall, %.1f verdicts/s, %d cache hits, %d errors\n"+
+			"  warm: %.2fs wall, %.1f verdicts/s, %d cache hits, %d errors\n"+
+			"  warm speedup: %.1fx\n",
+		r.Specimens, r.Seeds, r.Jobs, r.Quota,
+		r.Cold.WallS, r.Cold.VerdictsPerS, r.Cold.CacheHits, r.Cold.Errors,
+		r.Warm.WallS, r.Warm.VerdictsPerS, r.Warm.CacheHits, r.Warm.Errors,
+		r.WarmSpeedup)
+}
+
+// sweepSpecimens is the benchmark corpus: the six case-study families
+// plus the 13 Joe Security Table I samples. The MalGene corpus is left
+// out on purpose — 1054 specimens belong in an explicit overnight sweep,
+// not the default benchmark.
+func sweepSpecimens() []string {
+	names := malware.CatalogNames()
+	for _, s := range malware.JoeSecuritySamples() {
+		names = append(names, "joe:"+s.ID)
+	}
+	return names
+}
+
+// benchCampaign runs the cold/warm catalog sweep through /v1/campaign.
+func benchCampaign(opts campaignOptions) (CampaignReport, error) {
+	if err := waitHealthy(opts.Addr, opts.Wait); err != nil {
+		return CampaignReport{}, err
+	}
+	if opts.Seeds < 1 {
+		opts.Seeds = 1
+	}
+	specimens := sweepSpecimens()
+	seeds := make([]int64, opts.Seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	manifest := campaign.Manifest{Specimens: specimens, Seeds: seeds, Quota: opts.Quota}
+
+	report := CampaignReport{
+		Benchmark: "scarebench-campaign",
+		Addr:      opts.Addr,
+		Specimens: len(specimens),
+		Seeds:     opts.Seeds,
+		Jobs:      len(specimens) * opts.Seeds,
+		Quota:     opts.Quota,
+	}
+	var err error
+	if report.Cold, err = sweep(opts.Addr, manifest); err != nil {
+		return report, fmt.Errorf("cold sweep: %w", err)
+	}
+	if report.Warm, err = sweep(opts.Addr, manifest); err != nil {
+		return report, fmt.Errorf("warm sweep: %w", err)
+	}
+	if report.Warm.WallS > 0 {
+		report.WarmSpeedup = report.Cold.WallS / report.Warm.WallS
+	}
+	return report, nil
+}
+
+// sweep launches one campaign and follows its SSE stream to the terminal
+// summary.
+func sweep(addr string, m campaign.Manifest) (campaign.Summary, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return campaign.Summary{}, err
+	}
+	resp, err := http.Post(addr+"/v1/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return campaign.Summary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return campaign.Summary{}, fmt.Errorf("launch: status %d", resp.StatusCode)
+	}
+	var launched struct {
+		ID     string `json:"id"`
+		Events string `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&launched); err != nil {
+		return campaign.Summary{}, fmt.Errorf("decoding launch response: %w", err)
+	}
+
+	// Follow the stream with the default (timeout-free) client: the
+	// daemon closes it right after the summary event.
+	stream, err := http.Get(addr + launched.Events)
+	if err != nil {
+		return campaign.Summary{}, fmt.Errorf("opening event stream: %w", err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev campaign.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return campaign.Summary{}, fmt.Errorf("decoding event: %w", err)
+		}
+		if ev.Type == "summary" && ev.Summary != nil {
+			return *ev.Summary, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return campaign.Summary{}, fmt.Errorf("reading event stream: %w", err)
+	}
+	return campaign.Summary{}, fmt.Errorf("campaign %s stream ended without a summary", launched.ID)
+}

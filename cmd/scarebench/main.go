@@ -10,6 +10,14 @@
 // Exit status is nonzero if any request failed, or — with -require-hits —
 // if the daemon reports a zero cache hit-rate (the determinism the service
 // is built on would not be paying off).
+//
+// With -campaign the tool instead benchmarks the batch path: it sweeps
+// the malware catalog (case studies + Joe Security samples) twice through
+// /v1/campaign, following each sweep's SSE stream to its terminal
+// summary, and writes BENCH_campaign.json comparing the cold pass against
+// the warm replay. -min-warm-speedup turns the comparison into a gate:
+// the warm sweep must beat the cold one by that factor, which only
+// happens when the verdict cache and durable store are actually serving.
 package main
 
 import (
@@ -37,8 +45,23 @@ func main() {
 		out         = flag.String("out", "BENCH_service.json", "summary artifact path (empty = skip)")
 		requireHits = flag.Bool("require-hits", false, "fail if the daemon reports a zero cache hit-rate")
 		wait        = flag.Duration("wait", 30*time.Second, "how long to wait for the daemon to become healthy")
+
+		campaignMode = flag.Bool("campaign", false, "benchmark the batch path: cold+warm catalog sweep via /v1/campaign")
+		campaignOut  = flag.String("campaign-out", "BENCH_campaign.json", "campaign artifact path (empty = skip)")
+		quota        = flag.Int("quota", 8, "campaign in-flight quota (campaign mode)")
+		minSpeedup   = flag.Float64("min-warm-speedup", 0, "fail unless the warm sweep is this many times faster than the cold one (0 = no gate)")
 	)
 	flag.Parse()
+
+	if *campaignMode {
+		runCampaignMode(campaignOptions{
+			Addr:  strings.TrimRight(*addr, "/"),
+			Seeds: *seeds,
+			Quota: *quota,
+			Wait:  *wait,
+		}, *campaignOut, *minSpeedup)
+		return
+	}
 
 	summary, err := bench(benchOptions{
 		Addr:    strings.TrimRight(*addr, "/"),

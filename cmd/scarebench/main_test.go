@@ -1,12 +1,15 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"scarecrow/internal/campaign"
 	"scarecrow/internal/service"
+	"scarecrow/internal/store"
 )
 
 // The bench loop against an in-process scarecrowd: all requests succeed,
@@ -76,5 +79,48 @@ func TestBenchNoSamples(t *testing.T) {
 	_, err := bench(benchOptions{Addr: ts.URL, N: 1, C: 1, Samples: []string{" "}, Seeds: 1, Wait: time.Second})
 	if err == nil || !strings.Contains(err.Error(), "no samples") {
 		t.Fatalf("empty sample list: err = %v, want no-samples failure", err)
+	}
+}
+
+// The -campaign path against an in-process daemon with a real store: the
+// cold sweep pays lab runs, the warm sweep replays from cache/WAL, and
+// the speedup is measurable.
+func TestBenchCampaignColdWarm(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer st.Close()
+	srv := service.NewServer(service.Config{Workers: 4, QueueDepth: 32, CacheSize: 256, Store: st})
+	srv.Start()
+	eng := campaign.NewEngine(srv, campaign.Options{})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	eng.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	report, err := benchCampaign(campaignOptions{Addr: ts.URL, Seeds: 1, Quota: 8, Wait: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("benchCampaign: %v", err)
+	}
+	specimens := len(sweepSpecimens())
+	if report.Jobs != specimens {
+		t.Fatalf("jobs = %d, want %d (one per specimen)", report.Jobs, specimens)
+	}
+	if report.Cold.Completed != specimens || report.Warm.Completed != specimens {
+		t.Fatalf("incomplete sweeps: cold %d warm %d of %d", report.Cold.Completed, report.Warm.Completed, specimens)
+	}
+	if report.Cold.Errors != 0 || report.Warm.Errors != 0 {
+		t.Fatalf("sweep errors: cold %d warm %d", report.Cold.Errors, report.Warm.Errors)
+	}
+	if report.Warm.CacheHits != specimens {
+		t.Fatalf("warm sweep cache hits = %d, want %d (everything replayed)", report.Warm.CacheHits, specimens)
+	}
+	if report.WarmSpeedup <= 1 {
+		t.Fatalf("warm speedup = %.2fx, want > 1x", report.WarmSpeedup)
+	}
+	if !strings.Contains(report.String(), "warm speedup") {
+		t.Fatalf("report rendering missing speedup: %s", report)
 	}
 }

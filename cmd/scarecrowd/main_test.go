@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"io"
@@ -11,24 +12,50 @@ import (
 	"time"
 )
 
-// The daemon end to end: boot on an ephemeral port, serve a verdict and a
-// cache-hit replay, then drain cleanly on SIGTERM.
-func TestDaemonServesAndDrains(t *testing.T) {
+// bootDaemon starts run() in a goroutine and waits for the listen
+// address. The returned channel carries run's exit status.
+func bootDaemon(t *testing.T, opts options) (string, chan error) {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.Drain == 0 {
+		opts.Drain = 30 * time.Second
+	}
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() {
-		done <- run("127.0.0.1:0", 2, 8, 64, 30*time.Second, ready)
-	}()
-
-	var addr string
+	go func() { done <- run(opts, ready) }()
 	select {
-	case addr = <-ready:
+	case addr := <-ready:
+		return "http://" + addr, done
 	case err := <-done:
 		t.Fatalf("daemon exited before ready: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatalf("daemon never became ready")
 	}
-	base := "http://" + addr
+	return "", nil
+}
+
+// drainDaemon SIGTERMs the test process and waits for run to return.
+func drainDaemon(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("signalling self: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM")
+	}
+}
+
+// The daemon end to end: boot on an ephemeral port, serve a verdict and a
+// cache-hit replay, then drain cleanly on SIGTERM.
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, done := bootDaemon(t, options{Workers: 2, Queue: 8, Cache: 64, NoPersist: true})
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -71,23 +98,97 @@ func TestDaemonServesAndDrains(t *testing.T) {
 		t.Fatalf("replay bytes differ:\n%s\nvs\n%s", v1, v2)
 	}
 
-	// SIGTERM drains; run returns nil.
-	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
-		t.Fatalf("signalling self: %v", err)
+	drainDaemon(t, done)
+}
+
+// -data-dir makes verdicts durable across process generations: the second
+// boot serves the first boot's verdict as a cache hit without a lab run.
+func TestDaemonPersistsVerdictsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := []byte(`{"specimen":"kasidet","seed":41}`)
+
+	base, done := bootDaemon(t, options{Workers: 2, Queue: 8, Cache: 64, DataDir: dir})
+	resp, err := http.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("verdict: %v", err)
 	}
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("drain returned error: %v", err)
+	v1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Scarecrow-Cache") == "hit" {
+		t.Fatalf("first-ever verdict claims to be a cache hit")
+	}
+	drainDaemon(t, done)
+
+	base, done = bootDaemon(t, options{Workers: 2, Queue: 8, Cache: 64, DataDir: dir})
+	resp, err = http.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("replay verdict: %v", err)
+	}
+	v2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Scarecrow-Cache") != "hit" {
+		t.Fatalf("restarted daemon did not serve the WAL verdict as a hit")
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("restart verdict bytes differ:\n%s\nvs\n%s", v1, v2)
+	}
+	drainDaemon(t, done)
+}
+
+// The campaign API is mounted: launch a small sweep and stream it to the
+// terminal summary.
+func TestDaemonServesCampaigns(t *testing.T) {
+	base, done := bootDaemon(t, options{Workers: 2, Queue: 16, Cache: 64, NoPersist: true})
+
+	resp, err := http.Post(base+"/v1/campaign", "application/json",
+		strings.NewReader(`{"specimens":["kasidet","locky"]}`))
+	if err != nil {
+		t.Fatalf("campaign launch: %v", err)
+	}
+	var launched struct {
+		ID     string `json:"id"`
+		Total  int    `json:"total"`
+		Events string `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&launched); err != nil {
+		t.Fatalf("decoding launch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || launched.Total != 2 {
+		t.Fatalf("launch: status %d, %+v", resp.StatusCode, launched)
+	}
+
+	stream, err := http.Get(base + launched.Events)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer stream.Body.Close()
+	var sawSummary bool
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: summary") {
+			sawSummary = true
 		}
-	case <-time.After(30 * time.Second):
-		t.Fatalf("daemon did not drain after SIGTERM")
 	}
+	if !sawSummary {
+		t.Fatalf("campaign stream ended without a summary event")
+	}
+
+	drainDaemon(t, done)
 }
 
 func TestRunRejectsBadAddr(t *testing.T) {
-	err := run("256.256.256.256:99999", 1, 1, 1, time.Second, nil)
+	err := run(options{Addr: "256.256.256.256:99999", Workers: 1, Queue: 1, Cache: 1, Drain: time.Second, NoPersist: true}, nil)
 	if err == nil || !strings.Contains(err.Error(), "listening") {
 		t.Fatalf("bad addr: err = %v, want listen failure", err)
+	}
+}
+
+// A data dir that cannot be created fails boot loudly rather than
+// silently serving without persistence.
+func TestRunRejectsUnusableDataDir(t *testing.T) {
+	err := run(options{Addr: "127.0.0.1:0", DataDir: "/proc/nonexistent/store", Drain: time.Second}, nil)
+	if err == nil || !strings.Contains(err.Error(), "verdict store") {
+		t.Fatalf("bad data dir: err = %v, want store open failure", err)
 	}
 }

@@ -95,3 +95,15 @@ func (r SampleResult) MarshalVerdict() ([]byte, error) {
 	}
 	return buf, nil
 }
+
+// UnmarshalVerdict parses canonical verdict JSON back into its document
+// form. Consumers downstream of the wire bytes — the campaign engine
+// tallying per-category counts, clients post-processing a sweep — use
+// this instead of ad-hoc map decoding so field renames break loudly.
+func UnmarshalVerdict(data []byte) (VerdictDoc, error) {
+	var doc VerdictDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return VerdictDoc{}, fmt.Errorf("analysis: unmarshalling verdict: %w", err)
+	}
+	return doc, nil
+}

@@ -1,0 +1,297 @@
+// Package campaign is scarecrowd's batch layer: corpus-scale sweeps
+// through the verdict service without corpus-scale polling.
+//
+// A campaign is a manifest — specimen list × profile list × seed list —
+// fanned into the service's worker queue under a per-campaign quota, so
+// a thousand-job sweep trickles through at a bounded in-flight width and
+// interactive /v1/verdict traffic keeps getting queue slots. Progress is
+// pushed, not polled: every completed verdict appends an event to the
+// campaign's ring buffer and GET /v1/campaign/{id}/events streams them
+// as Server-Sent Events, with Last-Event-ID resume so a dropped client
+// reconnects and misses nothing that is still in the ring. The terminal
+// event is a summary: per-category verdict counts, error tally, wall
+// time, throughput.
+//
+// Campaigns compose with the durable store: resubmitting a manifest
+// whose verdicts are already committed streams cache-hit events at disk
+// speed and re-runs only the missing keys.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scarecrow/internal/service"
+)
+
+// Manifest is the body of POST /v1/campaign: the batch to sweep. The job
+// list is the cross product Specimens × Profiles × Seeds.
+type Manifest struct {
+	// Specimens lists catalog names (wannacry, joe:<id>, mg:<id>, ...).
+	Specimens []string `json:"specimens"`
+	// Profiles lists machine profiles (default: the service default).
+	Profiles []string `json:"profiles,omitempty"`
+	// Seeds lists machine seeds (default: [1]).
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Quota bounds this campaign's in-flight jobs inside the service
+	// queue (default/cap set by the engine) — the fairness knob that
+	// keeps a batch from starving interactive traffic.
+	Quota int `json:"quota,omitempty"`
+}
+
+// jobSpec is one expanded (specimen, profile, seed) cell.
+type jobSpec struct {
+	Specimen string
+	Profile  string
+	Seed     int64
+}
+
+func (j jobSpec) request() service.SubmitRequest {
+	seed := j.Seed
+	return service.SubmitRequest{Specimen: j.Specimen, Profile: j.Profile, Seed: &seed}
+}
+
+// expand validates the manifest shape and builds the job list in
+// deterministic specimen-major order.
+func (m Manifest) expand(maxJobs int) ([]jobSpec, error) {
+	if len(m.Specimens) == 0 {
+		return nil, fmt.Errorf("campaign: manifest lists no specimens")
+	}
+	profiles := m.Profiles
+	if len(profiles) == 0 {
+		profiles = []string{""} // service default
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	total := len(m.Specimens) * len(profiles) * len(seeds)
+	if total > maxJobs {
+		return nil, fmt.Errorf("campaign: %d jobs exceeds the per-campaign limit of %d", total, maxJobs)
+	}
+	jobs := make([]jobSpec, 0, total)
+	for _, spec := range m.Specimens {
+		for _, prof := range profiles {
+			for _, seed := range seeds {
+				jobs = append(jobs, jobSpec{Specimen: spec, Profile: prof, Seed: seed})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Campaign lifecycle states.
+const (
+	StateRunning = "running"
+	// StateDone: every job completed (possibly with per-job errors).
+	StateDone = "done"
+	// StateAborted: the service started draining mid-campaign; the
+	// remaining jobs were never run.
+	StateAborted = "aborted"
+)
+
+// Event is one entry in a campaign's stream. Verdict events carry the
+// per-job outcome plus a progress counter; the terminal summary event
+// carries the aggregate.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"` // "verdict" | "summary" | "snapshot"
+
+	// Verdict fields.
+	Specimen string `json:"specimen,omitempty"`
+	Profile  string `json:"profile,omitempty"`
+	Seed     int64  `json:"seed"`
+	Category string `json:"category,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	// Progress at the time of the event.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+
+	// Summary payload (summary and snapshot events).
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Summary aggregates a campaign: the paper's corpus-sweep numbers in
+// wire form.
+type Summary struct {
+	ID        string         `json:"id"`
+	State     string         `json:"state"`
+	Total     int            `json:"total"`
+	Completed int            `json:"completed"`
+	Errors    int            `json:"errors"`
+	CacheHits int            `json:"cache_hits"`
+	Categories map[string]int `json:"categories,omitempty"`
+
+	WallS        float64 `json:"wall_s"`
+	VerdictsPerS float64 `json:"verdicts_per_s"`
+}
+
+// eventRing bounds each campaign's event memory. Large enough that any
+// live SSE consumer (or a reconnect within the same sweep) resumes
+// losslessly; a consumer further behind than this gets a snapshot event
+// and continues from there.
+const eventRing = 4096
+
+// Campaign is one running or finished sweep. Everything above mu is
+// immutable after construction; everything below it is guarded.
+type Campaign struct {
+	// ID addresses the campaign in /v1/campaign/{id}.
+	ID string
+
+	manifest Manifest
+	jobs     []jobSpec
+	started  time.Time
+	done     chan struct{}
+
+	mu         sync.Mutex
+	state      string
+	completed  int
+	errors     int
+	cacheHits  int
+	categories map[string]int
+	wall       time.Duration
+	events     []Event // ring: events[0].Seq is the oldest retained
+	nextSeq    uint64
+	subs       map[chan struct{}]bool
+}
+
+func newCampaign(id string, m Manifest, jobs []jobSpec) *Campaign {
+	return &Campaign{
+		ID:         id,
+		manifest:   m,
+		jobs:       jobs,
+		started:    time.Now(),
+		done:       make(chan struct{}),
+		state:      StateRunning,
+		categories: make(map[string]int),
+		subs:       make(map[chan struct{}]bool),
+	}
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// state.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Total returns the expanded job count.
+func (c *Campaign) Total() int { return len(c.jobs) }
+
+// Snapshot aggregates the campaign's current state.
+func (c *Campaign) Snapshot() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.summaryLocked()
+}
+
+func (c *Campaign) summaryLocked() Summary {
+	wall := c.wall
+	if c.state == StateRunning {
+		wall = time.Since(c.started)
+	}
+	cats := make(map[string]int, len(c.categories))
+	for k, v := range c.categories {
+		cats[k] = v
+	}
+	s := Summary{
+		ID:         c.ID,
+		State:      c.state,
+		Total:      len(c.jobs),
+		Completed:  c.completed,
+		Errors:     c.errors,
+		CacheHits:  c.cacheHits,
+		Categories: cats,
+		WallS:      wall.Seconds(),
+	}
+	if wall > 0 {
+		s.VerdictsPerS = float64(c.completed) / wall.Seconds()
+	}
+	return s
+}
+
+// recordVerdict tallies one completed job and appends its event.
+func (c *Campaign) recordVerdict(js jobSpec, category string, cacheHit bool, jobErr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.completed++
+	c.categories[category]++
+	if cacheHit {
+		c.cacheHits++
+	}
+	if jobErr != "" {
+		c.errors++
+	}
+	c.appendLocked(Event{
+		Type:     "verdict",
+		Specimen: js.Specimen,
+		Profile:  js.Profile,
+		Seed:     js.Seed,
+		Category: category,
+		CacheHit: cacheHit,
+		Error:    jobErr,
+	})
+}
+
+// finish moves the campaign to a terminal state and appends the summary
+// event — always the stream's last event.
+func (c *Campaign) finish(state string) {
+	c.mu.Lock()
+	c.state = state
+	c.wall = time.Since(c.started)
+	summary := c.summaryLocked()
+	c.appendLocked(Event{Type: "summary", Summary: &summary})
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// appendLocked assigns the next sequence number, trims the ring, and
+// wakes subscribers. Caller holds c.mu.
+func (c *Campaign) appendLocked(ev Event) {
+	c.nextSeq++
+	ev.Seq = c.nextSeq
+	ev.Completed = c.completed
+	ev.Total = len(c.jobs)
+	c.events = append(c.events, ev)
+	if len(c.events) > eventRing {
+		c.events = c.events[len(c.events)-eventRing:]
+	}
+	for ch := range c.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// eventsSince returns retained events with Seq > after, plus the oldest
+// retained sequence number (0 when the ring is empty) so callers can
+// detect a resume gap.
+func (c *Campaign) eventsSince(after uint64) (evs []Event, oldest uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) > 0 {
+		oldest = c.events[0].Seq
+	}
+	for _, ev := range c.events {
+		if ev.Seq > after {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, oldest
+}
+
+// subscribe registers a wake channel signalled on every append.
+func (c *Campaign) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.subs[ch] = true
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *Campaign) unsubscribe(ch chan struct{}) {
+	c.mu.Lock()
+	delete(c.subs, ch)
+	c.mu.Unlock()
+}

@@ -1,7 +1,7 @@
 // Package lint is scarecrow's in-tree static-analysis suite: a small,
 // self-contained framework in the style of golang.org/x/tools/go/analysis
 // (which is deliberately not imported so the repo builds with a bare
-// toolchain and no module downloads) plus six repo-specific analyzers
+// toolchain and no module downloads) plus seven repo-specific analyzers
 // that turn the simulation's runtime invariants into build errors:
 //
 //   - statuscheck: a winapi.Status result must never be silently dropped.
@@ -20,6 +20,9 @@
 //     every constant of their enum type, so extending an enum (a new
 //     winapi.Status, a new trace.Kind) cannot silently break the
 //     name-based wire encoding verdict documents rely on.
+//   - lockfield: in the concurrent packages, struct fields declared after
+//     a `mu sync.Mutex` are guarded by it and may only be touched from
+//     the owning type's methods or under a visible <expr>.mu.Lock().
 //
 // The paper's whole deception premise is consistency — one mismatched
 // artifact (an unhooked API, a wrong timestamp) lets evasive malware see
@@ -95,7 +98,7 @@ func (p *Pass) PackageSyntax(path string) ([]*ast.File, error) {
 
 // Analyzers returns the full scarelint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete, NoPanic, Exhaustive}
+	return []*Analyzer{StatusCheck, HookCatalog, VirtualClock, TraceComplete, NoPanic, Exhaustive, LockField}
 }
 
 // Run executes the analyzers over the packages and returns all diagnostics

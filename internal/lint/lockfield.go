@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockFieldScope lists the package trees whose shared mutable state must
+// follow the repo's lock-layout convention: in a struct with a mutex
+// field named mu, every field declared after mu is guarded by it. The
+// concurrent layers — the deployment sessions, the verdict service, the
+// WAL store, the campaign engine — all encode their locking discipline
+// this way, so a guarded field touched from outside the discipline is a
+// data race waiting for the right interleaving.
+var LockFieldScope = []string{
+	"scarecrow/internal/core",
+	"scarecrow/internal/service",
+	"scarecrow/internal/store",
+	"scarecrow/internal/campaign",
+}
+
+// LockField flags reads and writes of mu-guarded struct fields from code
+// that is neither a method of the owning type nor a function that
+// visibly locks that instance's mu. The check is layout-driven: fields
+// declared after a `mu sync.Mutex` (or RWMutex) are guarded; fields
+// before it are the immutable/atomic section and stay free.
+//
+// Allowed accesses:
+//   - anywhere in a method whose receiver is the owning type — the
+//     type's own methods are where the locking discipline lives, and
+//     helpers like fooLocked() intentionally run under a caller's lock;
+//   - in a function (closures included) that calls <expr>.mu.Lock() or
+//     <expr>.mu.RLock() on the same base expression as the access;
+//   - in composite literals — construction precedes sharing.
+var LockField = &Analyzer{
+	Name: "lockfield",
+	Doc:  "flag access to mu-guarded struct fields outside the owning type's methods or a visible <expr>.mu.Lock()",
+	Run:  runLockField,
+}
+
+// syncMutexType reports whether t is sync.Mutex or sync.RWMutex (by
+// value — a *sync.Mutex field shares a lock and gets no layout meaning).
+func syncMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// guardedFields maps each named struct type in the package to the set of
+// field names declared after its mu mutex field.
+func guardedFields(pkg *types.Package) map[*types.TypeName]map[string]bool {
+	out := make(map[*types.TypeName]map[string]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		muAt := -1
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "mu" && syncMutexType(f.Type()) {
+				muAt = i
+				break
+			}
+		}
+		if muAt < 0 || muAt == st.NumFields()-1 {
+			continue
+		}
+		guarded := make(map[string]bool)
+		for i := muAt + 1; i < st.NumFields(); i++ {
+			guarded[st.Field(i).Name()] = true
+		}
+		out[tn] = guarded
+	}
+	return out
+}
+
+// ownerOf resolves the named struct type an expression's value belongs
+// to, dereferencing one pointer level.
+func ownerOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil // package selectors and other non-value expressions
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+func runLockField(pass *Pass) error {
+	if pass.Pkg == nil || !packagePathIn(pass.Pkg.Path(), LockFieldScope) {
+		return nil
+	}
+	guarded := guardedFields(pass.Pkg)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			pass.checkLockFunc(fn, guarded)
+		}
+	}
+	return nil
+}
+
+// receiverType returns the owning type of a method declaration, or nil
+// for plain functions.
+func (p *Pass) receiverType(fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := p.TypesInfo.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return ownerOf(tv.Type)
+}
+
+// lockedBases collects the rendered base expressions of every
+// <expr>.mu.Lock() / <expr>.mu.RLock() call in the function, closures
+// included — the set of instances this function visibly locks.
+func (p *Pass) lockedBases(fn *ast.FuncDecl) map[string]bool {
+	bases := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lockSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (lockSel.Sel.Name != "Lock" && lockSel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := lockSel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return true
+		}
+		bases[nodeString(p.Fset, muSel.X)] = true
+		return true
+	})
+	return bases
+}
+
+// checkLockFunc reports guarded-field accesses in one function that are
+// covered by neither the receiver rule nor a visible lock.
+func (p *Pass) checkLockFunc(fn *ast.FuncDecl, guarded map[*types.TypeName]map[string]bool) {
+	recv := p.receiverType(fn)
+	var locked map[string]bool // computed lazily: most functions touch nothing guarded
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		owner := ownerOf(p.TypesInfo.TypeOf(sel.X))
+		if owner == nil || owner == recv {
+			return true
+		}
+		fields, ok := guarded[owner]
+		if !ok || !fields[sel.Sel.Name] {
+			return true
+		}
+		if locked == nil {
+			locked = p.lockedBases(fn)
+		}
+		base := nodeString(p.Fset, sel.X)
+		if locked[base] {
+			return true
+		}
+		p.Reportf(sel.Pos(), "%s accesses %s.%s, guarded by %s.mu, outside %s's methods and without a visible %s.mu.Lock()",
+			funcName(fn), base, sel.Sel.Name, base, owner.Name(), base)
+		return true
+	})
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Name != nil {
+		return fn.Name.Name
+	}
+	return "function"
+}

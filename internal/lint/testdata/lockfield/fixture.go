@@ -1,0 +1,100 @@
+// Fixture: mu-guarded field discipline (loaded under a
+// scarecrow/internal/service/... import path, inside the lockfield
+// scope). Fields after `mu` are guarded; fields before it are free.
+package fixture
+
+import "sync"
+
+type counter struct {
+	// Immutable/atomic section: free to touch anywhere.
+	name string
+
+	mu    sync.Mutex
+	count int
+	notes []string
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+}
+
+// Owning-type methods are trusted even without a visible lock: helpers
+// like this intentionally run under a caller's lock.
+func (c *counter) bumpLocked() {
+	c.count++
+}
+
+// A plain function that locks the same base expression may touch the
+// guarded fields.
+func drain(c *counter) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.notes
+	c.notes = nil
+	return out
+}
+
+// The free section needs no lock.
+func title(c *counter) string {
+	return c.name
+}
+
+// Guarded access with no lock anywhere: flagged.
+func peek(c *counter) int {
+	return c.count // want `peek accesses c\.count, guarded by c\.mu`
+}
+
+// Locking one instance does not license touching another.
+func transfer(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.count += b.count // want `transfer accesses b\.count, guarded by b\.mu`
+	b.notes = nil      // want `transfer accesses b\.notes, guarded by b\.mu`
+}
+
+// Closures inherit the enclosing function's visible locks.
+func closureUnderLock(c *counter) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.count++
+	}
+}
+
+// Construction precedes sharing: composite literals are not accesses.
+func fresh() *counter {
+	return &counter{name: "fresh", count: 1, notes: []string{"new"}}
+}
+
+type rwBox struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+// RLock is as good as Lock for the visibility rule.
+func lookup(b *rwBox, k string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.data[k]
+}
+
+func race(b *rwBox, k string) int {
+	return b.data[k] // want `race accesses b\.data, guarded by b\.mu`
+}
+
+// A pointer mutex field imposes no layout discipline (the lock is
+// shared, not owned), and neither does a struct without one.
+type ptrMu struct {
+	mu   *sync.Mutex
+	data int
+}
+
+type plain struct {
+	data int
+}
+
+func free(p *ptrMu, q *plain) int {
+	return p.data + q.data
+}

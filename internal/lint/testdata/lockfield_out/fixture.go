@@ -1,0 +1,15 @@
+// Fixture: the same shape outside the lockfield scope — tooling and
+// simulation packages are not held to the layout convention, so nothing
+// here is a finding.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	count int
+}
+
+func peek(c *counter) int {
+	return c.count
+}

@@ -6,43 +6,116 @@ import (
 	"testing"
 )
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := newVerdictCache(2)
-	c.Put("a", []byte("va"))
-	c.Put("b", []byte("vb"))
-	// Touch a so b becomes the LRU victim.
-	if _, ok := c.Get("a"); !ok {
-		t.Fatalf("a missing before eviction")
+// sameShardKeys brute-forces n distinct keys that land on the same cache
+// shard, so LRU-order tests see one shard's list, not sixteen.
+func sameShardKeys(t *testing.T, c *verdictCache, n int) []string {
+	t.Helper()
+	target := c.shardFor("seed-key")
+	keys := []string{"seed-key"}
+	for i := 0; len(keys) < n && i < 100000; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.shardFor(k) == target {
+			keys = append(keys, k)
+		}
 	}
-	c.Put("c", []byte("vc"))
-	if _, ok := c.Get("b"); ok {
-		t.Errorf("b survived eviction; want it dropped as LRU")
+	if len(keys) < n {
+		t.Fatalf("could not find %d same-shard keys", n)
 	}
-	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("va")) {
-		t.Errorf("a lost or corrupted after eviction: %q %v", v, ok)
+	return keys
+}
+
+func cacheSize(c *verdictCache) int {
+	_, _, _, size := c.Stats()
+	return size
+}
+
+func TestCacheLRUEvictionWithinShard(t *testing.T) {
+	// Capacity 32 = 2 entries per shard.
+	c := newVerdictCache(32)
+	k := sameShardKeys(t, c, 3)
+	c.Put(k[0], []byte("va"))
+	c.Put(k[1], []byte("vb"))
+	// Touch k0 so k1 becomes the shard's LRU victim.
+	if _, ok := c.Get(k[0]); !ok {
+		t.Fatalf("k0 missing before eviction")
 	}
-	if v, ok := c.Get("c"); !ok || !bytes.Equal(v, []byte("vc")) {
-		t.Errorf("c lost or corrupted: %q %v", v, ok)
+	c.Put(k[2], []byte("vc"))
+	if _, ok := c.Get(k[1]); ok {
+		t.Errorf("k1 survived eviction; want it dropped as shard LRU")
 	}
-	if _, _, size := c.Stats(); size != 2 {
+	if v, ok := c.Get(k[0]); !ok || !bytes.Equal(v, []byte("va")) {
+		t.Errorf("k0 lost or corrupted after eviction: %q %v", v, ok)
+	}
+	if v, ok := c.Get(k[2]); !ok || !bytes.Equal(v, []byte("vc")) {
+		t.Errorf("k2 lost or corrupted: %q %v", v, ok)
+	}
+	hits, _, evictions, size := c.Stats()
+	if size != 2 {
 		t.Errorf("size = %d, want 2", size)
+	}
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if hits == 0 {
+		t.Errorf("hits = 0 after successful Gets")
+	}
+}
+
+// Keys on different shards never evict each other: the bound is per
+// shard, which is exactly what makes the shards lock-independent.
+func TestCacheShardsEvictIndependently(t *testing.T) {
+	c := newVerdictCache(16) // 1 entry per shard
+	same := sameShardKeys(t, c, 2)
+	var other string
+	for i := 0; ; i++ {
+		other = fmt.Sprintf("other-%d", i)
+		if c.shardFor(other) != c.shardFor(same[0]) {
+			break
+		}
+	}
+	c.Put(same[0], []byte("a"))
+	c.Put(other, []byte("b"))
+	if _, ok := c.Get(same[0]); !ok {
+		t.Fatalf("cross-shard Put evicted an unrelated shard's entry")
+	}
+	c.Put(same[1], []byte("c")) // same shard: evicts same[0]
+	if _, ok := c.Get(same[0]); ok {
+		t.Fatalf("same-shard Put did not evict at capacity")
+	}
+	if _, ok := c.Get(other); !ok {
+		t.Fatalf("other shard's entry lost")
+	}
+}
+
+func TestCachePerShardCounters(t *testing.T) {
+	c := newVerdictCache(32)
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("nope")
+	var hits, misses uint64
+	for _, s := range c.PerShard() {
+		hits += s.Hits
+		misses += s.Misses
+	}
+	if hits != 1 || misses != 1 {
+		t.Fatalf("per-shard counters sum to hits=%d misses=%d, want 1/1", hits, misses)
 	}
 }
 
 func TestCacheRefreshKeepsOneEntry(t *testing.T) {
-	c := newVerdictCache(4)
+	c := newVerdictCache(64)
 	c.Put("k", []byte("old"))
 	c.Put("k", []byte("new"))
 	if v, ok := c.Get("k"); !ok || string(v) != "new" {
 		t.Fatalf("refresh: got %q %v, want new", v, ok)
 	}
-	if _, _, size := c.Stats(); size != 1 {
+	if size := cacheSize(c); size != 1 {
 		t.Errorf("refresh duplicated the entry: size = %d", size)
 	}
 }
 
 func TestCacheHitRate(t *testing.T) {
-	c := newVerdictCache(4)
+	c := newVerdictCache(64)
 	if r := c.HitRate(); r != 0 {
 		t.Fatalf("empty cache hit rate = %v, want 0", r)
 	}
@@ -63,7 +136,7 @@ func TestCacheZeroCapacityNeverStores(t *testing.T) {
 }
 
 func TestCacheConcurrentAccess(t *testing.T) {
-	c := newVerdictCache(8)
+	c := newVerdictCache(128)
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		go func(g int) {

@@ -62,16 +62,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // submitError maps a Submit failure to its HTTP status. Queue-full carries
 // Retry-After so well-behaved clients back off instead of hammering.
-func (s *Server) submitError(w http.ResponseWriter, err error) {
+func (s *Server) submitError(w http.ResponseWriter, req SubmitRequest, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(req)))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	}
+}
+
+// retryAfterSeconds is the 429 backoff for one request: the configured
+// base plus a deterministic 0–3 s jitter derived from the job key. A
+// constant Retry-After makes synchronized clients (scarebench fans out
+// identical workers) retry in lockstep and collide with the same full
+// queue again; keying the jitter off the request spreads the herd while
+// staying reproducible — the same submission always hears the same
+// backoff, so tests and traces are stable.
+func (s *Server) retryAfterSeconds(req SubmitRequest) int {
+	base := int(s.cfg.RetryAfter.Seconds() + 0.5)
+	if base < 1 {
+		base = 1
+	}
+	return base + int(fnvHash(jitterKey(req))%4)
 }
 
 func decodeSubmit(w http.ResponseWriter, r *http.Request) (SubmitRequest, bool) {
@@ -100,7 +115,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(req)
 	if err != nil {
-		s.submitError(w, err)
+		s.submitError(w, req, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitResponse{
@@ -142,7 +157,7 @@ func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(req)
 	if err != nil {
-		s.submitError(w, err)
+		s.submitError(w, req, err)
 		return
 	}
 	select {
@@ -195,7 +210,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	addInt("lab_runs", int64(st.LabRuns))
 	addInt("cache_hits", int64(st.CacheHits))
 	addInt("cache_misses", int64(st.CacheMisses))
+	addInt("cache_evictions", int64(st.CacheEvictions))
 	addInt("cache_size", int64(st.CacheSize))
+	addInt("store_keys", int64(st.StoreKeys))
+	addInt("store_hits", int64(st.StoreHits))
+	addInt("store_errors", int64(st.StoreErrors))
 	addInt("queue_depth", int64(st.QueueDepth))
 	addInt("workers", int64(st.Workers))
 	addInt("verdict_errors", int64(st.Report.VerdictErrors))
@@ -203,6 +222,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	f := new(expvar.Float)
 	f.Set(st.CacheHitRate)
 	m.Set("cache_hit_rate", f)
+	// Per-shard cache counters: a skewed key distribution shows up here
+	// as one shard soaking the traffic the sharding was meant to spread.
+	for i, sh := range s.cache.PerShard() {
+		prefix := fmt.Sprintf("cache_shard_%02d_", i)
+		addInt(prefix+"hits", int64(sh.Hits))
+		addInt(prefix+"misses", int64(sh.Misses))
+		addInt(prefix+"evictions", int64(sh.Evictions))
+		addInt(prefix+"size", int64(sh.Size))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "%s\n", m.String())
 }

@@ -33,6 +33,7 @@ import (
 	"scarecrow/internal/analysis"
 	"scarecrow/internal/core"
 	"scarecrow/internal/malware"
+	"scarecrow/internal/store"
 	"scarecrow/internal/winsim"
 )
 
@@ -45,8 +46,18 @@ type Config struct {
 	QueueDepth int
 	// CacheSize is the verdict LRU capacity in entries (default 4096).
 	CacheSize int
-	// RetryAfter is the backoff the 429 response advertises (default 1s).
+	// RetryAfter is the base backoff the 429 response advertises (default
+	// 1s). Each response adds a deterministic per-job-key jitter on top,
+	// so a herd of synchronized clients retrying the same corpus spreads
+	// out instead of stampeding in lockstep.
 	RetryAfter time.Duration
+	// Store, when non-nil, is the durable verdict store: clean verdicts
+	// are appended to its WAL on completion, and submissions that miss
+	// the in-memory cache are answered from it without a lab run — a
+	// restarted daemon serves every verdict it ever committed. The
+	// caller owns the store's lifecycle (Open before NewServer, Close
+	// after Shutdown).
+	Store *store.Store
 	// Resolver turns a request into a runnable specimen + canonical cache
 	// key. Nil means the built-in catalog/recipe resolver; tests and
 	// embedders can extend the catalog.
@@ -125,6 +136,17 @@ func (j *Job) CacheHit() bool {
 // Done returns a channel closed when the verdict is available.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// publish completes the job: records the verdict bytes under the job
+// lock, then wakes waiters. Must be called exactly once per job.
+func (j *Job) publish(verdict []byte, cacheHit bool) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.verdict = verdict
+	j.cacheHit = cacheHit
+	j.mu.Unlock()
+	close(j.done)
+}
+
 // Sentinel submission failures, mapped to HTTP statuses by the handlers.
 var (
 	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
@@ -154,6 +176,7 @@ type Server struct {
 	// serving statistics (all under mu)
 	submitted, completed, coalesced, rejected uint64
 	labRuns, verdictErrors, recoveredPanics   uint64
+	storeHits, storeErrors                    uint64
 	virtual                                   time.Duration
 
 	workers sync.WaitGroup
@@ -207,12 +230,30 @@ func (s *Server) Submit(req SubmitRequest) (*Job, error) {
 	// verdict, not an approximation of it.
 	if verdict, ok := s.cache.Get(res.key); ok {
 		job := s.newJobLocked(res)
-		job.state = JobDone
-		job.verdict = verdict
-		job.cacheHit = true
-		close(job.done)
+		job.publish(verdict, true)
 		s.retireLocked(job.ID)
 		return job, nil
+	}
+
+	// Second-level replay: the durable store. A hit here means some past
+	// run — possibly in a previous process — committed this exact key;
+	// the WAL bytes are the verdict. Promote into the memory cache so
+	// the next replay skips the disk.
+	if s.cfg.Store != nil {
+		verdict, ok, err := s.cfg.Store.Get(res.key)
+		switch {
+		case err != nil:
+			// A read failure downgrades to a lab run, it never fails the
+			// submission: the store is an accelerator, not a dependency.
+			s.storeErrors++
+		case ok:
+			s.storeHits++
+			s.cache.Put(res.key, verdict)
+			job := s.newJobLocked(res)
+			job.publish(verdict, true)
+			s.retireLocked(job.ID)
+			return job, nil
+		}
 	}
 
 	// Coalesce: an identical submission already queued or running absorbs
@@ -391,16 +432,19 @@ func (s *Server) complete(job *Job, verdict []byte, res analysis.SampleResult) {
 		s.verdictErrors++
 	} else {
 		s.cache.Put(job.Key, verdict)
+		// Commit to the WAL before waking waiters: once any client has
+		// seen this verdict, a restarted daemon can serve it again.
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.Put(job.Key, verdict); err != nil {
+				s.storeErrors++
+			}
+		}
 	}
 	delete(s.inflight, job.Key)
 	s.retireLocked(job.ID)
 	s.mu.Unlock()
 
-	job.mu.Lock()
-	job.state = JobDone
-	job.verdict = verdict
-	job.mu.Unlock()
-	close(job.done)
+	job.publish(verdict, false)
 }
 
 // Shutdown drains gracefully: new submissions are refused immediately,
@@ -459,10 +503,16 @@ type Stats struct {
 	Rejected   uint64        `json:"rejected"`
 	LabRuns    uint64        `json:"lab_runs"`
 
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheSize    int     `json:"cache_size"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheSize      int     `json:"cache_size"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+
+	// Durable-store counters (zero when persistence is off).
+	StoreKeys   int    `json:"store_keys"`
+	StoreHits   uint64 `json:"store_hits"`
+	StoreErrors uint64 `json:"store_errors"`
 
 	Report      analysis.RunReport `json:"report"`
 	ThroughputS float64            `json:"throughput_exec_per_s"`
@@ -471,28 +521,36 @@ type Stats struct {
 // Snapshot collects the current serving statistics.
 func (s *Server) Snapshot() Stats {
 	report := s.Report()
+	var storeKeys int
+	if s.cfg.Store != nil {
+		storeKeys = s.cfg.Store.Len()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	hits, misses, size := s.cache.Stats()
+	hits, misses, evictions, size := s.cache.Stats()
 	var rate float64
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	return Stats{
-		Uptime:       time.Since(s.started),
-		Workers:      s.cfg.Workers,
-		QueueDepth:   len(s.queue),
-		QueueCap:     s.cfg.QueueDepth,
-		Submitted:    s.submitted,
-		Completed:    s.completed,
-		Coalesced:    s.coalesced,
-		Rejected:     s.rejected,
-		LabRuns:      s.labRuns,
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheSize:    size,
-		CacheHitRate: rate,
-		Report:       report,
-		ThroughputS:  report.Throughput(),
+		Uptime:         time.Since(s.started),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     len(s.queue),
+		QueueCap:       s.cfg.QueueDepth,
+		Submitted:      s.submitted,
+		Completed:      s.completed,
+		Coalesced:      s.coalesced,
+		Rejected:       s.rejected,
+		LabRuns:        s.labRuns,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheSize:      size,
+		CacheHitRate:   rate,
+		StoreKeys:      storeKeys,
+		StoreHits:      s.storeHits,
+		StoreErrors:    s.storeErrors,
+		Report:         report,
+		ThroughputS:    report.Throughput(),
 	}
 }

@@ -240,3 +240,25 @@ func fnvHash(s string) uint32 {
 	h.Write([]byte(s))
 	return h.Sum32()
 }
+
+// jitterKey canonicalizes a request into the job-key shape without
+// building the specimen — it feeds the deterministic Retry-After jitter,
+// which must be computable even for submissions the full resolver would
+// reject (the 429 path never resolves). For resolvable requests it
+// matches the cache key's fields, so the jitter is stable per job.
+func jitterKey(req SubmitRequest) string {
+	profile := string(DefaultProfile)
+	if req.Profile != "" {
+		profile = req.Profile
+	}
+	seed := int64(defaultSeed)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	spec := "cat:" + req.Specimen
+	if req.Recipe != nil {
+		spec = fmt.Sprintf("rcp:checks=%s;react=%s;payload=%s",
+			strings.Join(req.Recipe.Checks, "+"), req.Recipe.React, req.Recipe.Payload)
+	}
+	return fmt.Sprintf("%s|%s|%d", spec, profile, seed)
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The recovery invariant, exhaustively: truncate the WAL at every byte
+// offset inside the final record and reopen. The store must recover
+// exactly the fully-committed prefix — every earlier record byte-for-
+// byte, the torn record gone, and the file cut back to the last good
+// frame boundary.
+func TestRecoveryTruncatesTornTailAtEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	const nKeys = 8
+	want := make(map[string][]byte, nKeys)
+	s := openTest(t, master, Options{SegmentBytes: 1 << 20}) // one segment
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("cat:kasidet|baremetal-sandbox|%d", i)
+		val := []byte(fmt.Sprintf(`{"specimen":"kasidet","seed":%d,"category":"deactivated"}`, i))
+		mustPut(t, s, key, val)
+		want[key] = val
+	}
+	s.Close()
+
+	segPath := filepath.Join(master, segName(1))
+	whole, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the final record's frame boundaries by re-scanning.
+	offsets := []int64{int64(len(segmentMagic))}
+	off := int64(len(segmentMagic))
+	for off < int64(len(whole)) {
+		_, _, n, err := decodeRecord(whole[off:])
+		if err != nil {
+			t.Fatalf("master WAL does not scan: %v", err)
+		}
+		off += n
+		offsets = append(offsets, off)
+	}
+	lastStart := offsets[len(offsets)-2]
+	lastEnd := offsets[len(offsets)-1]
+	lastKey := fmt.Sprintf("cat:kasidet|baremetal-sandbox|%d", nKeys-1)
+
+	for cut := lastStart; cut <= lastEnd; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{NoBackground: true})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+
+		committed := cut == lastEnd
+		wantKeys := nKeys - 1
+		if committed {
+			wantKeys = nKeys
+		}
+		if r.Len() != wantKeys {
+			t.Fatalf("cut %d: recovered %d keys, want %d", cut, r.Len(), wantKeys)
+		}
+		for key, val := range want {
+			if key == lastKey && !committed {
+				if _, ok, _ := r.Get(key); ok {
+					t.Fatalf("cut %d: torn record %s resurrected", cut, key)
+				}
+				continue
+			}
+			got, ok, err := r.Get(key)
+			if err != nil || !ok {
+				t.Fatalf("cut %d: Get(%s) ok=%v err=%v", cut, key, ok, err)
+			}
+			if !bytes.Equal(got, val) {
+				t.Fatalf("cut %d: %s = %s, want %s", cut, key, got, val)
+			}
+		}
+
+		st := r.Stats()
+		wantTrunc := cut - lastStart
+		if committed {
+			wantTrunc = 0
+		}
+		if st.TruncatedBytes != wantTrunc {
+			t.Fatalf("cut %d: TruncatedBytes = %d, want %d", cut, st.TruncatedBytes, wantTrunc)
+		}
+
+		// The file itself must have been cut back to the boundary, and a
+		// fresh Put must then append cleanly and survive another reopen.
+		if fi, err := os.Stat(filepath.Join(dir, segName(1))); err != nil {
+			t.Fatal(err)
+		} else if wantSize := lastStart; !committed && fi.Size() != wantSize {
+			t.Fatalf("cut %d: file size %d after recovery, want %d", cut, fi.Size(), wantSize)
+		}
+		if err := r.Put("post-recovery", []byte("appended")); err != nil {
+			t.Fatalf("cut %d: Put after recovery: %v", cut, err)
+		}
+		r.Close()
+		rr, err := Open(dir, Options{NoBackground: true})
+		if err != nil {
+			t.Fatalf("cut %d: second reopen: %v", cut, err)
+		}
+		if got := mustGet(t, rr, "post-recovery"); string(got) != "appended" {
+			t.Fatalf("cut %d: post-recovery append lost: %q", cut, got)
+		}
+		rr.Close()
+	}
+}
+
+// A torn tail in a sealed (non-final) segment is not recoverable noise —
+// sealed segments were synced whole — so Open must refuse.
+func TestCorruptSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, fmt.Sprintf("key-%02d", i), []byte("verdict-bytes-with-some-heft"))
+	}
+	if s.Stats().Segments < 2 {
+		t.Fatal("need at least one sealed segment")
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*"+segSuffix))
+	first := segs[0]
+	// Remove its index so the scan path runs, then flip a payload byte.
+	os.Remove(indexPath(first))
+	buf, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(first, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoBackground: true}); err == nil {
+		t.Fatal("Open accepted a corrupt sealed segment")
+	}
+}
