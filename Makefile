@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race cover fuzz-smoke service-smoke hooks ci
+.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke hooks ci
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,20 @@ vet:
 # enforces the simulation's consistency invariants — no dropped
 # winapi.Status results, hook names in sync with winapi's apiCatalog and
 # the engine handler table, no wall-clock/global-RNG reads in simulation
-# packages, fully-populated trace events.
+# packages, fully-populated trace events, full apiCatalog reachability,
+# and deterministic map iteration on every ordered output path.
 lint:
 	$(GO) run ./cmd/scarelint ./...
+
+# lint-fix applies scarelint's suggested fixes (statusfix): explicit
+# `_ =` discards for dropped Status results and collect-sort-iterate
+# rewrites for order-leaking map ranges. Idempotent and gofmt-clean.
+lint-fix:
+	$(GO) run ./cmd/scarelint -fix ./...
+
+# lint-sarif writes the SARIF 2.1.0 log CI uploads as an artifact.
+lint-sarif:
+	$(GO) run ./cmd/scarelint -sarif ./... > scarelint.sarif
 
 race:
 	$(GO) test -race ./...

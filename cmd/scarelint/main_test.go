@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"scarecrow/internal/lint"
@@ -36,5 +40,107 @@ func TestRunOnOwnModule(t *testing.T) {
 	}
 	if code := run([]string{root + "/..."}); code != 0 {
 		t.Fatalf("scarelint ./... = exit %d, want 0 (tree must be lint-clean)", code)
+	}
+}
+
+func TestJSONAndSarifMutuallyExclusive(t *testing.T) {
+	if code := run([]string{"-json", "-sarif"}); code != 2 {
+		t.Fatalf("run(-json -sarif) = %d, want 2", code)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// wrote.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+// TestJSONCleanOnOwnModule is the acceptance invariant verbatim:
+// `scarelint -json ./...` exits 0 on this repository and emits a valid,
+// empty scarelint/2 report.
+func TestJSONCleanOnOwnModule(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-json", root + "/..."})
+	})
+	if code != 0 {
+		t.Fatalf("scarelint -json ./... = exit %d, want 0\n%s", code, out)
+	}
+	var report lint.JSONReport
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("output is not a JSON report: %v\n%s", err, out)
+	}
+	if report.Version != "scarelint/2" {
+		t.Errorf("report version = %q, want scarelint/2", report.Version)
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("clean tree reported %d findings: %+v", len(report.Findings), report.Findings)
+	}
+}
+
+// The shrink-only contract: removing entries passes, adding fails.
+func TestBaselineShrinkCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	entry := `{"analyzer": "maporder", "file": "a.go", "message": "m"}`
+	extra := `{"analyzer": "maporder", "file": "b.go", "message": "n"}`
+	old := write("old.json", `{"version": 1, "findings": [`+entry+`]}`)
+	same := write("same.json", `{"version": 1, "findings": [`+entry+`]}`)
+	empty := write("empty.json", `{"version": 1, "findings": []}`)
+	grown := write("grown.json", `{"version": 1, "findings": [`+entry+`, `+extra+`]}`)
+
+	if code := run([]string{"-baseline-shrink-check", old, "-baseline", same}); code != 0 {
+		t.Errorf("unchanged baseline = exit %d, want 0", code)
+	}
+	if code := run([]string{"-baseline-shrink-check", old, "-baseline", empty}); code != 0 {
+		t.Errorf("shrunk baseline = exit %d, want 0", code)
+	}
+	if code := run([]string{"-baseline-shrink-check", old, "-baseline", grown}); code != 1 {
+		t.Errorf("grown baseline = exit %d, want 1", code)
+	}
+}
+
+// TestWriteBaselineRegeneratesEmpty: on a clean tree, -write-baseline
+// produces the same empty ledger that is checked in.
+func TestWriteBaselineRegeneratesEmpty(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "baseline.json")
+	if code := run([]string{"-baseline", tmp, "-write-baseline", root + "/..."}); code != 0 {
+		t.Fatalf("-write-baseline = exit %d, want 0", code)
+	}
+	b, err := lint.LoadBaseline(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("regenerated baseline has %d findings, want 0: %+v", len(b.Findings), b.Findings)
 	}
 }

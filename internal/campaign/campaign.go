@@ -117,12 +117,12 @@ type Event struct {
 // Summary aggregates a campaign: the paper's corpus-sweep numbers in
 // wire form.
 type Summary struct {
-	ID        string         `json:"id"`
-	State     string         `json:"state"`
-	Total     int            `json:"total"`
-	Completed int            `json:"completed"`
-	Errors    int            `json:"errors"`
-	CacheHits int            `json:"cache_hits"`
+	ID         string         `json:"id"`
+	State      string         `json:"state"`
+	Total      int            `json:"total"`
+	Completed  int            `json:"completed"`
+	Errors     int            `json:"errors"`
+	CacheHits  int            `json:"cache_hits"`
 	Categories map[string]int `json:"categories,omitempty"`
 
 	WallS        float64 `json:"wall_s"`
@@ -256,7 +256,7 @@ func (c *Campaign) appendLocked(ev Event) {
 	if len(c.events) > eventRing {
 		c.events = c.events[len(c.events)-eventRing:]
 	}
-	for ch := range c.subs {
+	for ch := range c.subs { //maporder:ok — wakeup poke, every subscriber gets one, order is moot
 		select {
 		case ch <- struct{}{}:
 		default:

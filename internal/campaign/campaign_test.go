@@ -321,10 +321,10 @@ func TestDrainingServiceAbortsCampaign(t *testing.T) {
 func readSSE(t *testing.T, body *bufio.Scanner) []Event {
 	t.Helper()
 	var (
-		evs    []Event
-		id     string
-		typ    string
-		data   string
+		evs  []Event
+		id   string
+		typ  string
+		data string
 	)
 	flush := func() {
 		if data == "" {

@@ -1,0 +1,52 @@
+package lint
+
+import "testing"
+
+// The fixture miniature of winapi has two phantom catalog entries; the
+// whole-program verdict must report exactly those.
+func TestAPIReachFixture(t *testing.T) {
+	RunFixture(t, APIReach, "apireach", winapiPath)
+}
+
+// TestAPIReachOnRealModule pins the camouflage-surface invariant: every
+// apiCatalog entry in the real internal/winapi is reachable from a
+// Context method or hook-dispatch table somewhere in the module.
+func TestAPIReachOnRealModule(t *testing.T) {
+	loader := newTestLoader(t)
+	paths, err := loader.Expand([]string{"./..."}, loader.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run(pkgs, []*Analyzer{APIReach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("dead apiCatalog entry: %s", d)
+	}
+}
+
+// A partial run that does not request internal/winapi must not judge
+// catalog coverage at all — it sees too few reach facts.
+func TestAPIReachSilentOnPartialRun(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.Load("scarecrow/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{APIReach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("partial run produced a verdict: %s", d)
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineFile is the conventional baseline location at the module root.
+const BaselineFile = ".scarelint-baseline.json"
+
+// Baseline is the checked-in ledger of accepted legacy findings: new
+// findings fail CI, baselined ones are reported but do not gate, and the
+// file is only ever allowed to shrink (CI asserts that), so suppressions
+// burn down explicitly instead of accreting.
+//
+// Entries match on (analyzer, file, message) — line numbers drift under
+// unrelated edits and are deliberately not part of the identity.
+type Baseline struct {
+	// Version guards the schema; bump on incompatible change.
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to the module root
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Apply marks diagnostics accepted by the baseline (Baselined=true) and
+// returns the stale entries — baseline lines that matched nothing, which
+// the shrink-only CI check expects to be removed.
+func (b *Baseline) Apply(diags []Diagnostic, moduleRoot string) []BaselineEntry {
+	index := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		index[e.key()] = true
+	}
+	matched := make(map[string]bool, len(index))
+	for i := range diags {
+		e := entryFor(diags[i], moduleRoot)
+		if index[e.key()] {
+			diags[i].Baselined = true
+			matched[e.key()] = true
+		}
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Findings {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
+// WriteBaseline writes the non-info findings as a fresh baseline, sorted
+// and deduplicated, for the burn-down workflow.
+func WriteBaseline(path string, diags []Diagnostic, moduleRoot string) error {
+	b := &Baseline{Version: 1}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if d.Severity == SeverityInfo {
+			continue
+		}
+		e := entryFor(d, moduleRoot)
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func entryFor(d Diagnostic, moduleRoot string) BaselineEntry {
+	return BaselineEntry{
+		Analyzer: d.Analyzer,
+		File:     relPath(d.Pos.Filename, moduleRoot),
+		Message:  d.Message,
+	}
+}
+
+// relPath renders filename relative to root with forward slashes, falling
+// back to the absolute path when outside the root.
+func relPath(filename, root string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadBaselineMissingIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != 1 || len(b.Findings) != 0 {
+		t.Errorf("missing baseline = %+v, want empty version-1", b)
+	}
+}
+
+func TestLoadBaselineRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte(`{"version": 7, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("version 7 baseline loaded without error")
+	}
+}
+
+func TestBaselineApplyMarksAndReportsStale(t *testing.T) {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "maporder", File: "internal/winapi/catalog.go", Message: "live finding"},
+		{Analyzer: "apireach", File: "internal/winapi/hooks.go", Message: "gone finding"},
+	}}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/repo/internal/winapi/catalog.go", Line: 3}, Analyzer: "maporder", Severity: SeverityError, Message: "live finding"},
+		{Pos: token.Position{Filename: "/repo/internal/core/core.go", Line: 9}, Analyzer: "maporder", Severity: SeverityError, Message: "new finding"},
+	}
+	stale := b.Apply(diags, "/repo")
+	if !diags[0].Baselined {
+		t.Error("matching diagnostic not marked baselined")
+	}
+	if diags[1].Baselined {
+		t.Error("non-matching diagnostic marked baselined")
+	}
+	if len(stale) != 1 || stale[0].Message != "gone finding" {
+		t.Errorf("stale = %+v, want the one unmatched entry", stale)
+	}
+}
+
+// Line numbers are deliberately not part of baseline identity — an entry
+// keeps matching after the finding drifts to another line.
+func TestBaselineMatchSurvivesLineDrift(t *testing.T) {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "maporder", File: "internal/winapi/catalog.go", Message: "live finding"},
+	}}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/repo/internal/winapi/catalog.go", Line: 999}, Analyzer: "maporder", Severity: SeverityError, Message: "live finding"},
+	}
+	if stale := b.Apply(diags, "/repo"); len(stale) != 0 || !diags[0].Baselined {
+		t.Errorf("baseline did not survive line drift: baselined=%v stale=%v", diags[0].Baselined, stale)
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/repo/b.go", Line: 2}, Analyzer: "maporder", Severity: SeverityError, Message: "m2"},
+		{Pos: token.Position{Filename: "/repo/a.go", Line: 1}, Analyzer: "maporder", Severity: SeverityError, Message: "m1"},
+		{Pos: token.Position{Filename: "/repo/a.go", Line: 1}, Analyzer: "maporder", Severity: SeverityError, Message: "m1"}, // duplicate
+		{Pos: token.Position{Filename: "/repo/c.go", Line: 3}, Analyzer: "statusfix", Severity: SeverityInfo, Message: "fix hint"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, diags, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Info-severity findings are excluded and duplicates collapse.
+	if len(b.Findings) != 2 {
+		t.Fatalf("round-tripped %d findings, want 2: %+v", len(b.Findings), b.Findings)
+	}
+	// Sorted by key: a.go before b.go.
+	if b.Findings[0].File != "a.go" || b.Findings[1].File != "b.go" {
+		t.Errorf("findings not sorted: %+v", b.Findings)
+	}
+	// A written baseline applied to the same diagnostics suppresses all
+	// gating findings and reports nothing stale.
+	stale := b.Apply(diags, "/repo")
+	if len(stale) != 0 {
+		t.Errorf("fresh baseline has stale entries: %+v", stale)
+	}
+	for _, d := range diags[:3] {
+		if !d.Baselined {
+			t.Errorf("finding not suppressed by its own baseline: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Machine-readable emitters for cmd/scarelint: a stable JSON report for
+// scripting and a SARIF 2.1.0 log for code-scanning UIs and the CI
+// artifact. Both render file paths relative to the module root so output
+// is reproducible across checkouts.
+
+// JSONReport is the -json output document.
+type JSONReport struct {
+	Version  string        `json:"version"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// JSONFinding is one diagnostic on the JSON wire.
+type JSONFinding struct {
+	Analyzer  string `json:"analyzer"`
+	Severity  string `json:"severity"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+	Fixable   bool   `json:"fixable,omitempty"`
+}
+
+// EmitJSON writes the diagnostics as an indented JSON report.
+func EmitJSON(w io.Writer, diags []Diagnostic, moduleRoot string) error {
+	report := JSONReport{Version: "scarelint/2", Findings: []JSONFinding{}}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, JSONFinding{
+			Analyzer:  d.Analyzer,
+			Severity:  d.Severity.String(),
+			File:      relPath(d.Pos.Filename, moduleRoot),
+			Line:      d.Pos.Line,
+			Column:    d.Pos.Column,
+			Message:   d.Message,
+			Baselined: d.Baselined,
+			Fixable:   d.Fix != nil,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// Minimal SARIF 2.1.0 object model — only the properties the spec marks
+// required plus the ones code-scanning consumers key on.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+
+	// Suppressions carries baseline acceptance; an empty (absent) list
+	// means the finding is live.
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps scarelint severities onto SARIF's level enum.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SeverityError:
+		return "error"
+	case SeverityWarn:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// EmitSARIF writes the diagnostics as a SARIF 2.1.0 log. The analyzers
+// argument populates the rule table (one rule per analyzer, findings
+// reference rules by id).
+func EmitSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, moduleRoot string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(d.Pos.Filename, moduleRoot)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		if d.Baselined {
+			r.Suppressions = []sarifSuppression{{Kind: "external"}}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "scarelint",
+				InformationURI: "https://example.invalid/scarecrow/scarelint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		return fmt.Errorf("lint: encoding SARIF: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// emitTestDiags is a fixed diagnostic set exercising every field the
+// emitters render: severities, a baselined finding, and a fixable one.
+func emitTestDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/winapi/catalog.go", Line: 104, Column: 2},
+			Analyzer: "maporder",
+			Severity: SeverityError,
+			Message:  "iteration order of apiCatalog flows into ordered output; collect and sort the keys first (or annotate //maporder:ok if order is irrelevant)",
+		},
+		{
+			Pos:       token.Position{Filename: "/repo/internal/winapi/hooks.go", Line: 40, Column: 9},
+			Analyzer:  "apireach",
+			Severity:  SeverityError,
+			Message:   `apiCatalog entry "NtQueryPhantom" is unreachable: no Context method, hook-dispatch table, or hook surface refers to it — a dead entry is a live camouflage gap`,
+			Baselined: true,
+		},
+		{
+			Pos:      token.Position{Filename: "/repo/internal/core/verdict.go", Line: 12, Column: 3},
+			Analyzer: "statusfix",
+			Severity: SeverityInfo,
+			Message:  "dropped winapi.Status can be rewritten to an explicit _ = discard (run scarelint -fix)",
+			Fix: &SuggestedFix{
+				Message: "discard the Status explicitly",
+				Edits:   []TextEdit{{Pos: 1, End: 1, NewText: "_ = "}},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	goldenPath := filepath.Join(fixtureDir(t, "emit"), name)
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden:\n-- got --\n%s\n-- want --\n%s", name, got, want)
+	}
+}
+
+func TestEmitJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, emitTestDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json.golden", buf.Bytes())
+}
+
+func TestEmitJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, nil, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var report JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Version != "scarelint/2" {
+		t.Errorf("version = %q, want scarelint/2", report.Version)
+	}
+	// findings must be [] on the wire, never null.
+	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
+		t.Errorf("empty report does not render findings as []:\n%s", buf.Bytes())
+	}
+}
+
+func TestEmitSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitSARIF(&buf, emitTestDiags(), []*Analyzer{APIReach, MapOrder, StatusFix}, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.sarif.golden", buf.Bytes())
+}
+
+// TestEmitSARIFSchemaSanity unmarshals the SARIF output generically and
+// asserts the structural properties the 2.1.0 schema requires of it.
+func TestEmitSARIFSchemaSanity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitSARIF(&buf, emitTestDiags(), Analyzers(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := doc["$schema"].(string); s == "" {
+		t.Error("$schema missing")
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs has %d entries, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	tool, _ := run["tool"].(map[string]any)
+	driver, _ := tool["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name != "scarelint" {
+		t.Errorf("driver name = %q, want scarelint", name)
+	}
+	ruleIDs := make(map[string]bool)
+	rules, _ := driver["rules"].([]any)
+	for _, r := range rules {
+		rule := r.(map[string]any)
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Error("rule without id")
+		}
+		ruleIDs[id] = true
+	}
+	levels := map[string]bool{"error": true, "warning": true, "note": true}
+	results, _ := run["results"].([]any)
+	if len(results) != len(emitTestDiags()) {
+		t.Fatalf("results has %d entries, want %d", len(results), len(emitTestDiags()))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		if id, _ := res["ruleId"].(string); !ruleIDs[id] {
+			t.Errorf("result %d references unknown rule %q", i, id)
+		}
+		if lvl, _ := res["level"].(string); !levels[lvl] {
+			t.Errorf("result %d has invalid level %q", i, lvl)
+		}
+		msg, _ := res["message"].(map[string]any)
+		if text, _ := msg["text"].(string); text == "" {
+			t.Errorf("result %d has no message text", i)
+		}
+		locs, _ := res["locations"].([]any)
+		if len(locs) == 0 {
+			t.Errorf("result %d has no locations", i)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// engine runs a set of analyzers over the module package graph: packages
+// are analyzed in dependency order (facts computed on a package's imports
+// before the package itself), in parallel across packages with no path
+// between them. Within one package the analyzers run sequentially in
+// Requires order. After every package, module-level RunModule hooks fire
+// once with all facts in view.
+type engine struct {
+	loader    *Loader
+	requested map[string]bool // import paths whose diagnostics are reported
+	selected  map[string]bool // analyzer names whose diagnostics are reported
+	analyzers []*Analyzer     // selection + transitive Requires, topo-sorted
+
+	mu    sync.Mutex
+	facts map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	pkg      string
+	typ      reflect.Type
+}
+
+func newEngine(loader *Loader, requested []*Package, selected []*Analyzer) *engine {
+	e := &engine{
+		loader:    loader,
+		requested: make(map[string]bool, len(requested)),
+		selected:  make(map[string]bool, len(selected)),
+		facts:     make(map[factKey]any),
+	}
+	for _, p := range requested {
+		e.requested[p.Path] = true
+	}
+	for _, a := range selected {
+		e.selected[a.Name] = true
+	}
+	e.analyzers = expandRequires(selected)
+	return e
+}
+
+// expandRequires returns the selection plus every transitively required
+// analyzer, topologically sorted so each analyzer follows its Requires.
+func expandRequires(selected []*Analyzer) []*Analyzer {
+	var order []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		switch state[a] {
+		case 1:
+			panic(fmt.Sprintf("lint: analyzer dependency cycle through %s", a.Name))
+		case 2:
+			return
+		}
+		state[a] = 1
+		for _, r := range a.Requires {
+			visit(r)
+		}
+		state[a] = 2
+		order = append(order, a)
+	}
+	for _, a := range selected {
+		visit(a)
+	}
+	return order
+}
+
+// run executes the whole schedule and returns the reportable diagnostics
+// (unsorted; Run sorts).
+func (e *engine) run() ([]Diagnostic, error) {
+	pkgs := e.closure()
+
+	// Dependency edges among the analyzed set: dep -> dependents.
+	index := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		index[p.Path] = p
+	}
+	dependents := make(map[string][]string, len(pkgs))
+	indegree := make(map[string]int, len(pkgs))
+	for _, p := range pkgs {
+		indegree[p.Path] = 0
+	}
+	for _, p := range pkgs {
+		if p.Types == nil {
+			continue
+		}
+		for _, imp := range p.Types.Imports() {
+			if _, ok := index[imp.Path()]; ok {
+				dependents[imp.Path()] = append(dependents[imp.Path()], p.Path)
+				indegree[p.Path]++
+			}
+		}
+	}
+
+	// Kahn scheduling with a bounded worker pool: a package is ready once
+	// all its analyzed imports are done; ready packages run concurrently.
+	type result struct {
+		path  string
+		diags []Diagnostic
+		err   error
+	}
+	ready := make(chan string, len(pkgs))
+	results := make(chan result, len(pkgs))
+	for path, deg := range indegree {
+		if deg == 0 {
+			ready <- path
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range ready {
+				diags, err := e.analyzePackage(index[path])
+				results <- result{path: path, diags: diags, err: err}
+			}
+		}()
+	}
+
+	var diags []Diagnostic
+	var firstErr error
+	for done := 0; done < len(pkgs); done++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		diags = append(diags, r.diags...)
+		for _, dep := range dependents[r.path] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				ready <- dep
+			}
+		}
+	}
+	close(ready)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Module-level hooks: once, after every package, facts complete.
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, a := range e.analyzers {
+		if a.RunModule == nil || !e.selected[a.Name] {
+			continue
+		}
+		var sink []Diagnostic
+		mp := &ModulePass{
+			Analyzer:  a,
+			Fset:      e.loader.Fset,
+			Packages:  sorted,
+			Requested: e.requested,
+			engine:    e,
+			sink:      &sink,
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s: module analysis: %w", a.Name, err)
+		}
+		diags = append(diags, sink...)
+	}
+	return diags, nil
+}
+
+// closure returns every module-local package the loader has type-checked:
+// the requested set plus the dependency closure pulled in while loading
+// it. Analyzing the closure (and reporting only the requested subset)
+// is what makes facts of dependencies available to dependents.
+func (e *engine) closure() []*Package {
+	paths := e.loader.LoadedPaths()
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := e.loader.Load(path) // cached
+		if err != nil {
+			continue
+		}
+		out = append(out, pkg)
+	}
+	return out
+}
+
+// analyzePackage runs the expanded analyzer list over one package,
+// sequentially in Requires order, and returns the diagnostics that are
+// reportable (requested package, selected analyzer).
+func (e *engine) analyzePackage(pkg *Package) ([]Diagnostic, error) {
+	var kept []Diagnostic
+	report := e.requested[pkg.Path]
+	for _, a := range e.analyzers {
+		var sink []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			loader:    pkg.loader,
+			engine:    e,
+			sink:      &sink,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+		}
+		if report && e.selected[a.Name] {
+			kept = append(kept, sink...)
+		}
+	}
+	return kept, nil
+}
+
+func (e *engine) exportFact(a *Analyzer, pkgPath string, fact any) {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("lint: %s exported a non-pointer fact %T for %s", a.Name, fact, pkgPath))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.facts[factKey{analyzer: a.Name, pkg: pkgPath, typ: t}] = fact
+}
+
+func (e *engine) importFact(a *Analyzer, pkgPath string, ptr any) bool {
+	t := reflect.TypeOf(ptr)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("lint: fact import for %s needs a pointer, got %T", a.Name, ptr))
+	}
+	e.mu.Lock()
+	fact, ok := e.facts[factKey{analyzer: a.Name, pkg: pkgPath, typ: t}]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(fact).Elem())
+	return true
+}

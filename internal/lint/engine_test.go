@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// expandRequires must schedule prerequisites before their dependents and
+// keep the closure duplicate-free.
+func TestExpandRequiresTopologicalOrder(t *testing.T) {
+	got := expandRequires([]*Analyzer{StatusFix})
+	var names []string
+	for _, a := range got {
+		names = append(names, a.Name)
+	}
+	pos := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := pos[n]; dup {
+			t.Fatalf("analyzer %s appears twice in %v", n, names)
+		}
+		pos[n] = i
+	}
+	for _, req := range []string{StatusCheck.Name, MapOrder.Name} {
+		i, ok := pos[req]
+		if !ok {
+			t.Fatalf("required analyzer %s missing from %v", req, names)
+		}
+		if i >= pos[StatusFix.Name] {
+			t.Errorf("%s scheduled at %d, after its dependent statusfix at %d", req, i, pos[StatusFix.Name])
+		}
+	}
+}
+
+// Two runs over the same packages must produce identical diagnostics —
+// the parallel scheduler may not leak nondeterminism into the output.
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() []Diagnostic {
+		loader := newTestLoader(t)
+		loader.AddPackageDir("scarecrow/internal/service/lintfixture", fixtureDir(t, "maporder"))
+		pkg, err := loader.Load("scarecrow/internal/service/lintfixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run([]*Package{pkg}, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("expected findings from the maporder fixture")
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs:\n%v\nvs\n%v", i+2, again, first)
+		}
+	}
+}
+
+// Diagnostics must only be reported for requested packages, even though
+// dependency packages are analyzed for facts.
+func TestRunReportsOnlyRequestedPackages(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.Load("scarecrow/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the clean requested package: %s", d)
+	}
+	// The dependency closure was still analyzed: winapi is cached.
+	found := false
+	for _, p := range loader.LoadedPaths() {
+		if p == winapiPath {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dependency package was not loaded into the closure")
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// resolvedEdit is one TextEdit resolved to byte offsets in a file.
+type resolvedEdit struct {
+	file  string
+	start int
+	end   int
+	text  string
+}
+
+func (e resolvedEdit) key() string {
+	return fmt.Sprintf("%s:%d:%d:%s", e.file, e.start, e.end, e.text)
+}
+
+// ApplyFixes applies every suggested fix carried by the diagnostics to
+// the files on disk and returns the sorted list of rewritten files. Each
+// rewritten file is passed through go/format, so applied fixes are always
+// gofmt-clean. Fixes are applied atomically per diagnostic: a fix whose
+// edits would overlap an already-accepted edit is skipped whole (its
+// count is returned so callers can surface it). Identical edits from
+// separate fixes — e.g. two fixes in one file both adding the sort
+// import — deduplicate.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (changed []string, skipped int, err error) {
+	accepted := make(map[string][]resolvedEdit) // file -> non-overlapping edits
+	seen := make(map[string]bool)               // exact-duplicate suppression
+
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		var resolved []resolvedEdit
+		conflict := false
+		for _, edit := range d.Fix.Edits {
+			start := fset.Position(edit.Pos)
+			end := fset.Position(edit.End)
+			if !start.IsValid() || !end.IsValid() || start.Filename != end.Filename || end.Offset < start.Offset {
+				conflict = true
+				break
+			}
+			re := resolvedEdit{file: start.Filename, start: start.Offset, end: end.Offset, text: edit.NewText}
+			if seen[re.key()] {
+				continue // same edit already accepted from another fix
+			}
+			for _, have := range accepted[re.file] {
+				if overlaps(re, have) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+			resolved = append(resolved, re)
+		}
+		if conflict {
+			skipped++
+			continue
+		}
+		for _, re := range resolved {
+			accepted[re.file] = append(accepted[re.file], re)
+			seen[re.key()] = true
+		}
+	}
+
+	for file, edits := range accepted {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		out := src
+		for _, e := range edits {
+			if e.end > len(out) {
+				return nil, skipped, fmt.Errorf("lint: fix edit outside %s (offset %d > %d bytes)", file, e.end, len(out))
+			}
+			out = append(out[:e.start], append([]byte(e.text), out[e.end:]...)...)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("lint: fixed %s does not parse: %w", file, err)
+		}
+		if err := os.WriteFile(file, formatted, 0o644); err != nil {
+			return nil, skipped, fmt.Errorf("lint: writing fixed %s: %w", file, err)
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, skipped, nil
+}
+
+// overlaps reports whether two edits touch the same bytes. Two pure
+// insertions at the same offset conflict (their order would be
+// ambiguous); an insertion at the boundary of a replacement does not.
+func overlaps(a, b resolvedEdit) bool {
+	if a.start == a.end && b.start == b.end {
+		return a.start == b.start
+	}
+	return a.start < b.end && b.start < a.end
+}

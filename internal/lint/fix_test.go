@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// applyFixesTo copies the statusfix_apply fixture into dir, runs StatusFix
+// over it under a determinism-scoped import path, applies the suggested
+// fixes, and returns the files changed.
+func applyFixesTo(t *testing.T, dir string) []string {
+	t.Helper()
+	loader := newTestLoader(t)
+	loader.AddPackageDir("scarecrow/internal/service/applyfixture", dir)
+	pkg, err := loader.Load("scarecrow/internal/service/applyfixture")
+	if err != nil {
+		t.Fatalf("loading apply fixture: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{StatusFix})
+	if err != nil {
+		t.Fatalf("running statusfix: %v", err)
+	}
+	changed, skipped, err := ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d fixes skipped for conflicts, want 0", skipped)
+	}
+	return changed
+}
+
+// TestApplyFixesGolden rewrites the apply fixture and compares the result
+// byte for byte against fixture.go.golden. The output must also already
+// be gofmt-clean. Regenerate the golden with GOLDEN_UPDATE=1.
+func TestApplyFixesGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(fixtureDir(t, "statusfix_apply"), "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	changed := applyFixesTo(t, dir)
+	if len(changed) != 1 || changed[0] != target {
+		t.Fatalf("changed files = %v, want [%s]", changed, target)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	formatted, err := format.Source(got)
+	if err != nil {
+		t.Fatalf("fixed output does not parse: %v\n%s", err, got)
+	}
+	if string(formatted) != string(got) {
+		t.Errorf("fixed output is not gofmt-clean:\n-- got --\n%s\n-- gofmt --\n%s", got, formatted)
+	}
+
+	goldenPath := filepath.Join(fixtureDir(t, "statusfix_apply"), "fixture.go.golden")
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	if string(got) != string(golden) {
+		t.Errorf("fixed output differs from golden:\n-- got --\n%s\n-- want --\n%s", got, golden)
+	}
+}
+
+// TestApplyFixesIdempotent proves that running -fix a second time over
+// already-fixed code finds nothing left to do and leaves the file alone.
+func TestApplyFixesIdempotent(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(fixtureDir(t, "statusfix_apply"), "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	applyFixesTo(t, dir)
+	once, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second pass: a fresh loader sees the fixed source.
+	loader := newTestLoader(t)
+	loader.AddPackageDir("scarecrow/internal/service/applyfixture", dir)
+	pkg, err := loader.Load("scarecrow/internal/service/applyfixture")
+	if err != nil {
+		t.Fatalf("reloading fixed fixture: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{StatusFix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic survives the fix: %s", d)
+	}
+	changed, skipped, err := ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 || skipped != 0 {
+		t.Errorf("second pass changed %v (skipped %d), want nothing", changed, skipped)
+	}
+	twice, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(twice) {
+		t.Errorf("file changed on second pass:\n-- first --\n%s\n-- second --\n%s", once, twice)
+	}
+}

@@ -1,0 +1,33 @@
+package lint
+
+import "testing"
+
+// In the determinism scope, unsorted emission is a finding; aggregation,
+// collect-then-sort, and annotated loops are clean.
+func TestMapOrderInScope(t *testing.T) {
+	RunFixture(t, MapOrder, "maporder", "scarecrow/internal/service/lintfixture")
+}
+
+// Out of scope, the analyzer stays silent.
+func TestMapOrderOutOfScope(t *testing.T) {
+	RunFixture(t, MapOrder, "maporder_out", "scarecrow/internal/lint/testdata/maporder_out")
+}
+
+// The real determinism-scoped packages must already satisfy their own
+// invariant — this is the contract the WAL/cache replay proofs lean on.
+func TestMapOrderCleanOnScope(t *testing.T) {
+	loader := newTestLoader(t)
+	for _, path := range MapOrderScope {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := Run([]*Package{pkg}, []*Analyzer{MapOrder})
+		if err != nil {
+			t.Fatalf("running maporder on %s: %v", path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// StatusFix is the suggested-fix engine behind `scarelint -fix`. It
+// consumes the facts statuscheck and maporder export for the package
+// under analysis (the Requires edge is what orders them first) and turns
+// each mechanically fixable site into an info-severity diagnostic
+// carrying a SuggestedFix:
+//
+//   - a silently dropped winapi.Status becomes an explicit discard
+//     (`c.Close()` → `_ = c.Close()`, one blank per result);
+//   - an order-leaking map range becomes the collect-sort-iterate form
+//     (`for k := range m {` → collect keys, sort.Strings, range the
+//     sorted slice), adding the sort import when missing.
+//
+// Fixes are applied by ApplyFixes; every rewrite is gofmt-clean and
+// idempotent — the rewritten code no longer matches either analyzer, so
+// a second -fix run is a no-op.
+var StatusFix = &Analyzer{
+	Name:     "statusfix",
+	Doc:      "suggest mechanical rewrites for dropped Status results and unsorted map ranges (applied by -fix)",
+	Severity: SeverityInfo,
+	Requires: []*Analyzer{StatusCheck, MapOrder},
+	Run:      runStatusFix,
+}
+
+func runStatusFix(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	path := pass.Pkg.Path()
+
+	var dropped droppedStatusFact
+	if pass.ImportAnalyzerFact(StatusCheck, path, &dropped) {
+		for _, site := range dropped.sites {
+			discard := strings.Repeat("_, ", site.results-1) + "_ = "
+			fix := &SuggestedFix{
+				Message: "assign the result explicitly",
+				Edits: []TextEdit{{
+					Pos:     site.call.Pos(),
+					End:     site.call.Pos(),
+					NewText: discard,
+				}},
+			}
+			pass.ReportFix(site.call.Pos(), fix, "dropped winapi.Status can be rewritten to an explicit %sdiscard (run scarelint -fix)", discard)
+		}
+	}
+
+	var unsorted unsortedRangeFact
+	if pass.ImportAnalyzerFact(MapOrder, path, &unsorted) {
+		names := newNameAllocator(unsorted.sites)
+		for _, site := range unsorted.sites {
+			if !site.fixable {
+				continue
+			}
+			fix := buildSortedRangeFix(pass, site, names)
+			if fix == nil {
+				continue
+			}
+			pass.ReportFix(site.rng.For, fix, "unsorted map range can be rewritten to the collect-sort-iterate form (run scarelint -fix)")
+		}
+	}
+	return nil
+}
+
+// nameAllocator hands out slice names that collide neither with any
+// identifier already in the fixed files nor with each other.
+type nameAllocator struct {
+	taken map[string]bool
+}
+
+func newNameAllocator(sites []unsortedRangeSite) *nameAllocator {
+	a := &nameAllocator{taken: make(map[string]bool)}
+	seen := make(map[*ast.File]bool)
+	for _, site := range sites {
+		if seen[site.file] {
+			continue
+		}
+		seen[site.file] = true
+		ast.Inspect(site.file, func(n ast.Node) bool {
+			if ident, ok := n.(*ast.Ident); ok {
+				a.taken[ident.Name] = true
+			}
+			return true
+		})
+	}
+	return a
+}
+
+func (a *nameAllocator) next() string {
+	for i := 0; ; i++ {
+		name := "keys"
+		if i > 0 {
+			name = fmt.Sprintf("keys%d", i+1)
+		}
+		if !a.taken[name] {
+			a.taken[name] = true
+			return name
+		}
+	}
+}
+
+// buildSortedRangeFix rewrites
+//
+//	for k, v := range m { body }
+//
+// into
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys {
+//		v := m[k]
+//		body
+//	}
+func buildSortedRangeFix(pass *Pass, site unsortedRangeSite, names *nameAllocator) *SuggestedFix {
+	rng := site.rng
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	mapExpr := nodeString(pass.Fset, rng.X)
+	slice := names.next()
+
+	var header strings.Builder
+	fmt.Fprintf(&header, "%s := make([]string, 0, len(%s))\n", slice, mapExpr)
+	fmt.Fprintf(&header, "for %s := range %s {\n", key.Name, mapExpr)
+	fmt.Fprintf(&header, "%s = append(%s, %s)\n", slice, slice, key.Name)
+	fmt.Fprintf(&header, "}\n")
+	fmt.Fprintf(&header, "sort.Strings(%s)\n", slice)
+	fmt.Fprintf(&header, "for _, %s := range %s ", key.Name, slice)
+
+	edits := []TextEdit{{
+		Pos:     rng.For,
+		End:     rng.Body.Lbrace,
+		NewText: header.String(),
+	}}
+	if v, ok := rng.Value.(*ast.Ident); ok && v.Name != "_" {
+		edits = append(edits, TextEdit{
+			Pos:     rng.Body.Lbrace + 1,
+			End:     rng.Body.Lbrace + 1,
+			NewText: fmt.Sprintf("\n%s := %s[%s]", v.Name, mapExpr, key.Name),
+		})
+	}
+	if imp := sortImportEdit(site.file); imp != nil {
+		edits = append(edits, *imp)
+	}
+	return &SuggestedFix{Message: "sort the keys before iterating", Edits: edits}
+}
+
+// sortImportEdit returns the edit that adds `"sort"` to the file's
+// imports, or nil when it is already imported. Identical import edits
+// from several fixes in one file deduplicate in ApplyFixes.
+func sortImportEdit(f *ast.File) *TextEdit {
+	var lastImport *ast.GenDecl
+	for _, decl := range f.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.IMPORT {
+			continue
+		}
+		lastImport = gen
+		for _, spec := range gen.Specs {
+			imp, ok := spec.(*ast.ImportSpec)
+			if !ok {
+				continue
+			}
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "sort" {
+				return nil
+			}
+		}
+	}
+	if lastImport == nil {
+		// No imports at all: open a block after the package clause.
+		pos := f.Name.End()
+		return &TextEdit{Pos: pos, End: pos, NewText: "\n\nimport \"sort\"\n"}
+	}
+	if lastImport.Rparen.IsValid() {
+		// Grouped import: slot the path in before the closing paren;
+		// gofmt re-sorts the block.
+		return &TextEdit{Pos: lastImport.Rparen, End: lastImport.Rparen, NewText: "\"sort\"\n"}
+	}
+	// Single ungrouped import.
+	pos := lastImport.End()
+	return &TextEdit{Pos: pos, End: pos, NewText: "\nimport \"sort\"\n"}
+}

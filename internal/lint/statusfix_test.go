@@ -1,0 +1,36 @@
+package lint
+
+import "testing"
+
+// statusfix consumes the facts statuscheck and maporder export (its
+// Requires edges) and suggests rewrites only for the mechanically
+// fixable shapes — a go/defer drop produces no suggestion.
+func TestStatusFixFixture(t *testing.T) {
+	RunFixture(t, StatusFix, "statusfix", "scarecrow/internal/service/fixfixture")
+}
+
+// Every statusfix diagnostic must actually carry a fix; the -fix mode
+// depends on it.
+func TestStatusFixDiagnosticsCarryFixes(t *testing.T) {
+	loader := newTestLoader(t)
+	loader.AddPackageDir("scarecrow/internal/service/fixfixture", fixtureDir(t, "statusfix"))
+	pkg, err := loader.Load("scarecrow/internal/service/fixfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{StatusFix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no statusfix diagnostics on the fixture")
+	}
+	for _, d := range diags {
+		if d.Severity != SeverityInfo {
+			t.Errorf("%s: severity %s, want info", d.Pos, d.Severity)
+		}
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			t.Errorf("%s: statusfix diagnostic without a fix", d.Pos)
+		}
+	}
+}

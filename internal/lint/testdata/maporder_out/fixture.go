@@ -1,0 +1,18 @@
+// Fixture: the same order-leaking emission as the in-scope fixture, but
+// loaded under a tooling import path — maporder must stay silent outside
+// the determinism scope.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render would be a finding inside MapOrderScope; here it is clean.
+func Render(counts map[string]int) string {
+	var sb strings.Builder
+	for k, v := range counts {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+// Fixture: mechanically fixable sites for the statusfix suggested-fix
+// engine — dropped Status results and order-leaking map ranges. Loaded
+// under a determinism-scoped import path so the maporder facts flow.
+package fixfixture
+
+import (
+	"fmt"
+	"strings"
+
+	"scarecrow/internal/winapi"
+)
+
+// Probe drops both a single-result and a two-result Status.
+func Probe(c *winapi.Context) {
+	c.CreateFile(`C:\probe\vbox.sys`) // want `dropped winapi\.Status can be rewritten to an explicit _ = discard`
+	c.ReadFile(`C:\config.ini`)       // want `dropped winapi\.Status can be rewritten to an explicit _, _ = discard`
+}
+
+// Render leaks iteration order into a builder.
+func Render(counts map[string]int) string {
+	var sb strings.Builder
+	for k, v := range counts { // want `unsorted map range can be rewritten to the collect-sort-iterate form`
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}
+
+// Names accumulates keys without sorting.
+func Names(m map[string]bool) []string {
+	var out []string
+	for k := range m { // want `unsorted map range can be rewritten to the collect-sort-iterate form`
+		out = append(out, k)
+	}
+	return out
+}
+
+// HandledProbe consumes its statuses; nothing to fix.
+func HandledProbe(c *winapi.Context) bool {
+	if st := c.CreateFile(`C:\probe\vbox.sys`); !st.OK() {
+		return false
+	}
+	_, st := c.ReadFile(`C:\config.ini`)
+	return st.OK()
+}
+
+// GoDrop is a real statuscheck finding but has no mechanical rewrite;
+// statusfix must not touch it.
+func GoDrop(c *winapi.Context) {
+	go c.Connect("10.0.0.1:443")
+}

@@ -1,0 +1,32 @@
+// Fixture: input for the -fix application test. No want comments — the
+// test compares the rewritten file against fixture.go.golden byte for
+// byte, then proves a second -fix pass is a no-op.
+package applyfixture
+
+import (
+	"fmt"
+	"strings"
+
+	"scarecrow/internal/winapi"
+)
+
+func Probe(c *winapi.Context) {
+	c.CreateFile(`C:\probe\vbox.sys`)
+	c.ReadFile(`C:\config.ini`)
+}
+
+func Render(counts map[string]int) string {
+	var sb strings.Builder
+	for k, v := range counts {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}
+
+func Names(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

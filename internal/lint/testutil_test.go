@@ -1,0 +1,16 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fixtureDir resolves testdata/<name> to an absolute path.
+func fixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("resolving fixture dir: %v", err)
+	}
+	return dir
+}

@@ -1,6 +1,9 @@
 package winapi
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // apiMeta describes one modeled API function: its virtual call cost and
 // whether user-level hooks can intercept it at all.
@@ -99,12 +102,14 @@ func APIKnown(name string) bool {
 	return ok
 }
 
-// APINames returns all modeled API names (unsorted).
+// APINames returns all modeled API names, sorted: the list feeds verdict
+// documents and check catalogs, which must replay byte-identical.
 func APINames() []string {
 	out := make([]string, 0, len(apiCatalog))
 	for n := range apiCatalog {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -2,6 +2,7 @@ package winapi
 
 import (
 	"fmt"
+	"sort"
 )
 
 // HookHandler is customized code interposed on an API function. It receives
@@ -94,13 +95,15 @@ func (s *System) InstallHook(pid int, api string, handler HookHandler) error {
 	return nil
 }
 
-// HookedAPIs returns the names of APIs currently hooked in the process.
+// HookedAPIs returns the names of APIs currently hooked in the process,
+// sorted so reports built from it replay deterministically.
 func (s *System) HookedAPIs(pid int) []string {
 	st := s.stateFor(pid)
 	out := make([]string, 0, len(st.hooks))
 	for name := range st.hooks {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

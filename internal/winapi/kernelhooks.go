@@ -2,6 +2,7 @@ package winapi
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -47,12 +48,13 @@ func (s *System) InstallKernelHook(api string, handler HookHandler) error {
 }
 
 // KernelHookedAPIs returns the system calls currently hooked at the
-// kernel layer.
+// kernel layer, sorted for deterministic reports.
 func (s *System) KernelHookedAPIs() []string {
 	out := make([]string, 0, len(s.kernelHooks))
 	for name := range s.kernelHooks {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
