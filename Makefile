@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke hooks ci
+.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke bench-hotpath generate generate-check hooks ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,27 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/winsim
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/store
 
+# generate regenerates the checked-in code: the per-struct snapshot clone
+# methods in internal/winsim/snapshot_gen.go (kept honest by the
+# snapshotSpec reflection test and the generate-check diff gate).
+generate:
+	$(GO) generate ./internal/winsim
+
+# generate-check fails if the checked-in generated code is stale — i.e.
+# someone edited a cloned struct without re-running make generate.
+generate-check: generate
+	@git diff --exit-code internal/winsim/snapshot_gen.go || \
+		{ echo "FAIL: internal/winsim/snapshot_gen.go is stale; run 'make generate' and commit the result"; exit 1; }
+
+# bench-hotpath measures the in-process cold verdict pipeline and the
+# per-stage allocation budgets, writing BENCH_hotpath.json. The gates are
+# regression tripwires: the cold rate must stay at least 5x the honest
+# pre-optimization baseline (~90 uncached verdicts/s — see
+# cmd/scarebench/hotpath.go for the derivation) and the clone/record/
+# marshal/commit stages must stay within their allocs/op budgets.
+bench-hotpath:
+	$(GO) run ./cmd/scarebench -hotpath -min-cold-speedup 5 -hotpath-out BENCH_hotpath.json
+
 # service-smoke drives a real scarecrowd over localhost end to end:
 # classic cache/coalescing bench, cold+warm campaign sweep over SSE, and
 # a SIGKILL + restart that must replay committed verdicts byte-identical
@@ -73,4 +94,4 @@ hooks:
 
 # ci mirrors .github/workflows/ci.yml: the tier-1 verify plus the static
 # checks. `make ci` green locally means CI is green.
-ci: build vet lint race cover fuzz-smoke service-smoke
+ci: build vet lint generate-check race cover fuzz-smoke bench-hotpath service-smoke

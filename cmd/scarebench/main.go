@@ -50,8 +50,25 @@ func main() {
 		campaignOut  = flag.String("campaign-out", "BENCH_campaign.json", "campaign artifact path (empty = skip)")
 		quota        = flag.Int("quota", 8, "campaign in-flight quota (campaign mode)")
 		minSpeedup   = flag.Float64("min-warm-speedup", 0, "fail unless the warm sweep is this many times faster than the cold one (0 = no gate)")
+
+		hotpathMode     = flag.Bool("hotpath", false, "benchmark the in-process cold path: clone+run+marshal+commit, no daemon needed")
+		hotpathOut      = flag.String("hotpath-out", "BENCH_hotpath.json", "hotpath artifact path (empty = skip)")
+		hotpathN        = flag.Int("hotpath-n", 512, "cold verdicts to run (hotpath mode)")
+		hotpathWorkers  = flag.Int("hotpath-workers", 0, "cold pipeline width (0 = GOMAXPROCS, the service default)")
+		hotpathBaseline = flag.Float64("hotpath-baseline", 90, "honest pre-optimization cold rate in verdicts/s (see hotpath.go for its derivation)")
+		minColdSpeedup  = flag.Float64("min-cold-speedup", 0, "fail unless cold verdicts/s beats -hotpath-baseline by this factor (0 = no gate)")
 	)
 	flag.Parse()
+
+	if *hotpathMode {
+		runHotpathMode(hotpathOptions{
+			N:          *hotpathN,
+			Workers:    *hotpathWorkers,
+			Baseline:   *hotpathBaseline,
+			MinSpeedup: *minColdSpeedup,
+		}, *hotpathOut)
+		return
+	}
 
 	if *campaignMode {
 		runCampaignMode(campaignOptions{

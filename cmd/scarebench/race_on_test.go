@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately defeats sync.Pool reuse — the pooled
+// stages' allocation budgets are unmeasurable in that mode.
+const raceEnabled = true

@@ -143,7 +143,11 @@ func (l *Lab) runRaw(s *malware.Specimen, seed int64, plan *winsim.FaultPlan) (E
 	}
 	root := sys.Launch(s.Image, s.ID, parent)
 	sys.Run(ObservationWindow)
-	return Execution{Summary: subtreeSummary(m, root.PID), VirtualTime: m.Clock.Now()}, nil
+	ex := Execution{Summary: subtreeSummary(m, root.PID), VirtualTime: m.Clock.Now()}
+	// The machine is discarded now; recycle its event buffer. Summaries
+	// hold copies, never the recorder's own slice.
+	m.Tracer.Release()
+	return ex, nil
 }
 
 // runProtected executes the specimen under the Scarecrow controller.
@@ -168,12 +172,14 @@ func (l *Lab) runProtected(s *malware.Specimen, seed int64, plan *winsim.FaultPl
 		return Execution{}, fmt.Errorf("analysis: launching %s: %w", s.ID, err)
 	}
 	sys.Run(ObservationWindow)
-	return Execution{
+	ex := Execution{
 		Summary:     subtreeSummary(m, root.PID),
 		Triggers:    ctrl.Session.Triggers(),
 		Alerts:      ctrl.Session.Alerts(),
 		VirtualTime: m.Clock.Now(),
-	}, nil
+	}
+	m.Tracer.Release()
+	return ex, nil
 }
 
 // agentProcess returns the machine's analysis agent when present (the

@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"scarecrow/internal/core"
@@ -85,15 +87,44 @@ func (d VerdictDoc) Virtual() time.Duration {
 	return time.Duration(d.VirtualNS)
 }
 
+// verdictEncoder pairs a reusable buffer with a JSON encoder writing into
+// it, so the per-verdict encoding scratch is pooled rather than
+// reallocated. The encoder keeps default HTML escaping, which is what
+// json.Marshal uses — the output stays byte-identical (modulo the trailing
+// newline Encode appends, trimmed below).
+type verdictEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var verdictEncoders = sync.Pool{New: func() any {
+	ve := &verdictEncoder{}
+	ve.enc = json.NewEncoder(&ve.buf)
+	return ve
+}}
+
+// AppendJSON appends the document's canonical verdict JSON to dst and
+// returns the extended slice. The bytes are identical to json.Marshal's;
+// the encoding scratch comes from a pool, so a caller reusing dst across
+// verdicts marshals with near-zero steady-state allocation.
+func (d VerdictDoc) AppendJSON(dst []byte) ([]byte, error) {
+	ve := verdictEncoders.Get().(*verdictEncoder)
+	ve.buf.Reset()
+	if err := ve.enc.Encode(d); err != nil {
+		verdictEncoders.Put(ve)
+		return nil, fmt.Errorf("analysis: marshalling verdict for %s: %w", d.Specimen, err)
+	}
+	out := ve.buf.Bytes()
+	dst = append(dst, out[:len(out)-1]...) // Encode appends a newline
+	verdictEncoders.Put(ve)
+	return dst, nil
+}
+
 // MarshalVerdict renders the result as canonical verdict JSON — the bytes
 // scarecrowd serves, caches, and load-tests against. Identical results
 // marshal to identical bytes.
 func (r SampleResult) MarshalVerdict() ([]byte, error) {
-	buf, err := json.Marshal(r.Doc())
-	if err != nil {
-		return nil, fmt.Errorf("analysis: marshalling verdict for %s: %w", r.Doc().Specimen, err)
-	}
-	return buf, nil
+	return r.Doc().AppendJSON(nil)
 }
 
 // UnmarshalVerdict parses canonical verdict JSON back into its document

@@ -1,0 +1,8 @@
+//go:build race
+
+package analysis
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately defeats sync.Pool reuse to expose races —
+// making pooled-path allocation budgets unmeasurable.
+const raceEnabled = true

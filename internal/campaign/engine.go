@@ -28,10 +28,11 @@ type Options struct {
 	// MaxQuota caps the width a manifest may request (default 16): even
 	// a greedy campaign leaves queue slots for interactive traffic.
 	MaxQuota int
-	// QueueRetry is the initial backoff after ErrQueueFull (default
-	// 50ms, doubling to 1s). The campaign runner is the one queue client
-	// that retries inside the process, so its backoff is jittered by
-	// job-spread rather than Retry-After.
+	// QueueRetry is the fallback backoff after ErrQueueFull (default
+	// 50ms, doubling to 1s). It only paces retries while the campaign
+	// has nothing of its own in flight — otherwise the runner waits for
+	// one of its own completions, which is the event that actually frees
+	// a queue slot.
 	QueueRetry time.Duration
 }
 
@@ -134,12 +135,17 @@ func (e *Engine) quota(m Manifest) int {
 // semaphore, tally each verdict as it lands, finish with the summary
 // event. Job order is deterministic; completion order is not.
 func (e *Engine) run(c *Campaign) {
-	sem := make(chan struct{}, e.quota(c.manifest))
+	quota := e.quota(c.manifest)
+	sem := make(chan struct{}, quota)
+	// freed is poked on every own-job completion: the event that actually
+	// frees a service queue slot, and what submit blocks on under
+	// backpressure instead of a wall-clock sleep.
+	freed := make(chan struct{}, quota)
 	var wg sync.WaitGroup
 	aborted := false
 	for _, js := range c.jobs {
 		sem <- struct{}{}
-		job, err := e.submit(js.request())
+		job, err := e.submit(js.request(), freed)
 		if err != nil {
 			<-sem
 			if errors.Is(err, service.ErrDraining) {
@@ -162,6 +168,10 @@ func (e *Engine) run(c *Campaign) {
 			<-job.Done()
 			category, cacheHit, jobErr := tally(job)
 			c.recordVerdict(js, category, cacheHit, jobErr)
+			select {
+			case freed <- struct{}{}:
+			default:
+			}
 		}(js, job)
 	}
 	wg.Wait()
@@ -182,18 +192,27 @@ func tally(job *service.Job) (category string, cacheHit bool, jobErr string) {
 }
 
 // submit pushes one request through the service, absorbing queue-full
-// backpressure with exponential backoff. Draining and client errors
-// surface to the caller.
-func (e *Engine) submit(req service.SubmitRequest) (*service.Job, error) {
+// backpressure. The retry wakes on the campaign's own next completion —
+// the queue slots ahead of us are (at least partly) our own jobs, so a
+// completion is the signal that space opened up — with an exponential
+// timer as the fallback for slots held by other clients. A stale freed
+// poke at worst costs one extra refused Submit before waiting again.
+// Draining and client errors surface to the caller.
+func (e *Engine) submit(req service.SubmitRequest, freed <-chan struct{}) (*service.Job, error) {
 	backoff := e.opts.QueueRetry
 	for {
 		job, err := e.sub.Submit(req)
 		if err == nil || !errors.Is(err, service.ErrQueueFull) {
 			return job, err
 		}
-		time.Sleep(backoff)
-		if backoff < time.Second {
-			backoff *= 2
+		t := time.NewTimer(backoff)
+		select {
+		case <-freed:
+			t.Stop()
+		case <-t.C:
+			if backoff < time.Second {
+				backoff *= 2
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"scarecrow/internal/winapi"
 	"scarecrow/internal/winsim"
@@ -42,6 +43,17 @@ type Engine struct {
 	// the Toolhelp snapshot hook plants.
 	decoyPIDByImage map[string]int
 	decoyImageByPID map[int]string
+
+	// table is the deployment's shared hook table — scarecrow.dll's patch
+	// set, built once per (engine, session) and attached to every injected
+	// process in O(1) instead of re-installing 35+ hook chains per PID.
+	table        *winapi.HookTable
+	tableSession *Session
+
+	// injectedAt records each process's injection time, read by the
+	// GetTickCount hook so the deceptive tick stream starts near "just
+	// booted" for that process.
+	injectedAt map[int]time.Duration
 }
 
 // NewEngine builds an engine over a resource database and configuration.
@@ -52,6 +64,7 @@ func NewEngine(db *DB, cfg Config) *Engine {
 		WearTear:        DefaultWearTearFakes(),
 		decoyPIDByImage: make(map[string]int),
 		decoyImageByPID: make(map[int]string),
+		injectedAt:      make(map[int]time.Duration),
 	}
 	for i, img := range db.DeceptiveProcesses() {
 		pid := 90000 + 4*i
@@ -63,13 +76,33 @@ func NewEngine(db *DB, cfg Config) *Engine {
 
 // InstallHooks plants scarecrow.dll into the process: marks the module
 // loaded, rewrites the prologues of the 29 hooked APIs, and wires every
-// handler to the deployment session for IPC trigger reporting. The
-// injection time is captured so the deceptive tick stream starts near
-// "just booted".
+// handler to the deployment session for IPC trigger reporting. The hook
+// table is built once per (engine, session) and shared by every injected
+// process; per process the injection is one table attach plus the
+// injection-time capture the deceptive tick stream starts from.
 func (e *Engine) InstallHooks(sys *winapi.System, proc *winsim.Process, session *Session) error {
+	if e.table == nil || e.tableSession != session {
+		t, err := e.buildHookTable(session)
+		if err != nil {
+			return err
+		}
+		e.table = t
+		e.tableSession = session
+	}
 	proc.LoadModule("scarecrow.dll")
-	injectedAt := sys.M.Clock.Now()
+	e.injectedAt[proc.PID] = sys.M.Clock.Now()
+	if err := sys.InstallHookTable(proc.PID, e.table); err != nil {
+		delete(e.injectedAt, proc.PID)
+		return fmt.Errorf("core: installing hook table: %w", err)
+	}
+	return nil
+}
 
+// buildHookTable assembles scarecrow.dll's patch set for one deployment
+// session: the 29 deceptive-resource handlers, the process-protection
+// hooks, and the configured wear-and-tear and exception-deception
+// extensions.
+func (e *Engine) buildHookTable(session *Session) (*winapi.HookTable, error) {
 	report := func(c *winapi.Context, api string, cat Category, vendor VendorProfile, resource string) {
 		session.Report(TriggerReport{
 			Time: c.M.Clock.Now(), PID: c.P.PID, API: api,
@@ -243,7 +276,7 @@ func (e *Engine) InstallHooks(sys *winapi.System, proc *winsim.Process, session 
 		},
 		"GetTickCount": func(c *winapi.Context, call *winapi.Call) any {
 			report(c, call.Name, CategoryHardware, VendorGeneric, "uptime")
-			elapsed := c.M.Clock.Now() - injectedAt
+			elapsed := c.M.Clock.Now() - e.injectedAt[c.P.PID]
 			return winapi.Result{Status: winapi.StatusSuccess,
 				Num: e.Config.deceptiveTick(e.DB.HW.TickBaseMillis, elapsed)}
 		},
@@ -280,19 +313,20 @@ func (e *Engine) InstallHooks(sys *winapi.System, proc *winsim.Process, session 
 		},
 	}
 
+	t := winapi.NewHookTable()
 	for _, api := range HookedAPIs {
 		h, ok := handlers[api]
 		if !ok {
-			return fmt.Errorf("core: no handler for hooked API %s", api)
+			return nil, fmt.Errorf("core: no handler for hooked API %s", api)
 		}
-		if err := sys.InstallHook(proc.PID, api, h); err != nil {
-			return fmt.Errorf("core: installing %s hook: %w", api, err)
+		if err := t.Hook(api, h); err != nil {
+			return nil, fmt.Errorf("core: installing %s hook: %w", api, err)
 		}
 	}
 
 	// Process protection (§II-B(b)): the planted analysis-tool processes
 	// resist termination by untrusted software.
-	if err := sys.InstallHook(proc.PID, "TerminateProcess", func(c *winapi.Context, call *winapi.Call) any {
+	if err := t.Hook("TerminateProcess", func(c *winapi.Context, call *winapi.Call) any {
 		pid, _ := call.Arg(0).(int)
 		if img, ok := e.decoyImageByPID[pid]; ok {
 			report(c, call.Name, CategoryProcess, VendorDebugger, img)
@@ -300,29 +334,29 @@ func (e *Engine) InstallHooks(sys *winapi.System, proc *winsim.Process, session 
 		}
 		return call.Original()
 	}); err != nil {
-		return fmt.Errorf("core: installing protection hook: %w", err)
+		return nil, fmt.Errorf("core: installing protection hook: %w", err)
 	}
-	if err := sys.InstallHook(proc.PID, "OpenProcess", func(c *winapi.Context, call *winapi.Call) any {
+	if err := t.Hook("OpenProcess", func(c *winapi.Context, call *winapi.Call) any {
 		pid, _ := call.Arg(0).(int)
 		if _, ok := e.decoyImageByPID[pid]; ok {
 			return winapi.Result{Status: winapi.StatusSuccess}
 		}
 		return call.Original()
 	}); err != nil {
-		return fmt.Errorf("core: installing protection hook: %w", err)
+		return nil, fmt.Errorf("core: installing protection hook: %w", err)
 	}
 
 	if e.Config.WearAndTear {
-		if err := e.installWearAndTear(sys, proc, session); err != nil {
-			return fmt.Errorf("core: installing wear-and-tear extension: %w", err)
+		if err := e.hookWearAndTear(t, session); err != nil {
+			return nil, fmt.Errorf("core: installing wear-and-tear extension: %w", err)
 		}
 	}
 	if e.Config.TimingDiscrepancy {
-		if err := e.installExceptionDeception(sys, proc, session); err != nil {
-			return fmt.Errorf("core: installing exception deception: %w", err)
+		if err := e.hookExceptionDeception(t, session); err != nil {
+			return nil, fmt.Errorf("core: installing exception deception: %w", err)
 		}
 	}
-	return nil
+	return t, nil
 }
 
 func (e *Engine) handleRegOpen(c *winapi.Context, call *winapi.Call,

@@ -4,10 +4,9 @@ import (
 	"time"
 
 	"scarecrow/internal/winapi"
-	"scarecrow/internal/winsim"
 )
 
-// installExceptionDeception adds the §II-B(g) timing discrepancy to
+// hookExceptionDeception adds the §II-B(g) timing discrepancy to
 // default exception processing: dynamic analysis systems (debuggers,
 // shadow-page monitors) inflate exception-dispatch latency, and malware
 // measures RaiseException round trips to detect them. When the
@@ -17,7 +16,7 @@ import (
 // Like the wear-and-tear hooks, this installs on top of the 29 resource
 // hooks and only when Config.TimingDiscrepancy is enabled (bare-metal
 // deployments; see Config).
-func (e *Engine) installExceptionDeception(sys *winapi.System, proc *winsim.Process, session *Session) error {
+func (e *Engine) hookExceptionDeception(t *winapi.HookTable, session *Session) error {
 	const deceptiveDispatchDelay = 2 * time.Millisecond
 	handler := func(c *winapi.Context, call *winapi.Call) any {
 		session.Report(TriggerReport{
@@ -27,5 +26,5 @@ func (e *Engine) installExceptionDeception(sys *winapi.System, proc *winsim.Proc
 		c.M.Clock.Advance(deceptiveDispatchDelay)
 		return call.Original()
 	}
-	return sys.InstallHook(proc.PID, "RaiseException", handler)
+	return t.Hook("RaiseException", handler)
 }

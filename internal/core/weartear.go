@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"scarecrow/internal/winapi"
-	"scarecrow/internal/winsim"
 )
 
 // WearTearFakes are the deceptive wear-and-tear answers of Table III,
@@ -68,11 +67,12 @@ func (e *Engine) wtKeyFakes() map[string]winapi.KeyInfo {
 	}
 }
 
-// installWearAndTear adds the Table III hooks: EvtNext,
-// DnsGetCacheDataTable, NtQuerySystemInformation, and count-steering
-// NtQueryKey answers for the usage-related registry keys. The base NtOpenKey
-// and NtQueryValueKey hooks from the 29 stay in place; these wrap them.
-func (e *Engine) installWearAndTear(sys *winapi.System, proc *winsim.Process, session *Session) error {
+// hookWearAndTear adds the Table III hooks to the deployment table:
+// EvtNext, DnsGetCacheDataTable, NtQuerySystemInformation, and
+// count-steering NtQueryKey answers for the usage-related registry keys.
+// The base NtOpenKey and NtQueryValueKey hooks from the 29 stay in place;
+// these wrap them.
+func (e *Engine) hookWearAndTear(t *winapi.HookTable, session *Session) error {
 	report := func(c *winapi.Context, api, artifact string) {
 		session.Report(TriggerReport{
 			Time: c.M.Clock.Now(), PID: c.P.PID, API: api,
@@ -123,7 +123,7 @@ func (e *Engine) installWearAndTear(sys *winapi.System, proc *winsim.Process, se
 		},
 	}
 	for api, h := range hooks {
-		if err := sys.InstallHook(proc.PID, api, h); err != nil {
+		if err := t.Hook(api, h); err != nil {
 			return fmt.Errorf("hooking %s: %w", api, err)
 		}
 	}

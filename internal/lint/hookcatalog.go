@@ -38,6 +38,7 @@ var HookCatalog = &Analyzer{
 // index of that argument.
 var apiNameArg = map[string]int{
 	"InstallHook":          1,
+	"Hook":                 0,
 	"InstallKernelHook":    0,
 	"invoke":               0,
 	"ReadFunctionPrologue": 0,
@@ -204,8 +205,8 @@ func (p *Pass) checkAPINameCall(call *ast.CallExpr, catalog map[string]bool) {
 	switch {
 	case !known:
 		p.Reportf(call.Args[argIdx].Pos(), "API %q passed to %s is not in winapi's apiCatalog", name, fn.Name())
-	case fn.Name() == "InstallHook" && !hookable:
-		p.Reportf(call.Args[argIdx].Pos(), "API %q passed to InstallHook is marked not hookable in winapi's apiCatalog", name)
+	case (fn.Name() == "InstallHook" || fn.Name() == "Hook") && !hookable:
+		p.Reportf(call.Args[argIdx].Pos(), "API %q passed to %s is marked not hookable in winapi's apiCatalog", name, fn.Name())
 	case fn.Name() == "InstallKernelHook" && !strings.HasPrefix(name, "Nt"):
 		p.Reportf(call.Args[argIdx].Pos(), "API %q passed to InstallKernelHook is not an Nt* system call; kernel hooks cover the syscall gate only", name)
 	}

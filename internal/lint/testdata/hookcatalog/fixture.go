@@ -35,6 +35,17 @@ func install(sys *winapi.System, pid int) error {
 	return sys.InstallKernelHook("GetTickCount", nil) // want `API "GetTickCount" passed to InstallKernelHook is not an Nt\* system call`
 }
 
+func buildTable() error {
+	t := winapi.NewHookTable()
+	if err := t.Hook("RegOpenKeyEx", nil); err != nil {
+		return err
+	}
+	if err := t.Hook("WMIQuery", nil); err != nil { // want `API "WMIQuery" passed to Hook is marked not hookable`
+		return err
+	}
+	return t.Hook("RegOpenKeyExy", nil) // want `API "RegOpenKeyExy" passed to Hook is not in winapi's apiCatalog`
+}
+
 func probe(c *winapi.Context) bool {
 	if c.PrologueIntact("DeleteFile") {
 		return true

@@ -181,6 +181,20 @@ type Server struct {
 
 	workers sync.WaitGroup
 	started time.Time
+
+	// commitc feeds the committer goroutine, which folds concurrent
+	// verdict commits into store.PutBatch group commits. Nil when the
+	// server has no store or has not started.
+	commitc   chan commitReq
+	committer sync.WaitGroup
+}
+
+// commitReq is one verdict awaiting group commit. done receives the
+// batch's write error (nil on success) exactly once.
+type commitReq struct {
+	key  string
+	val  []byte
+	done chan error
 }
 
 // NewServer builds a stopped server; Start launches the workers.
@@ -201,11 +215,57 @@ func NewServer(cfg Config) *Server {
 func (s *Server) Start() {
 	s.mu.Lock()
 	s.started = time.Now()
+	if s.cfg.Store != nil && s.commitc == nil {
+		s.commitc = make(chan commitReq, s.cfg.Workers)
+		s.committer.Add(1)
+		go s.commitLoop()
+	}
 	s.mu.Unlock()
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
+}
+
+// commitLoop is the group committer: it drains every commit request
+// already queued into one store.PutBatch call — one lock acquisition and
+// one write(2) for the whole batch — then answers each waiter. Under
+// concurrent load the batch grows to the worker count; an idle service
+// degenerates to batches of one, which is exactly the old Put path. No
+// timer is involved, so a lone commit is never delayed.
+func (s *Server) commitLoop() {
+	defer s.committer.Done()
+	var batch []store.Record
+	var waiters []chan error
+	for req := range s.commitc {
+		batch = append(batch[:0], store.Record{Key: req.key, Val: req.val})
+		waiters = append(waiters[:0], req.done)
+	drain:
+		for {
+			select {
+			case more, ok := <-s.commitc:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, store.Record{Key: more.key, Val: more.val})
+				waiters = append(waiters, more.done)
+			default:
+				break drain
+			}
+		}
+		err := s.cfg.Store.PutBatch(batch)
+		for _, done := range waiters {
+			done <- err
+		}
+	}
+}
+
+// commit blocks until the verdict is durably committed (possibly as part
+// of a larger batch) and returns the write error.
+func (s *Server) commit(key string, val []byte) error {
+	done := make(chan error, 1)
+	s.commitc <- commitReq{key: key, val: val, done: done}
+	return <-done
 }
 
 // Submit validates, resolves, and enqueues a request. The returned job may
@@ -423,6 +483,19 @@ func mustMarshal(res analysis.SampleResult) []byte {
 // cache (clean runs only — a failed run should be retryable, not pinned),
 // updates the aggregate report, and wakes waiters.
 func (s *Server) complete(job *Job, verdict []byte, res analysis.SampleResult) {
+	// Commit to the WAL before waking waiters: once any client has seen
+	// this verdict, a restarted daemon can serve it again. The blocking
+	// happens outside s.mu — concurrent workers pile onto the committer's
+	// next group commit instead of serializing behind the server lock.
+	var commitErr error
+	if res.Err == nil && s.cfg.Store != nil {
+		if s.commitc != nil {
+			commitErr = s.commit(job.Key, verdict)
+		} else {
+			commitErr = s.cfg.Store.Put(job.Key, verdict)
+		}
+	}
+
 	s.mu.Lock()
 	s.completed++
 	s.labRuns++
@@ -432,12 +505,8 @@ func (s *Server) complete(job *Job, verdict []byte, res analysis.SampleResult) {
 		s.verdictErrors++
 	} else {
 		s.cache.Put(job.Key, verdict)
-		// Commit to the WAL before waking waiters: once any client has
-		// seen this verdict, a restarted daemon can serve it again.
-		if s.cfg.Store != nil {
-			if err := s.cfg.Store.Put(job.Key, verdict); err != nil {
-				s.storeErrors++
-			}
+		if commitErr != nil {
+			s.storeErrors++
 		}
 	}
 	delete(s.inflight, job.Key)
@@ -465,6 +534,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		// Workers are the only commit producers, so the committer's
+		// channel can close only after they exit; it then flushes any
+		// queued batch before stopping.
+		if s.commitc != nil {
+			close(s.commitc)
+		}
+		s.committer.Wait()
 		close(done)
 	}()
 	select {

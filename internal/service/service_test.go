@@ -310,7 +310,9 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("replayed verdict differs:\n%s\nvs\n%s", verdict1, verdict2)
 	}
 
-	// Async: submit, then poll until done.
+	// Async: submit, wait on the job's completion channel, then read the
+	// result once. Blocking on Done instead of polling GET keeps the test
+	// wall-clock-free: it proceeds the instant the worker publishes.
 	body, _ = json.Marshal(SubmitRequest{Specimen: "locky", Seed: seedPtr(4)})
 	resp, err = http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -324,24 +326,26 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
 		t.Fatalf("submit: status %d, response %+v", resp.StatusCode, sub)
 	}
-	deadline := time.Now().Add(30 * time.Second)
+	job, ok := s.Lookup(sub.ID)
+	if !ok {
+		t.Fatalf("submitted job %s not in the registry", sub.ID)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s still %s at deadline", sub.ID, job.State())
+	}
 	var res resultResponse
-	for {
-		resp, err = http.Get(ts.URL + sub.Result)
-		if err != nil {
-			t.Fatalf("GET %s: %v", sub.Result, err)
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-			t.Fatalf("decoding result: %v", err)
-		}
-		resp.Body.Close()
-		if res.State == JobDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s still %s at deadline", sub.ID, res.State)
-		}
-		time.Sleep(20 * time.Millisecond)
+	resp, err = http.Get(ts.URL + sub.Result)
+	if err != nil {
+		t.Fatalf("GET %s: %v", sub.Result, err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	resp.Body.Close()
+	if res.State != JobDone {
+		t.Fatalf("job %s state = %s after Done, want done", sub.ID, res.State)
 	}
 	if len(res.Verdict) == 0 {
 		t.Fatalf("done job has empty verdict")

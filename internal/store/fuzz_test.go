@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"testing"
 )
@@ -22,6 +23,15 @@ func FuzzWALDecode(f *testing.F) {
 	flipped[len(flipped)-1] ^= 0x01
 	f.Add(flipped)
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// A header claiming key/value lengths far beyond any segment: the
+	// decoder must reject it by bounds check, never allocate for it.
+	var huge [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(huge[0:4], 1<<31)
+	binary.LittleEndian.PutUint32(huge[4:8], 1<<31)
+	f.Add(huge[:])
+	// Two records framed into one buffer by a group commit decode as
+	// ordinary consecutive frames.
+	f.Add(appendRecordTo(appendRecordTo(nil, "a", []byte("1")), "b", []byte("2")))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		key, val, n, err := decodeRecord(b)

@@ -160,7 +160,11 @@ func loadIndex(seg *segment) (entries []scanEntry, ok bool) {
 		}
 		recOff := int64(binary.LittleEndian.Uint64(val[0:8]))
 		recSize := int64(binary.LittleEndian.Uint32(val[8:12]))
-		if recOff < int64(len(segmentMagic)) || recOff+recSize > seg.size {
+		// Bounds are checked without recOff+recSize arithmetic: a corrupt
+		// offset near MaxInt64 would overflow the sum to a negative value
+		// that sails past a `> seg.size` comparison.
+		if recSize < recordLen(1, 0) || recSize > seg.size ||
+			recOff < int64(len(segmentMagic)) || recOff > seg.size-recSize {
 			return nil, false
 		}
 		entries = append(entries, scanEntry{key: key, off: recOff, size: recSize})

@@ -318,3 +318,116 @@ func TestAccessorsAndSync(t *testing.T) {
 		t.Fatalf("fsync store Get = %q", got)
 	}
 }
+
+// PutBatch is the group-commit path: every record in the batch must be
+// committed (and survive a reopen) after one call.
+func TestPutBatchCommitsAllRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	recs := make([]Record, 16)
+	for i := range recs {
+		recs[i] = Record{
+			Key: fmt.Sprintf("cat:batch-%02d|baremetal-sandbox|1", i),
+			Val: []byte(fmt.Sprintf(`{"specimen":"batch-%02d"}`, i)),
+		}
+	}
+	if err := s.PutBatch(recs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if err := s.PutBatch(nil); err != nil {
+		t.Fatalf("PutBatch(nil): %v", err)
+	}
+	for _, r := range recs {
+		if got := mustGet(t, s, r.Key); !bytes.Equal(got, r.Val) {
+			t.Fatalf("Get(%s) = %q, want %q", r.Key, got, r.Val)
+		}
+	}
+	if got := s.Stats().Puts; got != uint64(len(recs)) {
+		t.Fatalf("Puts = %d, want %d", got, len(recs))
+	}
+	s.Close()
+
+	r := openTest(t, dir, Options{})
+	for _, rec := range recs {
+		if got := mustGet(t, r, rec.Key); !bytes.Equal(got, rec.Val) {
+			t.Fatalf("after reopen, Get(%s) = %q, want %q", rec.Key, got, rec.Val)
+		}
+	}
+}
+
+// A batch rejected by validation must commit nothing: all-or-nothing at
+// the validation boundary.
+func TestPutBatchValidatesBeforeWriting(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	err := s.PutBatch([]Record{
+		{Key: "good", Val: []byte("v")},
+		{Key: "", Val: []byte("bad")},
+	})
+	if err == nil {
+		t.Fatal("PutBatch with empty key succeeded")
+	}
+	if s.Has("good") {
+		t.Fatal("invalid batch committed its valid prefix")
+	}
+}
+
+// A crash mid-batch tears the tail of the group-committed write; recovery
+// must keep exactly the fully framed prefix of the batch, the same
+// guarantee individual Puts give.
+func TestPutBatchTornTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	mustPut(t, s, "before", []byte("committed"))
+	if err := s.PutBatch([]Record{
+		{Key: "b0", Val: []byte("first")},
+		{Key: "b1", Val: []byte("second")},
+		{Key: "b2", Val: []byte("third")},
+	}); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	s.Close()
+
+	// Tear the last record's trailer off, as a crash mid-write(2) would.
+	segPath := filepath.Join(dir, segName(1))
+	st, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segPath, st.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, Options{})
+	for key, want := range map[string]string{"before": "committed", "b0": "first", "b1": "second"} {
+		if got := mustGet(t, r, key); string(got) != want {
+			t.Fatalf("Get(%s) = %q, want %q", key, got, want)
+		}
+	}
+	if r.Has("b2") {
+		t.Fatal("torn final record of the batch survived recovery")
+	}
+	if r.Stats().TruncatedBytes == 0 {
+		t.Fatal("recovery reported no truncated bytes for a torn tail")
+	}
+}
+
+// A batch that pushes the active segment past its size budget must still
+// rotate, exactly like the equivalent sequence of Puts.
+func TestPutBatchRotates(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{SegmentBytes: 64})
+	recs := make([]Record, 8)
+	for i := range recs {
+		recs[i] = Record{Key: fmt.Sprintf("rot-%d", i), Val: bytes.Repeat([]byte("x"), 32)}
+	}
+	if err := s.PutBatch(recs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if segs := s.Stats().Segments; segs < 2 {
+		t.Fatalf("Segments = %d after oversized batch, want rotation", segs)
+	}
+	for _, r := range recs {
+		if got := mustGet(t, s, r.Key); !bytes.Equal(got, r.Val) {
+			t.Fatalf("Get(%s) lost after rotation", r.Key)
+		}
+	}
+}

@@ -49,10 +49,12 @@ const (
 // and Open refuses to touch it.
 var segmentMagic = []byte("SCWAL001")
 
-// appendRecord frames key/val into buf (reused across calls) and returns
-// the encoded record.
-func appendRecord(buf []byte, key string, val []byte) []byte {
-	buf = buf[:0]
+// appendRecordTo appends one framed record to the end of buf and returns
+// the extended slice. The CRC covers only this record's own bytes, so
+// multiple records framed into one buffer — a group commit — decode
+// exactly as if they had been appended one write at a time.
+func appendRecordTo(buf []byte, key string, val []byte) []byte {
+	start := len(buf)
 	var hdr [recordHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
@@ -60,8 +62,14 @@ func appendRecord(buf []byte, key string, val []byte) []byte {
 	buf = append(buf, key...)
 	buf = append(buf, val...)
 	var crc [recordTrailerLen]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[start:]))
 	return append(buf, crc[:]...)
+}
+
+// appendRecord frames key/val into buf (reused across calls) and returns
+// the encoded record.
+func appendRecord(buf []byte, key string, val []byte) []byte {
+	return appendRecordTo(buf[:0], key, val)
 }
 
 // recordLen returns the full framed size of a record for the given

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// Record must be allocation-free once the event array has grown to the
+// run's working size — the recorder pool exists precisely so that a
+// machine execution recording thousands of events reuses the previous
+// run's backing array instead of re-growing it.
+func TestRecordAllocBudget(t *testing.T) {
+	r := NewRecorder()
+	defer r.Release()
+	ev := Event{Kind: KindFileRead, PID: 4242, Target: `C:\sample.exe`, Time: time.Millisecond}
+	// Pre-grow well past what the measurement loop appends so the only
+	// allocations AllocsPerRun can see are genuine regressions (a copy or
+	// boxing on the Record path), not amortized slice growth.
+	for i := 0; i < 8192; i++ {
+		r.Record(ev)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(ev)
+	})
+	if allocs > 0.1 {
+		t.Errorf("Recorder.Record allocates %.2f objects/op on the steady state, want 0", allocs)
+	}
+}
+
+// Release hands the backing array back through the pool: a release/acquire
+// cycle must not shrink capacity, and the recycled recorder starts empty.
+func TestReleaseRecyclesCapacity(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 4096; i++ {
+		r.Record(Event{Kind: KindProcessCreate, PID: i})
+	}
+	r.Release()
+	nr := NewRecorder()
+	defer nr.Release()
+	if nr.Len() != 0 {
+		t.Fatalf("recycled recorder holds %d stale events", nr.Len())
+	}
+}

@@ -13,9 +13,29 @@ type Recorder struct {
 	events []Event
 }
 
-// NewRecorder returns an empty trace recorder.
+// recorderPool recycles recorders — and, more importantly, their event
+// backing arrays — across runs. A one-minute observation window records
+// thousands of events; reusing the array makes the steady-state Record
+// path allocation-free.
+var recorderPool = sync.Pool{New: func() any { return new(Recorder) }}
+
+// NewRecorder returns an empty trace recorder drawn from the package pool.
+// Callers that finish with a recorder may hand it back with Release; those
+// that never do simply leave it to the garbage collector.
 func NewRecorder() *Recorder {
-	return &Recorder{}
+	return recorderPool.Get().(*Recorder)
+}
+
+// Release clears the recorder and returns it to the package pool. The
+// caller must not touch the recorder afterwards — slices previously
+// obtained from Events, Filter, or ByKind remain valid (they are copies),
+// but the recorder itself will be reused by a future NewRecorder call.
+func (r *Recorder) Release() {
+	r.mu.Lock()
+	clear(r.events) // drop string references so pooled capacity pins nothing
+	r.events = r.events[:0]
+	r.mu.Unlock()
+	recorderPool.Put(r)
 }
 
 // Record appends an event to the trace.
@@ -48,10 +68,9 @@ func (r *Recorder) Len() int {
 func (r *Recorder) Clone() *Recorder {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	nr := &Recorder{}
+	nr := NewRecorder()
 	if len(r.events) > 0 {
-		nr.events = make([]Event, len(r.events))
-		copy(nr.events, r.events)
+		nr.events = append(nr.events, r.events...)
 	}
 	return nr
 }

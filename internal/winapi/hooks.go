@@ -12,19 +12,92 @@ import (
 // real function) — the trampoline of classic inline hooking.
 type HookHandler func(c *Context, call *Call) any
 
+// HookTable is a prebuilt, shareable set of hook chains: the in-memory
+// image of an injected DLL's patch set. A deployment builds its table once
+// and attaches it to every target process with InstallHookTable — O(1) per
+// process instead of re-installing every hook chain per injection, which
+// is exactly how a real DLL's hook body is mapped once and patched into
+// each process. A table must not be mutated after its first install; the
+// processes sharing it would observe the change retroactively.
+type HookTable struct {
+	handlers map[string][]HookHandler
+}
+
+// NewHookTable returns an empty hook table.
+func NewHookTable() *HookTable {
+	return &HookTable{handlers: make(map[string][]HookHandler)}
+}
+
+// Hook appends handler to the table's chain for the named API, validating
+// the name against the catalog exactly like InstallHook. Later hooks wrap
+// earlier ones once the table is installed.
+func (t *HookTable) Hook(api string, handler HookHandler) error {
+	meta, ok := apiCatalog[api]
+	if !ok {
+		return fmt.Errorf("winapi: unknown API %q", api)
+	}
+	if !meta.hookable {
+		return fmt.Errorf("winapi: API %q is not hookable from user mode", api)
+	}
+	t.handlers[api] = append(t.handlers[api], handler)
+	return nil
+}
+
+// hook appends without catalog validation — for the sandbox monitor table
+// built from profile data in NewSystem, which must not fail construction.
+func (t *HookTable) hook(api string, handler HookHandler) {
+	t.handlers[api] = append(t.handlers[api], handler)
+}
+
 // Call describes one in-flight API invocation as seen by a hook handler.
+// Dispatch is by index into the process's combined hook chain (kernel
+// chain below, user chain above), so one Call value serves the whole
+// chain with no per-handler trampoline closures.
 type Call struct {
 	// Name is the API name from the catalog.
 	Name string
 	// Args are the call arguments in declaration order.
 	Args []any
-	next func() any
+
+	c       *Context
+	st      *procState // user-mode chain source; nil for pure kernel dispatch
+	kchain  []HookHandler
+	genuine func() any
+	idx     int // combined-chain index of the running handler
 }
 
 // Original invokes the rest of the hook chain and finally the genuine API,
 // returning its result bundle. Calling it more than once re-executes the
 // remainder of the chain.
-func (call *Call) Original() any { return call.next() }
+func (call *Call) Original() any { return call.run(call.idx - 1) }
+
+// run executes combined-chain position i: a handler for i >= 0, the
+// genuine implementation below the chain for i < 0.
+func (call *Call) run(i int) any {
+	if i < 0 {
+		if call.genuine == nil {
+			return nil
+		}
+		return call.genuine()
+	}
+	h := call.handler(i)
+	saved := call.idx
+	call.idx = i
+	out := h(call.c, call)
+	call.idx = saved
+	return out
+}
+
+// handler resolves combined-chain position i: kernel hooks occupy the low
+// indices (they sit at the syscall gate, beneath every user-mode hook),
+// user-mode hooks the high ones. Higher index = installed later = runs
+// earlier.
+func (call *Call) handler(i int) HookHandler {
+	if i < len(call.kchain) {
+		return call.kchain[i]
+	}
+	return call.st.handlerAt(call.Name, i-len(call.kchain))
+}
 
 // Arg returns argument i, or nil when absent.
 func (call *Call) Arg(i int) any {
@@ -56,28 +129,74 @@ func hookedPrologue(api string) []byte {
 	return []byte{0xE9, byte(h), byte(h >> 8), byte(h >> 16), byte(h >> 24)}
 }
 
-// procState is the per-process user-mode state the System tracks: hook
-// chains, patched prologues, injected DLLs, and arbitrary per-process data
-// hook packages stash (e.g. a deception session).
+// prologueCache precomputes the hooked prologue for every catalog entry:
+// the bytes are a pure function of the API name, so every process hooking
+// an API shows the same patch, and reads need no per-call synthesis.
+// Read-only after init.
+var prologueCache = func() map[string][]byte {
+	m := make(map[string][]byte, len(apiCatalog))
+	for name := range apiCatalog {
+		m[name] = hookedPrologue(name)
+	}
+	return m
+}()
+
+// procState is the per-process user-mode state the System tracks: attached
+// hook tables, per-process hook chains, and arbitrary per-process data
+// hook packages stash (e.g. a deception session). Maps are allocated
+// lazily; a process that is never hooked costs one small struct.
 type procState struct {
-	hooks     map[string][]HookHandler
-	prologues map[string][]byte
+	// tables are shared hook tables in attach order; their chains sit
+	// below (run after) any per-process installs.
+	tables []*HookTable
+	// local holds per-process InstallHook chains.
+	local map[string][]HookHandler
 	// Data lets hook packages (Scarecrow) keep per-process state.
 	Data map[string]any
 }
 
-func newProcState() *procState {
-	return &procState{
-		hooks:     make(map[string][]HookHandler),
-		prologues: make(map[string][]byte),
-		Data:      make(map[string]any),
+func newProcState() *procState { return &procState{} }
+
+// chainLen returns the combined user-mode chain length for the API.
+func (st *procState) chainLen(api string) int {
+	n := len(st.local[api])
+	for _, t := range st.tables {
+		n += len(t.handlers[api])
 	}
+	return n
+}
+
+// handlerAt resolves user-chain position i in install order: attached
+// tables first (attach order, each in table order), then local installs.
+func (st *procState) handlerAt(api string, i int) HookHandler {
+	for _, t := range st.tables {
+		chain := t.handlers[api]
+		if i < len(chain) {
+			return chain[i]
+		}
+		i -= len(chain)
+	}
+	return st.local[api][i]
+}
+
+// hooked reports whether any user-mode hook covers the API.
+func (st *procState) hooked(api string) bool {
+	if len(st.local[api]) > 0 {
+		return true
+	}
+	for _, t := range st.tables {
+		if len(t.handlers[api]) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // InstallHook interposes handler on the named API for the given process.
 // The target function's prologue is rewritten to a JMP, making the hook
 // itself observable to anti-hooking checks — which is a feature, not a bug,
-// for Scarecrow. Later installs wrap earlier ones.
+// for Scarecrow. Later installs wrap earlier ones, and per-process installs
+// wrap any attached hook table.
 func (s *System) InstallHook(pid int, api string, handler HookHandler) error {
 	if s.M.Faults.InjectionFault() {
 		return fmt.Errorf("winapi: injected fault: hook installation for %q failed in PID %d", api, pid)
@@ -90,8 +209,23 @@ func (s *System) InstallHook(pid int, api string, handler HookHandler) error {
 		return fmt.Errorf("winapi: API %q is not hookable from user mode", api)
 	}
 	st := s.stateFor(pid)
-	st.hooks[api] = append(st.hooks[api], handler)
-	st.prologues[api] = hookedPrologue(api)
+	if st.local == nil {
+		st.local = make(map[string][]HookHandler)
+	}
+	st.local[api] = append(st.local[api], handler)
+	return nil
+}
+
+// InstallHookTable attaches a prebuilt hook table to the process: one
+// injection, one fault point, every chain in the table live at once. The
+// same table may be attached to any number of processes; it must not be
+// mutated afterwards.
+func (s *System) InstallHookTable(pid int, t *HookTable) error {
+	if s.M.Faults.InjectionFault() {
+		return fmt.Errorf("winapi: injected fault: hook table installation failed in PID %d", pid)
+	}
+	st := s.stateFor(pid)
+	st.tables = append(st.tables, t)
 	return nil
 }
 
@@ -99,8 +233,21 @@ func (s *System) InstallHook(pid int, api string, handler HookHandler) error {
 // sorted so reports built from it replay deterministically.
 func (s *System) HookedAPIs(pid int) []string {
 	st := s.stateFor(pid)
-	out := make([]string, 0, len(st.hooks))
-	for name := range st.hooks {
+	seen := make(map[string]bool)
+	for name, chain := range st.local {
+		if len(chain) > 0 {
+			seen[name] = true
+		}
+	}
+	for _, t := range st.tables {
+		for name, chain := range t.handlers {
+			if len(chain) > 0 {
+				seen[name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -114,13 +261,16 @@ func (s *System) HookedAPIs(pid int) []string {
 func (c *Context) ReadFunctionPrologue(api string) []byte {
 	c.M.Clock.Advance(memoryReadCost)
 	st := c.sys.stateFor(c.P.PID)
-	if b, ok := st.prologues[api]; ok {
-		out := make([]byte, len(b))
-		copy(out, b)
-		return out
+	src := cleanPrologue
+	if st.hooked(api) {
+		if b, ok := prologueCache[api]; ok {
+			src = b
+		} else {
+			src = hookedPrologue(api)
+		}
 	}
-	out := make([]byte, len(cleanPrologue))
-	copy(out, cleanPrologue)
+	out := make([]byte, len(src))
+	copy(out, src)
 	return out
 }
 
@@ -128,13 +278,15 @@ func (c *Context) ReadFunctionPrologue(api string) []byte {
 // hot-patch prologue (mov edi,edi) in this process — the check_hook test
 // from Figure 1 of the paper.
 func (c *Context) PrologueIntact(api string) bool {
-	b := c.ReadFunctionPrologue(api)
-	return len(b) >= 2 && b[0] == 0x8B && b[1] == 0xFF
+	c.M.Clock.Advance(memoryReadCost)
+	return !c.sys.stateFor(c.P.PID).hooked(api)
 }
 
 // invoke runs one API call: it charges the call cost, records the APICall
 // trace event, then dispatches through the process's hook chain (outermost
-// handler first) down to the genuine implementation.
+// handler first) down to the genuine implementation. Native entry points
+// bottom out at the kernel syscall gate, where machine-wide kernel hooks
+// (if any) interpose beneath the user-mode chain.
 func (c *Context) invoke(name string, args []any, genuine func() any) any {
 	meta, ok := apiCatalog[name]
 	if !ok {
@@ -143,29 +295,16 @@ func (c *Context) invoke(name string, args []any, genuine func() any) any {
 	c.M.Clock.Advance(meta.cost)
 	c.recordAPICall(name)
 
-	// Native entry points bottom out at the kernel syscall gate, where
-	// machine-wide kernel hooks (if any) interpose beneath the user-mode
-	// chain.
-	if kernelHookable(name) {
-		inner := genuine
-		genuine = func() any { return c.dispatchSyscall(name, args, inner) }
-	}
-
 	st := c.sys.stateFor(c.P.PID)
-	chain := st.hooks[name]
-	if len(chain) == 0 {
+	userLen := st.chainLen(name)
+	var kchain []HookHandler
+	if kernelHookable(name) {
+		kchain = c.sys.kernelHooks[name]
+	}
+	total := len(kchain) + userLen
+	if total == 0 {
 		return genuine()
 	}
-	// Build the trampoline: handler i's Original() runs handler i-1, and
-	// the first handler's Original() runs the genuine function. The most
-	// recently installed handler executes first.
-	next := genuine
-	for i := 0; i < len(chain); i++ {
-		handler := chain[i]
-		inner := next
-		next = func() any {
-			return handler(c, &Call{Name: name, Args: args, next: inner})
-		}
-	}
-	return next()
+	call := &Call{Name: name, Args: args, c: c, st: st, kchain: kchain, genuine: genuine, idx: total}
+	return call.run(total - 1)
 }

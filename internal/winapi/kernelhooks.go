@@ -66,13 +66,6 @@ func (c *Context) dispatchSyscall(name string, args []any, genuine func() any) a
 	if len(chain) == 0 {
 		return genuine()
 	}
-	next := genuine
-	for i := 0; i < len(chain); i++ {
-		handler := chain[i]
-		inner := next
-		next = func() any {
-			return handler(c, &Call{Name: name, Args: args, next: inner})
-		}
-	}
-	return next()
+	call := &Call{Name: name, Args: args, c: c, kchain: chain, genuine: genuine, idx: len(chain)}
+	return call.run(len(chain) - 1)
 }

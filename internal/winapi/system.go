@@ -70,20 +70,39 @@ type System struct {
 	// a backstop against runaway fork bombs.
 	MaxProcesses int
 
+	// monitor is the environment's own analysis-monitor hook table (e.g.
+	// the Cuckoo in-guest monitor), built once from the machine profile
+	// and attached to every process created later; nil when the profile
+	// monitors nothing.
+	monitor *HookTable
+
 	executed int
 }
+
+// monitorPassthrough is the body of every environment-monitor hook: the
+// sandbox's monitor observes, it does not rewrite.
+func monitorPassthrough(c *Context, call *Call) any { return call.Original() }
 
 // NewSystem wraps a machine with an empty user-mode world. The machine's
 // MonitorHookedAPIs (its own analysis monitor, e.g. the Cuckoo in-guest
 // monitor) are materialized as pass-through hooks in every process created
 // later.
 func NewSystem(m *winsim.Machine) *System {
-	return &System{
+	s := &System{
 		M:            m,
 		programs:     make(map[string]Program),
 		states:       make(map[int]*procState),
 		MaxProcesses: 20000,
 	}
+	if len(m.MonitorHookedAPIs) > 0 {
+		s.monitor = NewHookTable()
+		for _, api := range m.MonitorHookedAPIs {
+			// Unchecked install: profile data is not a deployment and must
+			// not make machine construction fallible.
+			s.monitor.hook(api, monitorPassthrough)
+		}
+	}
+	return s
 }
 
 func (s *System) stateFor(pid int) *procState {
@@ -92,18 +111,21 @@ func (s *System) stateFor(pid int) *procState {
 		st = newProcState()
 		s.states[pid] = st
 		// The environment's own monitor hooks every analyzed process.
-		for _, api := range s.M.MonitorHookedAPIs {
-			st.hooks[api] = append(st.hooks[api], func(c *Context, call *Call) any {
-				return call.Original()
-			})
-			st.prologues[api] = hookedPrologue(api)
+		if s.monitor != nil {
+			st.tables = append(st.tables, s.monitor)
 		}
 	}
 	return st
 }
 
 // ProcData returns the per-process data map hook packages may use.
-func (s *System) ProcData(pid int) map[string]any { return s.stateFor(pid).Data }
+func (s *System) ProcData(pid int) map[string]any {
+	st := s.stateFor(pid)
+	if st.Data == nil {
+		st.Data = make(map[string]any)
+	}
+	return st.Data
+}
 
 // RegisterProgram binds a program body to an executable image path. The
 // same body runs for every process created from that image (including

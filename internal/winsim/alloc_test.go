@@ -1,0 +1,24 @@
+package winsim
+
+import "testing"
+
+// The zero-alloc cold path rests on Clone being cheap: COW registry and
+// filesystem, one process arena, generated bulk copies for the plain
+// subsystems. This pins the allocation count so a regression — a deep
+// copy sneaking back into a clone path — fails loudly instead of
+// silently re-inflating the per-verdict cost.
+func TestCloneAllocBudget(t *testing.T) {
+	template := NewProfileMachine(ProfileBareMetalSandbox, 0).Snapshot()
+	var seed int64
+	allocs := testing.AllocsPerRun(100, func() {
+		seed++
+		_ = template.Clone(seed)
+	})
+	// Measured ~39 allocs/op on the bare-metal profile (registry hive map,
+	// volume copies, process arena, recorder, generated subsystem copies).
+	// The budget leaves headroom for profile drift but is far below the
+	// ~2000 allocs of the old per-field deep clone.
+	if allocs > 64 {
+		t.Errorf("Snapshot.Clone allocates %.0f objects/op, budget is 64", allocs)
+	}
+}

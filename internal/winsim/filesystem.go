@@ -50,10 +50,30 @@ type Volume struct {
 // FileSystem is the machine's virtual file store. Paths use backslash
 // separators, are case-insensitive, and may name devices with the \\.\
 // prefix.
+//
+// Clones share the node map copy-on-write: clone() hands the same map to
+// both sides and marks them shared; the first mutation on either side
+// copies the map (nodes themselves are immutable once installed, so the
+// copy is shallow).
 type FileSystem struct {
 	nodes   map[string]*fsNode // normalized path -> node
 	volumes map[byte]*Volume
 	faults  *FaultInjector // nil unless the machine is armed (faults.go)
+	shared  bool           // nodes map is shared with a clone; copy before writing
+}
+
+// ownNodes makes the node map private to this file system, copying it if
+// a clone still shares it. Every mutator calls it before writing.
+func (fs *FileSystem) ownNodes() {
+	if !fs.shared {
+		return
+	}
+	nodes := make(map[string]*fsNode, len(fs.nodes))
+	for k, n := range fs.nodes {
+		nodes[k] = n
+	}
+	fs.nodes = nodes
+	fs.shared = false
 }
 
 // NewFileSystem returns a file system containing only a C: volume root.
@@ -118,6 +138,7 @@ func upperByte(b byte) byte {
 
 // MkdirAll creates the directory at path and any missing ancestors.
 func (fs *FileSystem) MkdirAll(path string) {
+	fs.ownNodes()
 	norm := NormalizePath(path)
 	parts := strings.Split(norm, `\`)
 	display := strings.Split(strings.ReplaceAll(strings.TrimRight(path, `\/`), "/", `\`), `\`)
@@ -147,6 +168,7 @@ func (fs *FileSystem) MkdirAll(path string) {
 // space.
 func (fs *FileSystem) WriteFile(path string, data []byte) error {
 	fs.faults.fileOp()
+	fs.ownNodes()
 	if strings.HasPrefix(path, `\\.\`) {
 		return fmt.Errorf("filesystem: cannot write device %q", path)
 	}
@@ -174,6 +196,7 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 // file trees cheaply.
 func (fs *FileSystem) Touch(path string, size int64) {
 	fs.faults.fileOp()
+	fs.ownNodes()
 	if dir := parentDir(path); dir != "" {
 		fs.MkdirAll(dir)
 	}
@@ -184,6 +207,7 @@ func (fs *FileSystem) Touch(path string, size int64) {
 
 // AddDevice registers a device object such as \\.\VBoxGuest.
 func (fs *FileSystem) AddDevice(path string) {
+	fs.ownNodes()
 	fs.nodes[NormalizePath(path)] = &fsNode{
 		info: FileInfo{Path: path, Kind: FileDevice},
 	}
@@ -227,6 +251,7 @@ func (fs *FileSystem) Delete(path string) bool {
 	if !ok {
 		return false
 	}
+	fs.ownNodes()
 	delete(fs.nodes, norm)
 	if n.info.Kind == FileDirectory {
 		prefix := norm + `\`

@@ -107,9 +107,16 @@ func (k *Key) ValueCount() int { return len(k.values) }
 // Registry is the machine's hierarchical configuration database. Paths use
 // backslash separators and begin with a hive name such as HKEY_LOCAL_MACHINE
 // (or its HKLM/HKCU abbreviations); comparisons are case-insensitive.
+//
+// Clones share the key tree copy-on-write: clone() copies only the hive
+// map, and mutators copy the path of keys they touch (path copying, not
+// subtree copying) before writing. The owned set tracks which keys this
+// registry may mutate in place; everything else is shared with a clone
+// and must be copied first.
 type Registry struct {
 	hives  map[string]*Key // lowercased canonical hive name
 	faults *FaultInjector  // nil unless the machine is armed (faults.go)
+	owned  map[*Key]bool   // keys safe to mutate in place; nil after clone
 }
 
 // Canonical hive names.
@@ -134,11 +141,81 @@ var hiveAliases = map[string]string{
 // NewRegistry returns a registry with the four standard hives and no other
 // content.
 func NewRegistry() *Registry {
-	r := &Registry{hives: make(map[string]*Key)}
+	r := &Registry{hives: make(map[string]*Key), owned: make(map[*Key]bool)}
 	for _, h := range []string{HiveLocalMachine, HiveCurrentUser, HiveClassesRoot, HiveUsers} {
-		r.hives[strings.ToLower(h)] = newKey(h)
+		k := newKey(h)
+		r.hives[strings.ToLower(h)] = k
+		r.owned[k] = true
 	}
 	return r
+}
+
+// ownedCopy returns a mutable shallow copy of k (its maps are copied, its
+// children stay shared) registered in the owned set.
+func (r *Registry) ownedCopy(k *Key) *Key {
+	nk := &Key{
+		name:    k.name,
+		subkeys: make(map[string]*Key, len(k.subkeys)),
+		values:  make(map[string]*kvPair, len(k.values)),
+	}
+	for n, c := range k.subkeys {
+		nk.subkeys[n] = c
+	}
+	for n, p := range k.values {
+		nk.values[n] = p
+	}
+	r.owned[nk] = true
+	return nk
+}
+
+// splitHive resolves a registry path into its lowercased canonical hive
+// name and the remaining path elements (HKLM by default, like splitPath).
+func splitHive(path string) (hive string, parts []string, err error) {
+	parts = splitRegPath(path)
+	if len(parts) == 0 {
+		return "", nil, fmt.Errorf("registry: empty path")
+	}
+	hive = strings.ToLower(HiveLocalMachine)
+	if canonical, ok := hiveAliases[strings.ToLower(parts[0])]; ok {
+		hive = strings.ToLower(canonical)
+		parts = parts[1:]
+	}
+	return hive, parts, nil
+}
+
+// mutableWalk descends from the hive root along parts, copying every
+// shared node on the way down so the caller may mutate the returned key
+// in place. With create set, missing keys are created; otherwise the walk
+// reports false on the first missing element. It never touches the fault
+// injector — public mutators charge their own single registry op.
+func (r *Registry) mutableWalk(hive string, parts []string, create bool) (*Key, bool) {
+	cur, ok := r.hives[hive]
+	if !ok {
+		return nil, false
+	}
+	if r.owned == nil {
+		r.owned = make(map[*Key]bool)
+	}
+	if !r.owned[cur] {
+		cur = r.ownedCopy(cur)
+		r.hives[hive] = cur
+	}
+	for _, p := range parts {
+		lower := strings.ToLower(p)
+		next, ok := cur.subkeys[lower]
+		switch {
+		case !ok && !create:
+			return nil, false
+		case !ok:
+			next = newKey(p)
+			r.owned[next] = true
+		case !r.owned[next]:
+			next = r.ownedCopy(next)
+		}
+		cur.subkeys[lower] = next
+		cur = next
+	}
+	return cur, true
 }
 
 // splitPath resolves the hive and remaining path elements of a registry
@@ -191,48 +268,47 @@ func (r *Registry) KeyExists(path string) bool {
 }
 
 // CreateKey creates the key at path (and any missing ancestors) and returns
-// it. Existing keys are returned unchanged.
+// it. Existing keys are returned unchanged (though possibly as fresh
+// copy-on-write copies of keys shared with a clone).
 func (r *Registry) CreateKey(path string) (*Key, error) {
 	r.faults.regOp()
-	cur, parts, err := r.splitPath(path)
+	hive, parts, err := splitHive(path)
 	if err != nil {
 		return nil, err
 	}
-	if cur == nil {
+	k, ok := r.mutableWalk(hive, parts, true)
+	if !ok {
 		return nil, fmt.Errorf("registry: unknown hive in %q", path)
 	}
-	for _, p := range parts {
-		lower := strings.ToLower(p)
-		next, ok := cur.subkeys[lower]
-		if !ok {
-			next = newKey(p)
-			cur.subkeys[lower] = next
-		}
-		cur = next
-	}
-	return cur, nil
+	return k, nil
 }
 
 // DeleteKey removes the key at path and its entire subtree. It returns
 // false if the key does not exist or path names a hive root.
 func (r *Registry) DeleteKey(path string) bool {
 	r.faults.regOp()
-	cur, parts, err := r.splitPath(path)
-	if err != nil || cur == nil || len(parts) == 0 {
+	hive, parts, err := splitHive(path)
+	if err != nil || len(parts) == 0 {
 		return false
 	}
-	for _, p := range parts[:len(parts)-1] {
+	// Verify existence on the shared tree first, so a failed delete never
+	// copies anything.
+	cur, ok := r.hives[hive]
+	if !ok {
+		return false
+	}
+	for _, p := range parts {
 		next, ok := cur.subkeys[strings.ToLower(p)]
 		if !ok {
 			return false
 		}
 		cur = next
 	}
-	leaf := strings.ToLower(parts[len(parts)-1])
-	if _, ok := cur.subkeys[leaf]; !ok {
+	parent, ok := r.mutableWalk(hive, parts[:len(parts)-1], false)
+	if !ok {
 		return false
 	}
-	delete(cur.subkeys, leaf)
+	delete(parent.subkeys, strings.ToLower(parts[len(parts)-1]))
 	return true
 }
 
@@ -263,12 +339,27 @@ func (r *Registry) SetValue(path, name string, v Value) error {
 // DeleteValue removes the named value under the key at path, reporting
 // whether it existed.
 func (r *Registry) DeleteValue(path, name string) bool {
-	k, ok := r.OpenKey(path)
+	r.faults.regOp()
+	hive, parts, err := splitHive(path)
+	if err != nil {
+		return false
+	}
+	// Faultless existence check on the shared tree before any copying.
+	cur, ok := r.hives[hive]
 	if !ok {
 		return false
 	}
+	for _, p := range parts {
+		if cur, ok = cur.subkeys[strings.ToLower(p)]; !ok {
+			return false
+		}
+	}
 	lower := strings.ToLower(name)
-	if _, ok := k.values[lower]; !ok {
+	if _, ok := cur.values[lower]; !ok {
+		return false
+	}
+	k, ok := r.mutableWalk(hive, parts, false)
+	if !ok {
 		return false
 	}
 	delete(k.values, lower)

@@ -8,23 +8,33 @@ package winsim
 // state of a machine once; Clone and Restore then produce machines that are
 // observationally identical to a fresh build at a fraction of the cost.
 //
-// Sharing contract (copy-on-write): a clone shares only data that is never
-// mutated in place after creation —
+// Sharing contract (copy-on-write): a clone shares data that is never
+// mutated in place after creation, plus the big state trees, which are
+// shared COW with explicit ownership discipline —
 //
-//   - *fsNode values (FileSystem replaces whole nodes on WriteFile/Touch
-//     and never mutates info or data of an existing node; see fsNode),
+//   - *fsNode values and the FileSystem node map (mutators call ownNodes
+//     before writing; see filesystem.go),
+//   - Registry *Key nodes (mutators path-copy via mutableWalk; clones
+//     drop the owned set so every key starts shared; see registry.go),
+//   - Process Modules slices (clone caps the copy's slice at its length,
+//     so a later append on either side reallocates instead of writing
+//     into the shared array),
 //   - Value.Data byte slices (BinaryValue copies at construction; nothing
 //     writes into a stored slice),
 //   - strings (immutable in Go).
 //
-// Everything else — every map, every slice header, every struct reached by
-// pointer (Clock, Registry keys, processes, volumes, windows, hardware,
-// network tables, event log, mouse, tracer, fault injector, RNG state) — is
-// deep-copied, so no write on one machine can ever be observed on another.
-// The differential harness in internal/analysis and FuzzSnapshotRestore
-// enforce the contract behaviourally; TestSnapshotCoversEveryField enforces
-// it structurally (a new field breaks the build until snapshotSpec and
-// clone() account for it).
+// Everything else — processes, volumes, windows, hardware, network tables,
+// event log, mouse, clock, tracer, fault injector, RNG state — is copied,
+// so no write on one machine can ever be observed on another. The
+// mechanical value/slice/map copies are generated into snapshot_gen.go by
+// internal/winsim/gen (go generate ./internal/winsim); only the types with
+// sharing policy keep handwritten clones below. The differential harness
+// in internal/analysis and FuzzSnapshotRestore enforce the contract
+// behaviourally; TestSnapshotCoversEveryField enforces it structurally (a
+// new field breaks the build until snapshotSpec and clone() account for
+// it).
+
+//go:generate go run ./gen
 
 import (
 	"math/rand"
@@ -107,32 +117,23 @@ func (m *Machine) clone() *Machine {
 	if m.MonitorHookedAPIs != nil {
 		nm.MonitorHookedAPIs = append([]string(nil), m.MonitorHookedAPIs...)
 	}
-	if m.Faults != nil {
-		fi := *m.Faults
-		nm.Faults = &fi
-	}
-	clk := *m.Clock
-	nm.Clock = &clk
+	nm.Faults = m.Faults.cloneGen()
+	nm.Clock = m.Clock.cloneGen()
 	nm.Registry = m.Registry.clone(nm.Faults)
 	nm.FS = m.FS.clone(nm.Faults)
 	nm.Procs = m.Procs.clone(nm.Faults)
-	nm.Windows = m.Windows.clone()
-	hw := *m.HW
-	if m.HW.MACs != nil {
-		hw.MACs = append([]string(nil), m.HW.MACs...)
-	}
-	nm.HW = &hw
-	nm.Net = m.Net.clone()
-	nm.EventLog = m.EventLog.clone()
-	mouse := *m.Mouse
-	nm.Mouse = &mouse
+	nm.Windows = m.Windows.cloneGen()
+	nm.HW = m.HW.cloneGen()
+	nm.Net = m.Net.cloneGen()
+	nm.EventLog = m.EventLog.cloneGen()
+	nm.Mouse = m.Mouse.cloneGen()
 	nm.Tracer = m.Tracer.Clone()
 	nm.DebuggerAttachedPIDs = make(map[int]bool, len(m.DebuggerAttachedPIDs))
 	for pid, v := range m.DebuggerAttachedPIDs {
 		nm.DebuggerAttachedPIDs[pid] = v
 	}
 	if m.rngSrc != nil {
-		nm.rngSrc = &rngSource{state: m.rngSrc.state}
+		nm.rngSrc = m.rngSrc.cloneGen()
 	} else {
 		nm.rngSrc = newRNGSource(0)
 	}
@@ -140,45 +141,37 @@ func (m *Machine) clone() *Machine {
 	return nm
 }
 
-// clone deep-copies the registry tree and rewires fault injection to the
-// cloning machine's injector. Value.Data slices are shared (see the sharing
-// contract above).
+// clone shares the registry tree copy-on-write and rewires fault injection
+// to the cloning machine's injector. Only the four-entry hive map is
+// copied; the source's owned set is dropped so both sides treat every key
+// as shared and path-copy before mutating (see Registry). The nil-guard
+// keeps concurrent Clone calls on a snapshot write-free: a machine that
+// was itself produced by clone() already has a nil owned set.
 func (r *Registry) clone(fi *FaultInjector) *Registry {
+	if r.owned != nil {
+		r.owned = nil
+	}
 	nr := &Registry{hives: make(map[string]*Key, len(r.hives)), faults: fi}
 	for name, hive := range r.hives {
-		nr.hives[name] = cloneKey(hive)
+		nr.hives[name] = hive
 	}
 	return nr
 }
 
-func cloneKey(k *Key) *Key {
-	nk := &Key{
-		name:    k.name,
-		subkeys: make(map[string]*Key, len(k.subkeys)),
-		values:  make(map[string]*kvPair, len(k.values)),
-	}
-	for name, sk := range k.subkeys {
-		nk.subkeys[name] = cloneKey(sk)
-	}
-	for name, p := range k.values {
-		nk.values[name] = &kvPair{name: p.name, value: p.value}
-	}
-	return nk
-}
-
-// clone copies the file system. The node map is copied but the *fsNode
-// values are shared copy-on-write: FileSystem only ever replaces whole
-// nodes, so a shared node is immutable and a write on one machine installs
-// a new node without touching the other's. Volumes are mutated in place
-// (WriteFile charges FreeBytes) and therefore deep-copied.
+// clone shares the file-system node map copy-on-write: both sides are
+// marked shared and the first mutation on either side copies the map (see
+// ownNodes). The write is guarded so concurrent Clone calls on an
+// already-shared snapshot machine stay write-free. Volumes are mutated in
+// place (WriteFile charges FreeBytes) and therefore deep-copied.
 func (fs *FileSystem) clone(fi *FaultInjector) *FileSystem {
+	if !fs.shared {
+		fs.shared = true
+	}
 	nf := &FileSystem{
-		nodes:   make(map[string]*fsNode, len(fs.nodes)),
+		nodes:   fs.nodes,
 		volumes: make(map[byte]*Volume, len(fs.volumes)),
 		faults:  fi,
-	}
-	for path, node := range fs.nodes {
-		nf.nodes[path] = node
+		shared:  true,
 	}
 	for letter, v := range fs.volumes {
 		vol := *v
@@ -187,8 +180,12 @@ func (fs *FileSystem) clone(fi *FaultInjector) *FileSystem {
 	return nf
 }
 
-// clone deep-copies the process table: Process objects are mutated in place
-// throughout a run (state, PEB, modules), so every one is copied.
+// clone copies the process table. Process objects are mutated in place
+// throughout a run (state, PEB, modules), so every one is copied — into a
+// single arena allocation rather than one allocation per process. Modules
+// slices are shared with the source but capped at their current length:
+// an append on either side then reallocates instead of writing into the
+// shared backing array (elements below the cap are never mutated).
 func (t *ProcessTable) clone(fi *FaultInjector) *ProcessTable {
 	nt := &ProcessTable{
 		nextPID: t.nextPID,
@@ -196,57 +193,14 @@ func (t *ProcessTable) clone(fi *FaultInjector) *ProcessTable {
 		order:   append([]int(nil), t.order...),
 		faults:  fi,
 	}
-	for pid, p := range t.procs {
-		np := *p
-		if p.Modules != nil {
-			np.Modules = append([]string(nil), p.Modules...)
-		}
-		nt.procs[pid] = &np
+	arena := make([]Process, len(t.order))
+	for i, pid := range t.order {
+		p := t.procs[pid]
+		arena[i] = *p
+		arena[i].Modules = p.Modules[:len(p.Modules):len(p.Modules)]
+		nt.procs[pid] = &arena[i]
 	}
 	return nt
-}
-
-func (wm *WindowManager) clone() *WindowManager {
-	nw := &WindowManager{}
-	if wm.windows != nil {
-		nw.windows = append([]Window(nil), wm.windows...)
-	}
-	return nw
-}
-
-func (n *Network) clone() *Network {
-	nn := &Network{
-		records:    make(map[string]string, len(n.records)),
-		reachable:  make(map[string]bool, len(n.reachable)),
-		SinkholeIP: n.SinkholeIP,
-		Cache:      n.Cache.clone(),
-	}
-	for d, a := range n.records {
-		nn.records[d] = a
-	}
-	for a, ok := range n.reachable {
-		nn.reachable[a] = ok
-	}
-	return nn
-}
-
-func (c *DNSCache) clone() *DNSCache {
-	nc := &DNSCache{present: make(map[string]struct{}, len(c.present))}
-	if c.order != nil {
-		nc.order = append([]string(nil), c.order...)
-	}
-	for d := range c.present {
-		nc.present[d] = struct{}{}
-	}
-	return nc
-}
-
-func (l *EventLog) clone() *EventLog {
-	nl := &EventLog{count: l.count, sources: make(map[string]int, len(l.sources))}
-	for s, n := range l.sources {
-		nl.sources[s] = n
-	}
-	return nl
 }
 
 // snapshotSpec names, for every state type the snapshot reaches, the exact
@@ -263,11 +217,11 @@ var snapshotSpec = map[string][]string{
 	},
 	"OSVersion":     {"Major", "Minor", "Build"},
 	"Clock":         {"now", "bootOffset", "deadline", "cyclesPerNano"},
-	"Registry":      {"hives", "faults"},
+	"Registry":      {"hives", "faults", "owned"},
 	"Key":           {"name", "subkeys", "values"},
 	"kvPair":        {"name", "value"},
 	"Value":         {"Type", "Str", "Num", "Data"},
-	"FileSystem":    {"nodes", "volumes", "faults"},
+	"FileSystem":    {"nodes", "volumes", "faults", "shared"},
 	"fsNode":        {"info", "data"},
 	"FileInfo":      {"Path", "Kind", "Size"},
 	"Volume":        {"Letter", "TotalBytes", "FreeBytes", "SerialNumber"},

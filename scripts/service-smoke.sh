@@ -6,7 +6,12 @@
 #                         fails on any error or a zero cache hit-rate.
 #   2. campaign bench   — cold+warm catalog sweep through /v1/campaign,
 #                         following the SSE streams; the warm replay must
-#                         be at least 5x faster than the cold pass.
+#                         be at least 1.5x faster than the cold pass.
+#                         (The margin is deliberately modest: the cold
+#                         path is now within a small factor of replay
+#                         speed — see BENCH_hotpath.json — so a large
+#                         warm/cold ratio would mean the cold path
+#                         regressed, not that the cache is healthy.)
 #   3. SIGKILL recovery — commit a verdict, launch a campaign, kill -9
 #                         the daemon mid-sweep, restart it on the same
 #                         data dir, and require the committed verdict to
@@ -56,8 +61,8 @@ start_daemon
 echo "== classic bench: cache + coalescing under load"
 ./scarebench -addr "$BASE" -n 200 -c 8 -require-hits -out BENCH_service.json
 
-echo "== campaign bench: cold/warm catalog sweep (warm must be >=5x faster)"
-./scarebench -addr "$BASE" -campaign -quota 8 -min-warm-speedup 5 -campaign-out BENCH_campaign.json
+echo "== campaign bench: cold/warm catalog sweep (warm must be >=1.5x faster)"
+./scarebench -addr "$BASE" -campaign -quota 8 -min-warm-speedup 1.5 -campaign-out BENCH_campaign.json
 
 echo "== durability: commit a verdict, SIGKILL mid-campaign"
 curl -fsS "$BASE/v1/verdict" -d '{"specimen":"kasidet","seed":77}' >"$DATA/v1.json"
