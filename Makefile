@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke bench-hotpath generate generate-check hooks ci
+.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke bench-hotpath bench-synth synth-smoke generate generate-check hooks ci
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/winsim
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/store
+	$(GO) test -fuzz=FuzzPredicateCodec -fuzztime=10s -run '^$$' ./internal/synth
 
 # generate regenerates the checked-in code: the per-struct snapshot clone
 # methods in internal/winsim/snapshot_gen.go (kept honest by the
@@ -80,6 +81,22 @@ generate-check: generate
 bench-hotpath:
 	$(GO) run ./cmd/scarebench -hotpath -min-cold-speedup 5 -hotpath-out BENCH_hotpath.json
 
+# synth-smoke proves the adversarial QA loop end to end at a fixed seed:
+# the planted camouflage gap (reboot-restore conjunction) is rediscovered
+# by the fuzzer and delta-debugged to its one-leaf core, and every gap
+# fixture under internal/synth/testdata/gaps replays deactivated against
+# the stock DB (i.e. the fixes that closed those gaps still hold).
+synth-smoke:
+	$(GO) test -count=1 -run 'TestPlantedGap|TestGapFixtures' -v ./internal/synth
+
+# bench-synth runs a fixed-seed coverage-guided fuzzing campaign and
+# writes BENCH_synth.json. The -min-cov-growth gate fails the build when
+# unique-coverage growth drops below 15 keys per 1k generations (the
+# seed-1 campaign measures ~42/1k; a fuzzer below the floor has lost its
+# search signal to a generator or coverage-extraction regression).
+bench-synth:
+	$(GO) run ./cmd/scarebench -synth -synth-seed 1 -synth-budget 2000 -min-cov-growth 15 -synth-out BENCH_synth.json
+
 # service-smoke drives a real scarecrowd over localhost end to end:
 # classic cache/coalescing bench, cold+warm campaign sweep over SSE, and
 # a SIGKILL + restart that must replay committed verdicts byte-identical
@@ -94,4 +111,4 @@ hooks:
 
 # ci mirrors .github/workflows/ci.yml: the tier-1 verify plus the static
 # checks. `make ci` green locally means CI is green.
-ci: build vet lint generate-check race cover fuzz-smoke bench-hotpath service-smoke
+ci: build vet lint generate-check race cover fuzz-smoke synth-smoke bench-hotpath bench-synth service-smoke

@@ -51,6 +51,14 @@ func main() {
 		quota        = flag.Int("quota", 8, "campaign in-flight quota (campaign mode)")
 		minSpeedup   = flag.Float64("min-warm-speedup", 0, "fail unless the warm sweep is this many times faster than the cold one (0 = no gate)")
 
+		synthMode    = flag.Bool("synth", false, "benchmark the adversarial fuzzer: fixed-seed coverage-guided campaign, no daemon needed")
+		synthOut     = flag.String("synth-out", "BENCH_synth.json", "synth artifact path (empty = skip)")
+		synthSeed    = flag.Int64("synth-seed", 1, "campaign seed (synth mode)")
+		synthBudget  = flag.Int("synth-budget", 2000, "generations to run (synth mode)")
+		synthDepth   = flag.Int("synth-depth", 3, "max predicate depth (synth mode)")
+		synthWorkers = flag.Int("synth-workers", 0, "evaluation fan-out width (0 = GOMAXPROCS)")
+		minCovGrowth = flag.Float64("min-cov-growth", 0, "fail unless unique coverage per 1k generations meets this floor (0 = no gate)")
+
 		hotpathMode     = flag.Bool("hotpath", false, "benchmark the in-process cold path: clone+run+marshal+commit, no daemon needed")
 		hotpathOut      = flag.String("hotpath-out", "BENCH_hotpath.json", "hotpath artifact path (empty = skip)")
 		hotpathN        = flag.Int("hotpath-n", 512, "cold verdicts to run (hotpath mode)")
@@ -59,6 +67,17 @@ func main() {
 		minColdSpeedup  = flag.Float64("min-cold-speedup", 0, "fail unless cold verdicts/s beats -hotpath-baseline by this factor (0 = no gate)")
 	)
 	flag.Parse()
+
+	if *synthMode {
+		runSynthMode(synthOptions{
+			Seed:         *synthSeed,
+			Budget:       *synthBudget,
+			MaxDepth:     *synthDepth,
+			Workers:      *synthWorkers,
+			MinCovGrowth: *minCovGrowth,
+		}, *synthOut)
+		return
+	}
 
 	if *hotpathMode {
 		runHotpathMode(hotpathOptions{

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"scarecrow/internal/synth"
+)
+
+// The synth mode benchmarks the adversarial QA harness end to end: a
+// fixed-seed coverage-guided fuzzing campaign run in process (no daemon),
+// reporting generation throughput, unique-coverage growth, and gap yield.
+// The -min-cov-growth gate turns coverage growth into a regression
+// tripwire: a fuzzer whose generations stop lighting up new
+// api:/hook:/db: keys has lost its search signal — typically a generator
+// or coverage-extraction regression, not a saturated catalog (the gate's
+// default is calibrated well below the saturation plateau).
+
+type synthOptions struct {
+	// Seed drives the whole campaign (generation, machine seeds).
+	Seed int64
+	// Budget is the number of generations to run.
+	Budget int
+	// MaxDepth bounds generated predicate trees.
+	MaxDepth int
+	// Workers is the evaluation fan-out width (0 = GOMAXPROCS).
+	Workers int
+	// MinCovGrowth gates unique-coverage keys per 1k generations
+	// (0 = report only).
+	MinCovGrowth float64
+}
+
+// SynthReport is the BENCH_synth.json shape.
+type SynthReport struct {
+	Seed     int64 `json:"seed"`
+	Budget   int   `json:"budget"`
+	MaxDepth int   `json:"max_depth"`
+	Workers  int   `json:"workers"`
+
+	Generations     int     `json:"generations"`
+	LabRuns         int     `json:"lab_runs"`
+	WallS           float64 `json:"wall_s"`
+	GenerationsPerS float64 `json:"generations_per_s"`
+
+	UniqueCoverage    int     `json:"unique_coverage"`
+	CoveragePer1kGens float64 `json:"coverage_per_1k_generations"`
+
+	GapsFound     int `json:"gaps_found"`
+	GapsMinimized int `json:"gaps_minimized"`
+	// GapKinds tallies minimized gaps by classification.
+	GapKinds map[string]int `json:"gap_kinds"`
+}
+
+func (r SynthReport) String() string {
+	return fmt.Sprintf(`scarebench synth
+  campaign:   seed %d, budget %d generations, depth <= %d, %d workers
+  throughput: %d generations (%d lab runs) in %.2fs = %.1f generations/s
+  coverage:   %d unique keys = %.1f per 1k generations
+  gaps:       %d found, %d minimized (%v)
+`,
+		r.Seed, r.Budget, r.MaxDepth, r.Workers,
+		r.Generations, r.LabRuns, r.WallS, r.GenerationsPerS,
+		r.UniqueCoverage, r.CoveragePer1kGens,
+		r.GapsFound, r.GapsMinimized, r.GapKinds)
+}
+
+// runSynthMode drives -synth: run the campaign, print, write
+// BENCH_synth.json, and exit nonzero on a missed coverage gate.
+func runSynthMode(opts synthOptions, out string) {
+	report := benchSynth(opts)
+	fmt.Print(report)
+	if out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+	}
+	if opts.MinCovGrowth > 0 && report.CoveragePer1kGens < opts.MinCovGrowth {
+		fmt.Fprintf(os.Stderr,
+			"scarebench: coverage growth %.1f keys/1k generations below the required %.1f — the fuzzer's search signal regressed\n",
+			report.CoveragePer1kGens, opts.MinCovGrowth)
+		os.Exit(1)
+	}
+}
+
+// benchSynth runs one fixed-seed campaign and condenses it into the
+// artifact shape.
+func benchSynth(opts synthOptions) SynthReport {
+	if opts.Budget < 1 {
+		opts.Budget = 1
+	}
+	if opts.MaxDepth < 1 {
+		opts.MaxDepth = 3
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	f := synth.NewFuzzer(opts.Seed, opts.MaxDepth)
+	f.Ev.Workers = workers
+	start := time.Now()
+	rep := f.Run(opts.Budget)
+	wall := time.Since(start)
+
+	out := SynthReport{
+		Seed:           opts.Seed,
+		Budget:         opts.Budget,
+		MaxDepth:       opts.MaxDepth,
+		Workers:        workers,
+		Generations:    rep.Generations,
+		LabRuns:        rep.LabRuns,
+		WallS:          wall.Seconds(),
+		UniqueCoverage: rep.UniqueCoverage,
+		GapsFound:      len(rep.Gaps),
+		GapsMinimized:  len(rep.MinimizedGaps),
+		GapKinds:       map[string]int{},
+	}
+	if wall > 0 {
+		out.GenerationsPerS = float64(rep.Generations) / wall.Seconds()
+	}
+	if rep.Generations > 0 {
+		out.CoveragePer1kGens = float64(rep.UniqueCoverage) * 1000 / float64(rep.Generations)
+	}
+	for _, g := range rep.Gaps {
+		out.GapKinds[string(g.Kind)]++
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "sort"
+
+// Coverage key prefixes. The synthesis fuzzer's feedback signal is the
+// set of these keys a run produced: which APIs the specimen exercised,
+// which hooks Scarecrow consulted, and which deception-DB entries
+// matched. A generation that lights up a key no earlier generation did
+// is "interesting" and seeds further mutation.
+const (
+	// CovAPI prefixes API names invoked during the protected run
+	// ("api:GetTickCount").
+	CovAPI = "api:"
+	// CovHook prefixes hook trigger APIs — the deceptions that actually
+	// fired ("hook:RegOpenKeyEx").
+	CovHook = "hook:"
+	// CovDB prefixes matched deception-DB entries as category/resource
+	// ("db:registry/hklm\software\...").
+	CovDB = "db:"
+)
+
+// CoverageKeys flattens a sample result into the sorted, deduplicated
+// set of coverage keys the synthesis fuzzer feeds back into mutation
+// biasing. Error results yield nil. The order is lexicographic —
+// deterministic regardless of map iteration — so fingerprinting a
+// coverage set is stable across runs (ISSUE 8 satellite 4).
+func (r SampleResult) CoverageKeys() []string {
+	if r.Err != nil {
+		return nil
+	}
+	set := make(map[string]struct{}, len(r.Protected.Summary.APICalls)+2*len(r.Protected.Triggers))
+	for api := range r.Protected.Summary.APICalls {
+		set[CovAPI+api] = struct{}{}
+	}
+	for api := range r.Raw.Summary.APICalls {
+		set[CovAPI+api] = struct{}{}
+	}
+	for _, trig := range r.Protected.Triggers {
+		set[CovHook+trig.API] = struct{}{}
+		if trig.Resource != "" {
+			set[CovDB+string(trig.Category)+"/"+trig.Resource] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -18,18 +18,25 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	"scarecrow/internal/service"
+	"scarecrow/internal/synth"
 )
 
 // Manifest is the body of POST /v1/campaign: the batch to sweep. The job
-// list is the cross product Specimens × Profiles × Seeds.
+// list is the cross product (Specimens + Predicates) × Profiles × Seeds.
 type Manifest struct {
 	// Specimens lists catalog names (wannacry, joe:<id>, mg:<id>, ...).
 	Specimens []string `json:"specimens"`
+	// Predicates lists synthesized predicate trees (synth.Node JSON) to
+	// sweep alongside the named specimens — the fuzzer's campaign-scale
+	// submission path. Each is validated at launch (HTTP 400 on a
+	// malformed tree).
+	Predicates []json.RawMessage `json:"predicates,omitempty"`
 	// Profiles lists machine profiles (default: the service default).
 	Profiles []string `json:"profiles,omitempty"`
 	// Seeds lists machine seeds (default: [1]).
@@ -40,23 +47,52 @@ type Manifest struct {
 	Quota int `json:"quota,omitempty"`
 }
 
-// jobSpec is one expanded (specimen, profile, seed) cell.
+// jobSpec is one expanded (specimen, profile, seed) cell. Synthesized
+// cells carry the predicate JSON in Predicate and a "syn:<fingerprint>"
+// display label in Specimen (the label also names the cell in SSE
+// events; the service ignores it when Predicate is set).
 type jobSpec struct {
-	Specimen string
-	Profile  string
-	Seed     int64
+	Specimen  string
+	Predicate json.RawMessage
+	Profile   string
+	Seed      int64
 }
 
 func (j jobSpec) request() service.SubmitRequest {
 	seed := j.Seed
+	if len(j.Predicate) > 0 {
+		return service.SubmitRequest{Predicate: j.Predicate, Profile: j.Profile, Seed: &seed}
+	}
 	return service.SubmitRequest{Specimen: j.Specimen, Profile: j.Profile, Seed: &seed}
 }
 
 // expand validates the manifest shape and builds the job list in
-// deterministic specimen-major order.
+// deterministic specimen-major order (named specimens first, then
+// predicates in manifest order).
 func (m Manifest) expand(maxJobs int) ([]jobSpec, error) {
-	if len(m.Specimens) == 0 {
-		return nil, fmt.Errorf("campaign: manifest lists no specimens")
+	if len(m.Specimens) == 0 && len(m.Predicates) == 0 {
+		return nil, fmt.Errorf("campaign: manifest lists no specimens or predicates")
+	}
+	type cell struct {
+		name string
+		pred json.RawMessage
+	}
+	cells := make([]cell, 0, len(m.Specimens)+len(m.Predicates))
+	for _, spec := range m.Specimens {
+		cells = append(cells, cell{name: spec})
+	}
+	for i, raw := range m.Predicates {
+		var n *synth.Node
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return nil, fmt.Errorf("campaign: predicate %d: %w", i, err)
+		}
+		if err := synth.CheckBounds(n); err != nil {
+			return nil, fmt.Errorf("campaign: predicate %d: %w", i, err)
+		}
+		if err := n.Validate(synth.EntryIndex()); err != nil {
+			return nil, fmt.Errorf("campaign: predicate %d: %w", i, err)
+		}
+		cells = append(cells, cell{name: "syn:" + n.Fingerprint(), pred: raw})
 	}
 	profiles := m.Profiles
 	if len(profiles) == 0 {
@@ -66,15 +102,15 @@ func (m Manifest) expand(maxJobs int) ([]jobSpec, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1}
 	}
-	total := len(m.Specimens) * len(profiles) * len(seeds)
+	total := len(cells) * len(profiles) * len(seeds)
 	if total > maxJobs {
 		return nil, fmt.Errorf("campaign: %d jobs exceeds the per-campaign limit of %d", total, maxJobs)
 	}
 	jobs := make([]jobSpec, 0, total)
-	for _, spec := range m.Specimens {
+	for _, c := range cells {
 		for _, prof := range profiles {
 			for _, seed := range seeds {
-				jobs = append(jobs, jobSpec{Specimen: spec, Profile: prof, Seed: seed})
+				jobs = append(jobs, jobSpec{Specimen: c.name, Predicate: c.pred, Profile: prof, Seed: seed})
 			}
 		}
 	}

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scarecrow/internal/service"
+	"scarecrow/internal/synth"
+)
+
+// A manifest mixing named specimens and synthesized predicates sweeps
+// every cell; predicate cells are labeled syn:<fingerprint> in the
+// event stream.
+func TestCampaignWithPredicates(t *testing.T) {
+	tree := &synth.Node{Op: synth.OpLeaf, Entry: "file:deepfreeze"}
+	raw, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := startServer(t, service.Config{})
+	e := NewEngine(s, Options{})
+	c, err := e.Launch(Manifest{
+		Specimens:  []string{"kasidet"},
+		Predicates: []json.RawMessage{raw},
+		Seeds:      []int64{1, 2},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sum := waitCampaign(t, c)
+	if sum.State != StateDone || sum.Completed != 4 || sum.Errors != 0 {
+		t.Fatalf("campaign summary: %+v", sum)
+	}
+
+	evs, _ := c.eventsSince(0)
+	wantLabel := "syn:" + tree.Fingerprint()
+	synCells := 0
+	for _, ev := range evs {
+		if ev.Type == "verdict" && ev.Specimen == wantLabel {
+			synCells++
+			if ev.Category == "" {
+				t.Errorf("predicate cell has no category: %+v", ev)
+			}
+		}
+	}
+	if synCells != 2 {
+		t.Fatalf("saw %d predicate verdict events, want 2 (one per seed)", synCells)
+	}
+}
+
+// Malformed predicates fail the whole launch with a client error —
+// before any job is enqueued.
+func TestCampaignRejectsBadPredicate(t *testing.T) {
+	e := NewEngine(nil, Options{})
+	for name, raw := range map[string]string{
+		"bad-json":      `{`,
+		"unknown-entry": `{"op":"leaf","entry":"no:such"}`,
+		"not-arity":     `{"op":"not","kids":[]}`,
+	} {
+		_, err := e.Launch(Manifest{Predicates: []json.RawMessage{json.RawMessage(raw)}})
+		if err == nil {
+			t.Errorf("%s: launch accepted a malformed predicate", name)
+		} else if !strings.Contains(err.Error(), "predicate 0") {
+			t.Errorf("%s: error %q does not name the offending predicate", name, err)
+		}
+	}
+}

@@ -225,6 +225,17 @@ func NewDB() *DB {
 		`hklm\hardware\devicemap\scsi\scsi port 0\scsi bus 0\target id 0\logical unit id 0`,
 		"identifier")] = regFake{vendor: VendorQemu, value: "QEMU HARDDISK"}
 
+	// (f) Reboot-restore artifacts: Faronics Deep Freeze marks a machine
+	// that resets on reboot — a wear-and-tear tell (fresh disk state every
+	// run) that evasive samples probe alongside uptime and cache sizes.
+	// These entries landed as the fix for the first synthesized camouflage
+	// gap (internal/synth planted-gap fixture); the legacy pre-fix DB is
+	// reconstructed in tests via the Remove* ablation methods.
+	db.AddFile(`C:\Program Files\Faronics\Deep Freeze\DFServ.exe`, VendorGeneric)
+	db.AddProcess("dfserv.exe", VendorGeneric)
+	db.AddProcess("frzstate2k.exe", VendorGeneric)
+	db.AddRegKey(`HKLM\SOFTWARE\Faronics\Deep Freeze 6`, VendorGeneric)
+
 	return db
 }
 
@@ -353,6 +364,34 @@ func (db *DB) AddProcess(image string, vendor VendorProfile) {
 // AddRegKey registers an extra deceptive registry key.
 func (db *DB) AddRegKey(path string, vendor VendorProfile) {
 	db.regKeys[normalizeRegPath(path)] = vendor
+}
+
+// RemoveFile deletes a deceptive file entry (and its directory-prefix
+// form, if the entry was a path). The Remove* methods exist for
+// ablation: the synthesis fuzzer's regression tests reconstruct the
+// pre-fix "legacy" database by removing the entries a gap fix added,
+// then prove the fuzzer rediscovers the gap against it.
+func (db *DB) RemoveFile(path string) {
+	key := strings.ToLower(strings.ReplaceAll(path, "/", `\`))
+	if _, ok := db.files[key]; !ok {
+		return
+	}
+	delete(db.files, key)
+	if i := sort.SearchStrings(db.fileDirs, key); i < len(db.fileDirs) && db.fileDirs[i] == key {
+		db.fileDirs = append(db.fileDirs[:i], db.fileDirs[i+1:]...)
+	}
+}
+
+// RemoveProcess deletes a deceptive process entry (ablation; see
+// RemoveFile).
+func (db *DB) RemoveProcess(image string) {
+	delete(db.processes, strings.ToLower(image))
+}
+
+// RemoveRegKey deletes a deceptive registry key entry (ablation; see
+// RemoveFile).
+func (db *DB) RemoveRegKey(path string) {
+	delete(db.regKeys, normalizeRegPath(path))
 }
 
 // Counts reports the database sizes per resource class.

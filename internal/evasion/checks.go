@@ -38,6 +38,20 @@ const (
 	TechWearTear      Technique = "wear-and-tear"
 )
 
+// Techniques lists every Technique constant, in declaration order. The
+// specimen-synthesis fuzzer closes its catalog loop over this list: a
+// technique the generator cannot express is itself a camouflage blind
+// spot. A checks_test AST sweep keeps the list in sync with the constant
+// block above.
+func Techniques() []Technique {
+	return []Technique{
+		TechRegistry, TechFile, TechProcess, TechModule, TechWindow,
+		TechDebuggerAPI, TechHardwareAPI, TechIdentity, TechParent,
+		TechHookDetect, TechNetwork, TechTiming, TechCPUID, TechPEB,
+		TechDirectSyscall, TechWearTear,
+	}
+}
+
 // Check is one evasion probe: it returns true when the environment looks
 // like an analysis environment to the malware.
 type Check struct {
@@ -418,5 +432,35 @@ func DirectSyscallRegistryKey(name, key string) Check {
 func SlowExceptionDispatch(threshold time.Duration) Check {
 	return Check{Name: "RaiseException", Technique: TechTiming, Probe: func(ctx *winapi.Context) bool {
 		return ctx.RaiseException() > threshold
+	}}
+}
+
+// FreshDNSCache flags a client DNS resolver cache at or below max entries —
+// the first wear-and-tear artifact of Miramirkhani et al. (dnscacheEntries):
+// an actively used machine accumulates hundreds of cached names, a freshly
+// provisioned analysis image only a handful.
+func FreshDNSCache(max int) Check {
+	return Check{Name: "DnsGetCacheDataTable", Technique: TechWearTear, Probe: func(ctx *winapi.Context) bool {
+		return len(ctx.DnsGetCacheDataTable()) <= max
+	}}
+}
+
+// SparseEventLog flags a system event log holding at most max total events
+// (the sysevt wear-and-tear artifact): real machines log hundreds of
+// thousands of events over their lifetime.
+func SparseEventLog(max int) Check {
+	return Check{Name: "EvtNext", Technique: TechWearTear, Probe: func(ctx *winapi.Context) bool {
+		_, total := ctx.EvtNext(0, 1)
+		return total <= max
+	}}
+}
+
+// FewAutoRuns flags a Run key carrying at most max autostart entries (the
+// autoRunCount artifact): installed software accretes autoruns, pristine
+// sandbox images carry almost none.
+func FewAutoRuns(max int) Check {
+	return Check{Name: "NtQueryKey", Technique: TechWearTear, Probe: func(ctx *winapi.Context) bool {
+		info, st := ctx.NtQueryKey(`HKLM\Software\Microsoft\Windows\CurrentVersion\Run`)
+		return st.OK() && info.ValueCount <= max
 	}}
 }

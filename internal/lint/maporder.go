@@ -25,6 +25,7 @@ var MapOrderScope = []string{
 	"scarecrow/internal/service",
 	"scarecrow/internal/campaign",
 	"scarecrow/internal/store",
+	"scarecrow/internal/synth",
 }
 
 // MapOrder extends the virtualclock determinism contract to iteration

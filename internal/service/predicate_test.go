@@ -1,0 +1,78 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scarecrow/internal/analysis"
+	"scarecrow/internal/synth"
+)
+
+// A synthesized predicate runs end to end, caches on its canonical
+// fingerprint, and coalesces with a differently formatted encoding of
+// the same tree.
+func TestPredicateVerdict(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: 8, CacheSize: 16})
+	s.Start()
+	defer shutdown(t, s)
+
+	tree := &synth.Node{Op: synth.OpAnd, Kids: []*synth.Node{
+		{Op: synth.OpLeaf, Entry: "file:deepfreeze"},
+		{Op: synth.OpLeaf, Entry: "wt:dns-cache"},
+	}}
+	raw, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SubmitRequest{Predicate: raw, Seed: seedPtr(5)}
+	j1 := mustSubmit(t, s, req)
+	waitDone(t, j1)
+	var doc analysis.VerdictDoc
+	if err := json.Unmarshal(j1.Verdict(), &doc); err != nil {
+		t.Fatalf("predicate verdict invalid: %v", err)
+	}
+	if doc.Category == analysis.VerdictError.String() {
+		t.Fatalf("predicate run errored: %s", doc.Error)
+	}
+	if !strings.HasPrefix(doc.Specimen, "syn_") {
+		t.Errorf("predicate specimen ID = %q, want syn_-prefixed", doc.Specimen)
+	}
+
+	// The same tree with different JSON formatting is the same job:
+	// the cache keys on the canonical fingerprint, not the bytes.
+	spaced := []byte(`{ "op": "and", "kids": [ {"op":"leaf","entry":"file:deepfreeze"}, {"op":"leaf","entry":"wt:dns-cache"} ] }`)
+	j2 := mustSubmit(t, s, SubmitRequest{Predicate: spaced, Seed: seedPtr(5)})
+	if !j2.CacheHit() {
+		t.Fatalf("reformatted predicate was not a cache hit")
+	}
+	if !bytes.Equal(j1.Verdict(), j2.Verdict()) {
+		t.Fatalf("predicate replay bytes differ")
+	}
+}
+
+// Malformed predicates are client errors, not worker crashes.
+func TestPredicateValidation(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: 8, CacheSize: 16})
+	s.Start()
+	defer shutdown(t, s)
+
+	for name, raw := range map[string]string{
+		"bad-json":      `{`,
+		"unknown-entry": `{"op":"leaf","entry":"no:such"}`,
+		"bad-arity":     `{"op":"and","kids":[{"op":"leaf","entry":"file:deepfreeze"}]}`,
+		"with-specimen": ``, // specimen+predicate set together, below
+	} {
+		req := SubmitRequest{Predicate: json.RawMessage(raw)}
+		if name == "with-specimen" {
+			req = SubmitRequest{
+				Specimen:  "wannacry",
+				Predicate: json.RawMessage(`{"op":"leaf","entry":"file:deepfreeze"}`),
+			}
+		}
+		if _, err := s.Submit(req); err == nil {
+			t.Errorf("%s: submit accepted an invalid predicate request", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"scarecrow/internal/evasion"
 	"scarecrow/internal/malware"
+	"scarecrow/internal/synth"
 	"scarecrow/internal/winsim"
 )
 
@@ -19,11 +21,16 @@ import (
 // the cache and coalescing key.
 type SubmitRequest struct {
 	// Specimen names a built-in sample (wannacry, locky, kasidet, scaware,
-	// spawner, toolkiller, joe:<id>, mg:<id>). Exactly one of Specimen and
-	// Recipe must be set.
+	// spawner, toolkiller, joe:<id>, mg:<id>). Exactly one of Specimen,
+	// Recipe, and Predicate must be set.
 	Specimen string `json:"specimen,omitempty"`
 	// Recipe assembles a custom evasive specimen from named probes.
 	Recipe *Recipe `json:"recipe,omitempty"`
+	// Predicate carries a synthesized predicate tree (synth.Node JSON) —
+	// the fuzzer's campaign-scale submission path. The cache key is the
+	// predicate's canonical fingerprint, so structurally identical trees
+	// coalesce regardless of JSON formatting.
+	Predicate json.RawMessage `json:"predicate,omitempty"`
 	// Profile is the machine profile (default baremetal-sandbox).
 	Profile string `json:"profile,omitempty"`
 	// Seed drives machine construction (default 1).
@@ -162,10 +169,18 @@ func resolveRequest(req SubmitRequest) (resolved, error) {
 		r.seed = *req.Seed
 	}
 
+	set := 0
+	for _, present := range []bool{req.Specimen != "", req.Recipe != nil, len(req.Predicate) > 0} {
+		if present {
+			set++
+		}
+	}
+	if set > 1 {
+		return r, fmt.Errorf("specimen, recipe, and predicate are mutually exclusive")
+	}
+
 	var specKey string
 	switch {
-	case req.Specimen != "" && req.Recipe != nil:
-		return r, fmt.Errorf("specimen and recipe are mutually exclusive")
 	case req.Specimen != "":
 		s, err := malware.Resolve(req.Specimen)
 		if err != nil {
@@ -180,8 +195,15 @@ func resolveRequest(req SubmitRequest) (resolved, error) {
 		}
 		r.specimen = s
 		specKey = "rcp:" + canon
+	case len(req.Predicate) > 0:
+		s, fp, err := buildPredicate(req.Predicate)
+		if err != nil {
+			return r, err
+		}
+		r.specimen = s
+		specKey = "syn:" + fp
 	default:
-		return r, fmt.Errorf("request must name a specimen or carry a recipe")
+		return r, fmt.Errorf("request must name a specimen, carry a recipe, or carry a predicate")
 	}
 	r.key = fmt.Sprintf("%s|%s|%d", specKey, r.profile, r.seed)
 	return r, nil
@@ -235,6 +257,24 @@ func buildRecipe(rec Recipe) (*malware.Specimen, string, error) {
 	return s, canon, nil
 }
 
+// buildPredicate decodes, bounds-checks, and compiles a synthesized
+// predicate into a specimen, returning it with the predicate's canonical
+// fingerprint (the cache identity). Errors are client errors.
+func buildPredicate(raw json.RawMessage) (*malware.Specimen, string, error) {
+	var n *synth.Node
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return nil, "", fmt.Errorf("decoding predicate: %w", err)
+	}
+	if err := synth.CheckBounds(n); err != nil {
+		return nil, "", err
+	}
+	s, err := synth.ToSpecimen(n, synth.EntryIndex())
+	if err != nil {
+		return nil, "", err
+	}
+	return s, n.Fingerprint(), nil
+}
+
 func fnvHash(s string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(s))
@@ -256,9 +296,14 @@ func jitterKey(req SubmitRequest) string {
 		seed = *req.Seed
 	}
 	spec := "cat:" + req.Specimen
-	if req.Recipe != nil {
+	switch {
+	case req.Recipe != nil:
 		spec = fmt.Sprintf("rcp:checks=%s;react=%s;payload=%s",
 			strings.Join(req.Recipe.Checks, "+"), req.Recipe.React, req.Recipe.Payload)
+	case len(req.Predicate) > 0:
+		// Raw predicate bytes stand in for the fingerprint: same
+		// submission bytes → same jitter, with no parse on the 429 path.
+		spec = fmt.Sprintf("syn:%08x", fnvHash(string(req.Predicate)))
 	}
 	return fmt.Sprintf("%s|%s|%d", spec, profile, seed)
 }

@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Codec bounds: a decoded fixture is rejected before compilation when
+// it exceeds these, so hostile or corrupted fixture files cannot blow
+// the stack or the evaluator's budget.
+const (
+	// MaxNodes bounds total tree size.
+	MaxNodes = 512
+	// MaxDepth bounds tree height.
+	MaxDepth = 12
+	// MaxDelayMS bounds a leaf's pre-probe sleep (one observation
+	// window is a minute; a longer sleep would make the probe
+	// unreachable).
+	MaxDelayMS = 30_000
+)
+
+// FixtureVersion is the gap-fixture wire version.
+const FixtureVersion = 1
+
+// Fixture is the replayable JSON form of a minimized camouflage gap,
+// stored under testdata/gaps/. TestGapFixtures replays every fixture
+// forever after: once its DB fix lands, the predicate must evaluate
+// to deactivated on the stock database.
+type Fixture struct {
+	// Version is FixtureVersion.
+	Version int `json:"version"`
+	// Fingerprint is the predicate's canonical fingerprint (also the
+	// fixture's file name stem). DecodeFixture re-derives and checks
+	// it.
+	Fingerprint string `json:"fingerprint"`
+	// Predicate is the minimized surviving core.
+	Predicate *Node `json:"predicate"`
+	// Profile is the lab machine profile the gap was found on.
+	Profile string `json:"profile"`
+	// Seed is the machine seed the gap reproduces at.
+	Seed int64 `json:"seed"`
+	// Expect is the verdict the fixture must replay to — always
+	// "deactivated" once the fix lands.
+	Expect string `json:"expect"`
+	// Note names the DB entry or hook that closes the gap (the fix).
+	Note string `json:"note,omitempty"`
+}
+
+// EncodeFixture renders a fixture as stable, indented JSON.
+func EncodeFixture(f Fixture) ([]byte, error) {
+	if f.Predicate == nil {
+		return nil, fmt.Errorf("synth: fixture without predicate")
+	}
+	f.Version = FixtureVersion
+	f.Fingerprint = f.Predicate.Fingerprint()
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// DecodeFixture parses and validates a fixture: version, structural
+// bounds, catalog membership of every leaf, and fingerprint
+// integrity. It never trusts the file's own fingerprint field.
+func DecodeFixture(data []byte) (Fixture, error) {
+	var f Fixture
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Fixture{}, fmt.Errorf("synth: decoding fixture: %w", err)
+	}
+	if f.Version != FixtureVersion {
+		return Fixture{}, fmt.Errorf("synth: fixture version %d, want %d", f.Version, FixtureVersion)
+	}
+	if err := CheckBounds(f.Predicate); err != nil {
+		return Fixture{}, err
+	}
+	if err := f.Predicate.Validate(EntryIndex()); err != nil {
+		return Fixture{}, err
+	}
+	if got := f.Predicate.Fingerprint(); f.Fingerprint != "" && f.Fingerprint != got {
+		return Fixture{}, fmt.Errorf("synth: fixture fingerprint %s does not match predicate %s", f.Fingerprint, got)
+	}
+	f.Fingerprint = f.Predicate.Fingerprint()
+	return f, nil
+}
+
+// CheckBounds enforces the codec size/depth/delay bounds on a decoded
+// tree.
+func CheckBounds(n *Node) error {
+	if n == nil {
+		return fmt.Errorf("synth: fixture without predicate")
+	}
+	if s := n.Size(); s > MaxNodes {
+		return fmt.Errorf("synth: predicate has %d nodes, max %d", s, MaxNodes)
+	}
+	if d := n.Depth(); d > MaxDepth {
+		return fmt.Errorf("synth: predicate depth %d, max %d", d, MaxDepth)
+	}
+	for _, leaf := range n.Leaves() {
+		if leaf.DelayMS > MaxDelayMS {
+			return fmt.Errorf("synth: leaf delay %dms, max %dms", leaf.DelayMS, MaxDelayMS)
+		}
+	}
+	return nil
+}

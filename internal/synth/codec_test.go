@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFixtureRoundTrip: encode → decode is the identity on canonical
+// form, fingerprint, and metadata.
+func TestFixtureRoundTrip(t *testing.T) {
+	gen := NewGenerator(11, 3)
+	for i := 0; i < 50; i++ {
+		n := gen.Generate()
+		f := Fixture{
+			Predicate: n,
+			Profile:   "baremetal-sandbox",
+			Seed:      int64(i),
+			Expect:    "deactivated",
+			Note:      "round-trip",
+		}
+		data, err := EncodeFixture(f)
+		if err != nil {
+			t.Fatalf("encode %s: %v", n.Canonical(), err)
+		}
+		got, err := DecodeFixture(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", n.Canonical(), err)
+		}
+		if got.Predicate.Canonical() != n.Canonical() {
+			t.Fatalf("round trip changed predicate: %q → %q", n.Canonical(), got.Predicate.Canonical())
+		}
+		if got.Fingerprint != n.Fingerprint() || got.Seed != f.Seed || got.Profile != f.Profile {
+			t.Fatalf("round trip changed metadata: %+v", got)
+		}
+	}
+}
+
+// TestDecodeRejects: tampered fingerprints, unknown entries, bad ops,
+// wrong arity, oversized trees, and absurd delays are all rejected.
+func TestDecodeRejects(t *testing.T) {
+	valid := func() Fixture {
+		return Fixture{
+			Version:   FixtureVersion,
+			Predicate: &Node{Op: OpLeaf, Entry: "file:deepfreeze"},
+			Expect:    "deactivated",
+		}
+	}
+	cases := []struct {
+		name   string
+		mangle func(*Fixture)
+		errHas string
+	}{
+		{"wrong-version", func(f *Fixture) { f.Version = 99 }, "version"},
+		{"tampered-fingerprint", func(f *Fixture) { f.Fingerprint = strings.Repeat("0", 16) }, "fingerprint"},
+		{"unknown-entry", func(f *Fixture) { f.Predicate.Entry = "no:such-entry" }, "unknown catalog entry"},
+		{"bad-op", func(f *Fixture) { f.Predicate.Op = "xor" }, "unknown op"},
+		{"not-arity", func(f *Fixture) {
+			f.Predicate = &Node{Op: OpNot, Kids: []*Node{
+				{Op: OpLeaf, Entry: "file:deepfreeze"},
+				{Op: OpLeaf, Entry: "file:deepfreeze"},
+			}}
+		}, "not with 2 kids"},
+		{"and-arity", func(f *Fixture) {
+			f.Predicate = &Node{Op: OpAnd, Kids: []*Node{{Op: OpLeaf, Entry: "file:deepfreeze"}}}
+		}, "and with 1 kids"},
+		{"leaf-with-kids", func(f *Fixture) {
+			f.Predicate = &Node{Op: OpLeaf, Entry: "file:deepfreeze",
+				Kids: []*Node{{Op: OpLeaf, Entry: "file:deepfreeze"}}}
+		}, "leaf with"},
+		{"huge-delay", func(f *Fixture) { f.Predicate.DelayMS = MaxDelayMS + 1 }, "delay"},
+		{"nil-predicate", func(f *Fixture) { f.Predicate = nil }, "without predicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := valid()
+			tc.mangle(&f)
+			data, err := json.Marshal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := DecodeFixture(data); err == nil {
+				t.Fatalf("decode accepted a mangled fixture (%s)", tc.name)
+			} else if !strings.Contains(err.Error(), tc.errHas) {
+				t.Fatalf("error %q does not mention %q", err, tc.errHas)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsOversizedTree: a tree exceeding MaxNodes or
+// MaxDepth is rejected before any compilation.
+func TestDecodeRejectsOversizedTree(t *testing.T) {
+	leaf := func() *Node { return &Node{Op: OpLeaf, Entry: "file:deepfreeze"} }
+	wide := &Node{Op: OpOr}
+	for i := 0; i < MaxNodes; i++ {
+		wide.Kids = append(wide.Kids, leaf())
+	}
+	deep := leaf()
+	for i := 0; i < MaxDepth+1; i++ {
+		deep = &Node{Op: OpNot, Kids: []*Node{deep}}
+	}
+	for name, n := range map[string]*Node{"wide": wide, "deep": deep} {
+		data, err := json.Marshal(Fixture{Version: FixtureVersion, Predicate: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeFixture(data); err == nil {
+			t.Errorf("%s tree accepted", name)
+		}
+	}
+}
+
+// FuzzPredicateCodec: decode never panics, and whatever decodes
+// successfully re-encodes to a byte-stable fixture that decodes to
+// the same canonical predicate (ISSUE 8 satellite 2).
+func FuzzPredicateCodec(f *testing.F) {
+	gen := NewGenerator(13, 3)
+	for i := 0; i < 8; i++ {
+		data, err := EncodeFixture(Fixture{
+			Predicate: gen.Generate(),
+			Profile:   "baremetal-sandbox",
+			Expect:    "deactivated",
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"predicate":{"op":"leaf","entry":"file:deepfreeze"}}`))
+	f.Add([]byte(`{"version":1,"predicate":{"op":"not","kids":[]}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fix, err := DecodeFixture(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeFixture(fix)
+		if err != nil {
+			t.Fatalf("re-encode of a decoded fixture failed: %v", err)
+		}
+		again, err := DecodeFixture(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Predicate.Canonical() != fix.Predicate.Canonical() {
+			t.Fatalf("canonical drift: %q → %q", fix.Predicate.Canonical(), again.Predicate.Canonical())
+		}
+		if again.Fingerprint != fix.Fingerprint {
+			t.Fatalf("fingerprint drift: %s → %s", fix.Fingerprint, again.Fingerprint)
+		}
+	})
+}

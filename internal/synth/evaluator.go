@@ -1,0 +1,166 @@
+package synth
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"scarecrow/internal/analysis"
+	"scarecrow/internal/core"
+	"scarecrow/internal/evasion"
+	"scarecrow/internal/winsim"
+)
+
+// Outcome is one predicate's evaluation through the lab.
+type Outcome struct {
+	// Fingerprint identifies the evaluated predicate.
+	Fingerprint string
+	// Category is the lab verdict.
+	Category analysis.VerdictCategory
+	// RawMutations counts the raw run's durable changes; a survivor
+	// with zero raw mutations is degenerate (its predicate fires on
+	// the genuine machine too), not a camouflage gap.
+	RawMutations int
+	// Gap marks a genuine camouflage gap: the payload ran in BOTH
+	// runs — the deception failed to steer the predicate.
+	Gap bool
+	// Coverage is the sorted coverage-key set of the run.
+	Coverage []string
+	// Err carries a contained run failure.
+	Err error
+}
+
+// Evaluator runs predicates through an analysis.Lab with per-predicate
+// memoization. The machine seed for a predicate is a pure function of
+// (base seed, fingerprint), so outcomes are reproducible regardless of
+// evaluation order or batching — which is what makes the minimizer
+// deterministic and the memo cache sound.
+type Evaluator struct {
+	// Profile selects the lab machines (default bare-metal sandbox).
+	Profile winsim.ProfileName
+	// DB optionally replaces the stock deception database (the
+	// planted-gap tests evaluate against a legacy DB with the fix
+	// ablated).
+	DB *core.DB
+	// Seed is the campaign base seed.
+	Seed int64
+	// Workers bounds EvaluateBatch parallelism; 0 means serial.
+	Workers int
+
+	entries map[string]evasion.CatalogEntry
+
+	mu   sync.Mutex
+	memo map[string]Outcome
+	lab  *analysis.Lab
+	// Runs counts actual (non-memoized) lab executions.
+	Runs int
+}
+
+// NewEvaluator builds an evaluator over the stock catalog.
+func NewEvaluator(seed int64) *Evaluator {
+	return &Evaluator{
+		Profile: winsim.ProfileBareMetalSandbox,
+		Seed:    seed,
+		entries: EntryIndex(),
+		memo:    make(map[string]Outcome),
+	}
+}
+
+// Entries returns the evaluator's catalog index.
+func (ev *Evaluator) Entries() map[string]evasion.CatalogEntry { return ev.entries }
+
+// SeedFor derives the deterministic machine seed for a predicate.
+func (ev *Evaluator) SeedFor(fingerprint string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(fingerprint))
+	return ev.Seed ^ int64(h.Sum64())
+}
+
+// labFor lazily builds the shared lab. analysis.Lab is safe for
+// concurrent runs (Sweep shares one across workers); only
+// reconfiguration races, and the evaluator never reconfigures after
+// construction.
+func (ev *Evaluator) labFor() *analysis.Lab {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if ev.lab == nil {
+		lab := analysis.NewLab(0)
+		lab.Profile = ev.Profile
+		lab.Config = core.RecommendedConfig(string(ev.Profile))
+		lab.DB = ev.DB
+		ev.lab = lab
+	}
+	return ev.lab
+}
+
+// Evaluate runs one predicate (memoized by fingerprint).
+func (ev *Evaluator) Evaluate(n *Node) Outcome {
+	fp := n.Fingerprint()
+	ev.mu.Lock()
+	if out, ok := ev.memo[fp]; ok {
+		ev.mu.Unlock()
+		return out
+	}
+	ev.mu.Unlock()
+
+	out := ev.evaluateUncached(n, fp)
+
+	ev.mu.Lock()
+	ev.memo[fp] = out
+	ev.Runs++
+	ev.mu.Unlock()
+	return out
+}
+
+func (ev *Evaluator) evaluateUncached(n *Node, fp string) Outcome {
+	spec, err := ToSpecimen(n, ev.entries)
+	if err != nil {
+		return Outcome{Fingerprint: fp, Category: analysis.VerdictError, Err: err}
+	}
+	res := ev.labFor().RunSampleSeeded(spec, ev.SeedFor(fp))
+	out := Outcome{
+		Fingerprint:  fp,
+		Category:     res.Verdict.Category,
+		RawMutations: res.Verdict.RawMutations,
+		Coverage:     res.CoverageKeys(),
+		Err:          res.Err,
+	}
+	out.Gap = out.Err == nil &&
+		out.Category == analysis.VerdictSurvived &&
+		out.RawMutations > 0
+	return out
+}
+
+// EvaluateBatch fans a generation of predicates across workers —
+// the campaign-engine pattern (bounded fan-out, deterministic
+// per-item seeds) without the HTTP layer. Results align with the
+// input slice.
+func (ev *Evaluator) EvaluateBatch(nodes []*Node) []Outcome {
+	out := make([]Outcome, len(nodes))
+	workers := ev.Workers
+	if workers <= 1 || len(nodes) <= 1 {
+		for i, n := range nodes {
+			out[i] = ev.Evaluate(n)
+		}
+		return out
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = ev.Evaluate(nodes[i])
+			}
+		}()
+	}
+	for i := range nodes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,97 @@
+package synth
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scarecrow/internal/analysis"
+	"scarecrow/internal/winsim"
+)
+
+// GapsDir is the standing regression corpus: every fixture here was
+// once a live camouflage gap the fuzzer found and minimized; its DB
+// fix has since landed, and this test replays each forever after.
+const GapsDir = "testdata/gaps"
+
+// TestGapFixtures replays every testdata/gaps fixture against the
+// STOCK deception database at the fixture's recorded profile and
+// seed, and requires the recorded expectation — deactivated, once the
+// fix landed (ISSUE 8 acceptance criterion).
+func TestGapFixtures(t *testing.T) {
+	fixtures, err := LoadFixtures(GapsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatalf("no fixtures under %s — the planted-gap corpus is missing", GapsDir)
+	}
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.Fingerprint, func(t *testing.T) {
+			if f.Expect != "deactivated" {
+				t.Fatalf("fixture expects %q; every landed fixture must expect deactivated", f.Expect)
+			}
+			ev := NewEvaluator(f.Seed)
+			ev.Profile = winsim.ProfileName(f.Profile)
+			out := ev.Evaluate(f.Predicate)
+			if out.Err != nil {
+				t.Fatalf("replay error: %v", out.Err)
+			}
+			if out.Category != analysis.VerdictDeactivated {
+				t.Errorf("fixture %s (%s) replayed to %v, want deactivated — its DB fix regressed.\nNote: %s",
+					f.Fingerprint, f.Predicate.Canonical(), out.Category, f.Note)
+			}
+		})
+	}
+}
+
+// TestGapFixturesWereRealGaps re-proves each fixture's provenance:
+// against the reconstructed legacy DB the predicate still survives.
+// A fixture that never survived anything guards nothing.
+func TestGapFixturesWereRealGaps(t *testing.T) {
+	fixtures, err := LoadFixtures(GapsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.Fingerprint, func(t *testing.T) {
+			ev := NewEvaluator(f.Seed)
+			ev.Profile = winsim.ProfileName(f.Profile)
+			ev.DB = legacyDB()
+			if out := ev.Evaluate(f.Predicate); !out.Gap {
+				t.Errorf("fixture %s does not survive the legacy DB (category=%v) — not a regression guard",
+					f.Fingerprint, out.Category)
+			}
+		})
+	}
+}
+
+// TestFixtureFileNamesMatchFingerprints: fixture files are named
+// <fingerprint>.json so dedup against the corpus is a file-existence
+// check.
+func TestFixtureFileNamesMatchFingerprints(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(GapsDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		fixtures, err := LoadFixtures(filepath.Dir(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fixtures {
+			want := f.Fingerprint + ".json"
+			found := false
+			for _, q := range paths {
+				if filepath.Base(q) == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("fixture %s has no file named %s", f.Fingerprint, want)
+			}
+		}
+		break // LoadFixtures already read the whole dir
+	}
+}

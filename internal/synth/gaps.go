@@ -1,0 +1,172 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"scarecrow/internal/evasion"
+)
+
+// GapKind classifies why the deception DB failed to steer a minimized
+// predicate.
+type GapKind string
+
+// Gap kinds.
+const (
+	// GapMissingDBEntry: the predicate probes a steerable resource
+	// (file/process/registry/...) the DB has no entry for — the fix
+	// is a DB addition.
+	GapMissingDBEntry GapKind = "missing-db-entry"
+	// GapHookBypass: the predicate observes through a channel user
+	// hooks cannot deceive (PEB memory, CPUID, direct syscalls/WMI) —
+	// the paper's §VI-A documented blind spots.
+	GapHookBypass GapKind = "hook-bypass"
+	// GapInvertedProbe: the predicate inverts a check that fires on
+	// genuine machines too (e.g. NOT of an always-true probe) —
+	// steering it would require making the machine look *less* like
+	// a sandbox, the opposite of Scarecrow's deception.
+	GapInvertedProbe GapKind = "inverted-probe"
+)
+
+// GapReport is the structured output for one minimized camouflage
+// gap: what survived, which techniques it spans, and which resource
+// the DB or hook layer should have answered for.
+type GapReport struct {
+	// Fingerprint identifies the minimized predicate.
+	Fingerprint string `json:"fingerprint"`
+	// Canonical is the human-readable minimized predicate.
+	Canonical string `json:"canonical"`
+	// Size is the minimized node count.
+	Size int `json:"size"`
+	// Techniques are the sorted techniques the leaves span.
+	Techniques []string `json:"techniques"`
+	// Kind classifies the failure.
+	Kind GapKind `json:"kind"`
+	// Resources lists the probed resources (sorted) the deception
+	// should have answered for.
+	Resources []string `json:"resources"`
+	// Advice names the concrete fix.
+	Advice string `json:"advice"`
+}
+
+// unsteerable are the observation channels user-level hooking cannot
+// deceive (§VI-A).
+var unsteerable = map[evasion.Technique]bool{
+	evasion.TechPEB:           true,
+	evasion.TechCPUID:         true,
+	evasion.TechDirectSyscall: true,
+	evasion.TechHookDetect:    true,
+}
+
+// Diagnose classifies a minimized gap and names the fix. The
+// classification is structural: negated leaves mean the probe
+// succeeded on the genuine machine (inverted probe); leaves on
+// unsteerable channels mean hook bypass; anything else is a missing
+// DB entry for the probed resources.
+func Diagnose(n *Node, entries map[string]evasion.CatalogEntry) GapReport {
+	r := GapReport{
+		Fingerprint: n.Fingerprint(),
+		Canonical:   n.Canonical(),
+		Size:        n.Size(),
+	}
+	for _, t := range TechniquesOf(n, entries) {
+		r.Techniques = append(r.Techniques, string(t))
+	}
+
+	negated := false
+	var walk func(m *Node, underNot bool)
+	resources := map[string]bool{}
+	bypass := false
+	walk = func(m *Node, underNot bool) {
+		switch m.Op {
+		case OpLeaf:
+			e := entries[m.Entry]
+			resources[string(e.Technique)+"/"+e.Resource] = true
+			if underNot {
+				negated = true
+			}
+			if unsteerable[e.Technique] {
+				bypass = true
+			}
+		case OpNot:
+			walk(m.Kids[0], !underNot)
+		default:
+			for _, k := range m.Kids {
+				walk(k, underNot)
+			}
+		}
+	}
+	walk(n, false)
+
+	for res := range resources {
+		r.Resources = append(r.Resources, res)
+	}
+	sort.Strings(r.Resources)
+
+	switch {
+	case negated:
+		r.Kind = GapInvertedProbe
+		r.Advice = "predicate inverts a probe that succeeds on genuine machines; steering requires environment hardening, not a DB entry"
+	case bypass:
+		r.Kind = GapHookBypass
+		r.Advice = "probe observes through an unhookable channel (" + strings.Join(r.Techniques, ", ") + "); needs kernel-level or hardware-level deception (§VI-A)"
+	default:
+		r.Kind = GapMissingDBEntry
+		r.Advice = "add deception-DB entries for: " + strings.Join(r.Resources, "; ")
+	}
+	return r
+}
+
+// SortReports orders gap reports deterministically: by kind, then
+// fingerprint.
+func SortReports(reports []GapReport) {
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Kind != reports[j].Kind {
+			return reports[i].Kind < reports[j].Kind
+		}
+		return reports[i].Fingerprint < reports[j].Fingerprint
+	})
+}
+
+// WriteFixture persists a minimized gap as a replayable fixture named
+// <fingerprint>.json under dir.
+func WriteFixture(dir string, f Fixture) (string, error) {
+	data, err := EncodeFixture(f)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, f.Predicate.Fingerprint()+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadFixtures reads every *.json fixture under dir, sorted by file
+// name. A missing directory yields an empty slice.
+func LoadFixtures(dir string) ([]Fixture, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []Fixture
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		f, err := DecodeFixture(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(p), err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

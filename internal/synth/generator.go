@@ -1,0 +1,205 @@
+package synth
+
+import (
+	"math/rand"
+
+	"scarecrow/internal/evasion"
+)
+
+// Generator synthesizes and mutates predicate trees from the evasion
+// catalog, deterministically from its seed. Catalog-entry selection
+// is biased toward entries no prior generation used — the
+// catalog-closure half of the coverage feedback; the run-trace half
+// (api:/hook:/db: keys) biases which predicates the fuzzer keeps
+// mutating.
+type Generator struct {
+	rng     *rand.Rand
+	catalog []evasion.CatalogEntry
+	entries map[string]evasion.CatalogEntry
+	// used counts how many generated leaves referenced each entry;
+	// pickEntry prefers never-used entries so a fixed-seed sweep
+	// reaches the whole catalog quickly (TestGeneratorCoversCatalog).
+	used map[string]int
+	// MaxDepth bounds generated trees (connective nesting).
+	MaxDepth int
+}
+
+// NewGenerator builds a deterministic generator over the full
+// catalog.
+func NewGenerator(seed int64, maxDepth int) *Generator {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	if maxDepth > MaxDepth {
+		maxDepth = MaxDepth
+	}
+	return &Generator{
+		rng:      rand.New(rand.NewSource(seed)),
+		catalog:  evasion.Catalog(),
+		entries:  EntryIndex(),
+		used:     make(map[string]int),
+		MaxDepth: maxDepth,
+	}
+}
+
+// Entries exposes the generator's entry index (shared with the
+// evaluator and minimizer so every component compiles against the
+// same catalog).
+func (g *Generator) Entries() map[string]evasion.CatalogEntry { return g.entries }
+
+// pickEntry selects a catalog entry, strongly preferring entries no
+// generated leaf has used yet. Among unused (or among all, once the
+// catalog is exhausted) the pick is uniform over declaration order —
+// deterministic for a fixed seed.
+func (g *Generator) pickEntry() evasion.CatalogEntry {
+	var fresh []evasion.CatalogEntry
+	for _, e := range g.catalog {
+		if g.used[e.Name] == 0 {
+			fresh = append(fresh, e)
+		}
+	}
+	pool := g.catalog
+	// 7-in-8 bias toward unexplored entries; the remainder keeps
+	// revisiting explored ones so conjunctions can pair old with new.
+	if len(fresh) > 0 && g.rng.Intn(8) != 0 {
+		pool = fresh
+	}
+	e := pool[g.rng.Intn(len(pool))]
+	g.used[e.Name]++
+	return e
+}
+
+// leaf synthesizes a random leaf: fresh-ish entry, random variant,
+// occasional timing delta.
+func (g *Generator) leaf() *Node {
+	e := g.pickEntry()
+	n := &Node{Op: OpLeaf, Entry: e.Name, Variant: g.rng.Intn(e.Variants)}
+	if g.rng.Intn(6) == 0 {
+		n.DelayMS = []int{50, 250, 1000, 5000}[g.rng.Intn(4)]
+	}
+	return n
+}
+
+// Generate synthesizes a fresh predicate tree of at most MaxDepth.
+func (g *Generator) Generate() *Node {
+	return g.tree(g.MaxDepth)
+}
+
+func (g *Generator) tree(depth int) *Node {
+	if depth <= 1 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2, 3: // 40%: leaf — keep trees small on average
+		return g.leaf()
+	case 4: // 10%: negation
+		return &Node{Op: OpNot, Kids: []*Node{g.tree(depth - 1)}}
+	case 5, 6, 7: // 30%: conjunction of 2-3
+		return g.connective(OpAnd, depth)
+	default: // 20%: disjunction of 2-3
+		return g.connective(OpOr, depth)
+	}
+}
+
+func (g *Generator) connective(op Op, depth int) *Node {
+	n := &Node{Op: op, Kids: make([]*Node, 2+g.rng.Intn(2))}
+	for i := range n.Kids {
+		n.Kids[i] = g.tree(depth - 1)
+	}
+	return n
+}
+
+// Mutate derives a new predicate from a parent by one structural
+// edit. The parent is not modified. Mutations preserve validity and
+// the MaxDepth/MaxNodes bounds (a growth that would exceed them falls
+// back to a fresh leaf swap).
+func (g *Generator) Mutate(parent *Node) *Node {
+	n := parent.Clone()
+	spots := collect(n)
+	target := spots[g.rng.Intn(len(spots))]
+	switch g.rng.Intn(7) {
+	case 0: // replace the target subtree with a fresh leaf
+		*target = *g.leaf()
+	case 1: // negate the target
+		if n.Depth() < g.MaxDepth {
+			inner := target.Clone()
+			*target = Node{Op: OpNot, Kids: []*Node{inner}}
+		} else {
+			*target = *g.leaf()
+		}
+	case 2: // wrap the target in a conjunction/disjunction with a fresh leaf
+		if n.Depth() < g.MaxDepth {
+			op := OpAnd
+			if g.rng.Intn(2) == 1 {
+				op = OpOr
+			}
+			inner := target.Clone()
+			*target = Node{Op: op, Kids: []*Node{inner, g.leaf()}}
+		} else {
+			*target = *g.leaf()
+		}
+	case 3: // swap two kids of a connective (ordering variant)
+		if len(target.Kids) >= 2 {
+			i, j := g.rng.Intn(len(target.Kids)), g.rng.Intn(len(target.Kids))
+			target.Kids[i], target.Kids[j] = target.Kids[j], target.Kids[i]
+		} else if target.Op == OpLeaf {
+			g.mutateLeaf(target)
+		}
+	case 4: // drop a kid from a wide connective
+		if (target.Op == OpAnd || target.Op == OpOr) && len(target.Kids) > 2 {
+			i := g.rng.Intn(len(target.Kids))
+			target.Kids = append(target.Kids[:i:i], target.Kids[i+1:]...)
+		} else if target.Op == OpLeaf {
+			g.mutateLeaf(target)
+		}
+	case 5: // variant or delay tweak on a leaf
+		if target.Op == OpLeaf {
+			g.mutateLeaf(target)
+		} else {
+			*target = *g.leaf()
+		}
+	default: // unwrap a NOT
+		if target.Op == OpNot {
+			*target = *target.Kids[0].Clone()
+		} else if target.Op == OpLeaf {
+			g.mutateLeaf(target)
+		}
+	}
+	if CheckBounds(n) != nil {
+		// Mutation overflowed the codec bounds; fall back to a fresh
+		// small tree so the fuzzer never stalls.
+		return g.tree(2)
+	}
+	return n
+}
+
+// mutateLeaf tweaks a leaf's variant or timing delta in place.
+func (g *Generator) mutateLeaf(leaf *Node) {
+	e, ok := g.entries[leaf.Entry]
+	if !ok {
+		*leaf = *g.leaf()
+		return
+	}
+	if g.rng.Intn(2) == 0 && e.Variants > 1 {
+		leaf.Variant = (leaf.Variant + 1 + g.rng.Intn(e.Variants-1)) % e.Variants
+	} else {
+		switch g.rng.Intn(3) {
+		case 0:
+			leaf.DelayMS = 0
+		case 1:
+			leaf.DelayMS = 250
+		default:
+			leaf.DelayMS = 2000
+		}
+	}
+}
+
+// collect gathers every node in the tree (pre-order) for mutation
+// targeting.
+func collect(n *Node) []*Node {
+	out := []*Node{n}
+	for _, k := range n.Kids {
+		out = append(out, collect(k)...)
+	}
+	return out
+}

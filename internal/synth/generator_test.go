@@ -1,0 +1,94 @@
+package synth
+
+import (
+	"testing"
+
+	"scarecrow/internal/evasion"
+)
+
+// TestGeneratorCoversCatalog closes the catalog loop (ISSUE 8
+// satellite 3): across a fixed-seed generation sweep, every catalog
+// entry appears in at least one synthesized predicate and every
+// evasion.Technique constant is reachable. An entry the generator
+// cannot express is itself a blind spot.
+func TestGeneratorCoversCatalog(t *testing.T) {
+	gen := NewGenerator(2, 4)
+	entryHit := map[string]bool{}
+	techHit := map[evasion.Technique]bool{}
+	const sweep = 300
+	for i := 0; i < sweep; i++ {
+		n := gen.Generate()
+		for _, leaf := range n.Leaves() {
+			entryHit[leaf.Entry] = true
+			techHit[gen.Entries()[leaf.Entry].Technique] = true
+		}
+	}
+	for _, e := range evasion.Catalog() {
+		if !entryHit[e.Name] {
+			t.Errorf("catalog entry %q never appeared in %d fixed-seed generations", e.Name, sweep)
+		}
+	}
+	for _, tech := range evasion.Techniques() {
+		if !techHit[tech] {
+			t.Errorf("technique %q unreachable by the generator", tech)
+		}
+	}
+}
+
+// TestGeneratorDeterministic: same seed, same sequence.
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(17, 3), NewGenerator(17, 3)
+	for i := 0; i < 100; i++ {
+		na, nb := a.Generate(), b.Generate()
+		if na.Canonical() != nb.Canonical() {
+			t.Fatalf("generation %d diverges: %q vs %q", i, na.Canonical(), nb.Canonical())
+		}
+	}
+}
+
+// TestGeneratorRespectsBounds: generated and mutated trees always
+// satisfy the codec bounds and structural validity.
+func TestGeneratorRespectsBounds(t *testing.T) {
+	gen := NewGenerator(19, MaxDepth)
+	entries := gen.Entries()
+	n := gen.Generate()
+	for i := 0; i < 500; i++ {
+		if err := n.Validate(entries); err != nil {
+			t.Fatalf("step %d: invalid tree: %v", i, err)
+		}
+		if err := CheckBounds(n); err != nil {
+			t.Fatalf("step %d: out of bounds: %v", i, err)
+		}
+		n = gen.Mutate(n)
+	}
+}
+
+// TestMutateLeavesParentIntact: mutation never aliases or edits the
+// parent tree.
+func TestMutateLeavesParentIntact(t *testing.T) {
+	gen := NewGenerator(23, 3)
+	parent := gen.Generate()
+	before := parent.Canonical()
+	for i := 0; i < 200; i++ {
+		_ = gen.Mutate(parent)
+		if parent.Canonical() != before {
+			t.Fatalf("mutation %d modified the parent: %q → %q", i, before, parent.Canonical())
+		}
+	}
+}
+
+// TestFingerprintOrderSensitive: AND(a,b) and AND(b,a) are distinct
+// predicates (evaluation order is semantic under short-circuiting),
+// while identical trees collide.
+func TestFingerprintOrderSensitive(t *testing.T) {
+	a := &Node{Op: OpLeaf, Entry: "file:deepfreeze"}
+	b := &Node{Op: OpLeaf, Entry: "wt:dns-cache"}
+	ab := &Node{Op: OpAnd, Kids: []*Node{a, b}}
+	ba := &Node{Op: OpAnd, Kids: []*Node{b, a}}
+	if ab.Fingerprint() == ba.Fingerprint() {
+		t.Error("kid order not reflected in fingerprint")
+	}
+	if ab.Fingerprint() != ab.Clone().Fingerprint() {
+		t.Error("clone fingerprint differs")
+	}
+}

@@ -1,0 +1,135 @@
+package synth
+
+// Minimize delta-debugs a surviving predicate down to a minimal
+// surviving core: it repeatedly applies the first size-reducing
+// rewrite that preserves the gap, until none applies. The candidate
+// order is a pure function of the tree shape and the evaluator is
+// memoized with fingerprint-derived seeds, so minimization is
+// deterministic and — because the result admits no further accepted
+// rewrite — idempotent: Minimize(Minimize(p)) == Minimize(p).
+//
+// Rewrites, tried in order at each node (pre-order):
+//  1. hoist: replace the whole tree with one subtree of a connective
+//  2. drop: remove one kid from a ≥3-kid and/or
+//  3. unwrap: replace not(x) with x
+//  4. undelay: zero a leaf's timing delta
+//
+// The input predicate must be a gap under ev; Minimize returns the
+// input unchanged (cloned) otherwise.
+func Minimize(n *Node, ev *Evaluator) *Node {
+	cur := n.Clone()
+	if !ev.Evaluate(cur).Gap {
+		return cur
+	}
+	for {
+		next, ok := shrinkStep(cur, ev)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkStep returns the first candidate rewrite of cur that still
+// survives as a gap.
+func shrinkStep(cur *Node, ev *Evaluator) (*Node, bool) {
+	for _, cand := range candidates(cur) {
+		if cand.Size() >= cur.Size() && !lessDelay(cand, cur) {
+			continue
+		}
+		if ev.Evaluate(cand).Gap {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// lessDelay reports whether a has strictly less total leaf delay than
+// b (the undelay rewrite keeps size equal but reduces delay, so the
+// size guard alone would reject it).
+func lessDelay(a, b *Node) bool {
+	return totalDelay(a) < totalDelay(b)
+}
+
+func totalDelay(n *Node) int {
+	sum := 0
+	for _, leaf := range n.Leaves() {
+		sum += leaf.DelayMS
+	}
+	return sum
+}
+
+// candidates enumerates every single-rewrite reduction of the tree,
+// in deterministic order: for each node in pre-order, hoists first,
+// then drops, then unwraps, then undelays.
+func candidates(root *Node) []*Node {
+	var out []*Node
+
+	// rebuild clones root with the node at path replaced by repl
+	// (repl nil means "remove from parent's kids" — only valid for
+	// kids of wide connectives, enforced by the caller).
+	var paths [][]int
+	var walk func(n *Node, path []int)
+	walk = func(n *Node, path []int) {
+		paths = append(paths, append([]int(nil), path...))
+		for i, k := range n.Kids {
+			walk(k, append(path, i))
+		}
+	}
+	walk(root, nil)
+
+	for _, path := range paths {
+		node := at(root, path)
+		switch node.Op {
+		case OpAnd, OpOr:
+			// hoist each kid into this node's position
+			for i := range node.Kids {
+				out = append(out, replaceAt(root, path, node.Kids[i].Clone()))
+			}
+			// drop each kid, when ≥ 3 remain
+			if len(node.Kids) > 2 {
+				for i := range node.Kids {
+					slim := node.Clone()
+					slim.Kids = append(slim.Kids[:i:i], slim.Kids[i+1:]...)
+					out = append(out, replaceAt(root, path, slim))
+				}
+			}
+		case OpNot:
+			// Double negation collapses in one step: not(x) alone has
+			// different semantics than not(not(x)), so the two
+			// single-unwrap path would stall at a non-surviving
+			// intermediate.
+			if node.Kids[0].Op == OpNot {
+				out = append(out, replaceAt(root, path, node.Kids[0].Kids[0].Clone()))
+			}
+			out = append(out, replaceAt(root, path, node.Kids[0].Clone()))
+		case OpLeaf:
+			if node.DelayMS > 0 {
+				plain := node.Clone()
+				plain.DelayMS = 0
+				out = append(out, replaceAt(root, path, plain))
+			}
+		}
+	}
+	return out
+}
+
+// at resolves a kid-index path to its node.
+func at(root *Node, path []int) *Node {
+	n := root
+	for _, i := range path {
+		n = n.Kids[i]
+	}
+	return n
+}
+
+// replaceAt clones root with the node at path replaced by repl.
+func replaceAt(root *Node, path []int, repl *Node) *Node {
+	if len(path) == 0 {
+		return repl
+	}
+	out := root.Clone()
+	parent := at(out, path[:len(path)-1])
+	parent.Kids[path[len(path)-1]] = repl
+	return out
+}

@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"testing"
+)
+
+// minimizerCases are predicate trees that all survive the legacy DB,
+// each with a known minimal core.
+func minimizerCases() []struct {
+	name string
+	tree *Node
+	want string // canonical form of the expected minimum
+} {
+	df := func() *Node { return &Node{Op: OpLeaf, Entry: "file:deepfreeze"} }
+	return []struct {
+		name string
+		tree *Node
+		want string
+	}{
+		{
+			name: "planted-conjunction",
+			tree: plantedGap(),
+			want: "file:deepfreeze@0",
+		},
+		{
+			name: "already-minimal",
+			tree: df(),
+			want: "file:deepfreeze@0",
+		},
+		{
+			name: "delay-stripped",
+			tree: &Node{Op: OpLeaf, Entry: "file:deepfreeze", DelayMS: 1000},
+			want: "file:deepfreeze@0",
+		},
+		{
+			name: "double-negation",
+			tree: &Node{Op: OpNot, Kids: []*Node{{Op: OpNot, Kids: []*Node{df()}}}},
+			want: "file:deepfreeze@0",
+		},
+		{
+			name: "disjunction-of-gaps",
+			tree: &Node{Op: OpOr, Kids: []*Node{
+				df(),
+				{Op: OpLeaf, Entry: "proc:deepfreeze"},
+			}},
+			want: "file:deepfreeze@0",
+		},
+		{
+			name: "wide-conjunction",
+			tree: &Node{Op: OpAnd, Kids: []*Node{
+				{Op: OpLeaf, Entry: "wt:dns-cache"},
+				{Op: OpLeaf, Entry: "wt:autoruns"},
+				df(),
+			}},
+			want: "file:deepfreeze@0",
+		},
+	}
+}
+
+// TestMinimizeTable: each known-gap tree shrinks to its expected
+// minimal core.
+func TestMinimizeTable(t *testing.T) {
+	for _, tc := range minimizerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ev := NewEvaluator(42)
+			ev.DB = legacyDB()
+			if !ev.Evaluate(tc.tree).Gap {
+				t.Fatalf("precondition: %s is not a gap under the legacy DB", tc.tree.Canonical())
+			}
+			min := Minimize(tc.tree, ev)
+			if got := min.Canonical(); got != tc.want {
+				t.Errorf("minimized to %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMinimizeIdempotent: minimize(minimize(p)) == minimize(p) for
+// every table case (ISSUE 8 satellite 2).
+func TestMinimizeIdempotent(t *testing.T) {
+	for _, tc := range minimizerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ev := NewEvaluator(42)
+			ev.DB = legacyDB()
+			once := Minimize(tc.tree, ev)
+			twice := Minimize(once, ev)
+			if once.Canonical() != twice.Canonical() {
+				t.Errorf("not idempotent: %q then %q", once.Canonical(), twice.Canonical())
+			}
+		})
+	}
+}
+
+// TestMinimizeDeterministic: three independent evaluators at the same
+// seed minimize to byte-identical canonical forms.
+func TestMinimizeDeterministic(t *testing.T) {
+	for _, tc := range minimizerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []string
+			for i := 0; i < 3; i++ {
+				ev := NewEvaluator(42)
+				ev.DB = legacyDB()
+				got = append(got, Minimize(tc.tree, ev).Canonical())
+			}
+			if got[0] != got[1] || got[1] != got[2] {
+				t.Errorf("nondeterministic minimization: %q %q %q", got[0], got[1], got[2])
+			}
+		})
+	}
+}
+
+// TestMinimizeResultStillSurvives: the minimizer never returns a
+// predicate that no longer survives (the contract fixtures rely on).
+func TestMinimizeResultStillSurvives(t *testing.T) {
+	for _, tc := range minimizerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ev := NewEvaluator(42)
+			ev.DB = legacyDB()
+			min := Minimize(tc.tree, ev)
+			if !ev.Evaluate(min).Gap {
+				t.Errorf("minimized predicate %q is not a gap", min.Canonical())
+			}
+		})
+	}
+}
+
+// TestMinimizeNonGapUnchanged: minimizing a predicate that is not a
+// gap returns it unchanged (clone) rather than inventing a survivor.
+func TestMinimizeNonGapUnchanged(t *testing.T) {
+	ev := NewEvaluator(42) // stock DB: deep freeze is steered now
+	tree := plantedGap()
+	min := Minimize(tree, ev)
+	if min.Canonical() != tree.Canonical() {
+		t.Fatalf("non-gap was rewritten: %q → %q", tree.Canonical(), min.Canonical())
+	}
+}

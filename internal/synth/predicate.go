@@ -1,0 +1,312 @@
+// Package synth is Scarecrow's adversarial QA harness: a
+// coverage-guided fuzzer that composes evasive predicates from the
+// evasion check catalog, runs them as synthetic specimens through
+// analysis.Lab, and minimizes every surviving predicate into the
+// smallest camouflage gap that defeats the deception DB. Minimized
+// gaps become replayable JSON fixtures under testdata/gaps/ and
+// structured reports naming the DB entry or hook that should have
+// steered them (ISSUE 8; ROADMAP "coverage-guided specimen
+// synthesis").
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"scarecrow/internal/evasion"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/winapi"
+)
+
+// Op is a predicate-tree node operator.
+type Op string
+
+// Node operators. A leaf names a catalog entry; the connectives give
+// the bounded-depth boolean grammar of the generator (§II of the
+// paper calls real evasive logic "the ⋁ of checks"; conjunctions and
+// negations are the compositions the hand-written corpus never
+// explores).
+const (
+	OpLeaf Op = "leaf"
+	OpNot  Op = "not"
+	OpAnd  Op = "and"
+	OpOr   Op = "or"
+)
+
+// Node is one predicate-tree node. Kid order is semantic: evaluation
+// short-circuits left to right exactly like compiled evasive logic,
+// so AND(a,b) and AND(b,a) are distinct predicates (ordering
+// variants) with distinct fingerprints.
+type Node struct {
+	Op Op `json:"op"`
+	// Entry names the catalog entry (leaves only).
+	Entry string `json:"entry,omitempty"`
+	// Variant selects the entry's parameter variant (leaves only;
+	// clamped into range at compile time).
+	Variant int `json:"variant,omitempty"`
+	// DelayMS, when positive, sleeps that many virtual milliseconds
+	// before probing (leaves only) — the timing-delta variant: the
+	// sleep moves the probe across tick-acceleration boundaries.
+	DelayMS int `json:"delay_ms,omitempty"`
+	// Kids are the operands: exactly 1 for not, ≥ 2 for and/or.
+	Kids []*Node `json:"kids,omitempty"`
+}
+
+// Clone deep-copies the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Op: n.Op, Entry: n.Entry, Variant: n.Variant, DelayMS: n.DelayMS}
+	if n.Kids != nil {
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = k.Clone()
+		}
+	}
+	return c
+}
+
+// Size counts tree nodes — the minimizer's cost function.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, k := range n.Kids {
+		s += k.Size()
+	}
+	return s
+}
+
+// Depth is the tree height (a single leaf has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, k := range n.Kids {
+		if kd := k.Depth(); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
+}
+
+// Leaves appends the tree's leaf nodes in evaluation order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Op == OpLeaf {
+			out = append(out, m)
+			return
+		}
+		for _, k := range m.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Canonical renders the order-preserving canonical form the
+// fingerprint hashes: leaves as entry@variant(+delay), connectives
+// with kid order intact. Two predicates canonicalize equal iff they
+// evaluate identically on every environment, modulo variant clamping.
+func (n *Node) Canonical() string {
+	var b strings.Builder
+	n.writeCanonical(&b)
+	return b.String()
+}
+
+func (n *Node) writeCanonical(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("nil")
+		return
+	}
+	switch n.Op {
+	case OpLeaf:
+		fmt.Fprintf(b, "%s@%d", n.Entry, n.Variant)
+		if n.DelayMS > 0 {
+			fmt.Fprintf(b, "+%dms", n.DelayMS)
+		}
+	default:
+		b.WriteString(string(n.Op))
+		b.WriteByte('(')
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			k.writeCanonical(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Fingerprint is the canonical predicate identity: a 16-hex-digit
+// FNV-1a hash of the canonical form. Gap dedup, fixture file names,
+// and evaluation memoization all key on it.
+func (n *Node) Fingerprint() string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(n.Canonical()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Validate checks structural invariants the codec and generator both
+// enforce: known ops, leaves with catalog entries and no kids,
+// connectives with the right arity, non-negative delay.
+func (n *Node) Validate(entries map[string]evasion.CatalogEntry) error {
+	if n == nil {
+		return fmt.Errorf("synth: nil node")
+	}
+	switch n.Op {
+	case OpLeaf:
+		if len(n.Kids) != 0 {
+			return fmt.Errorf("synth: leaf with %d kids", len(n.Kids))
+		}
+		if _, ok := entries[n.Entry]; !ok {
+			return fmt.Errorf("synth: unknown catalog entry %q", n.Entry)
+		}
+		if n.DelayMS < 0 {
+			return fmt.Errorf("synth: negative delay %d", n.DelayMS)
+		}
+		return nil
+	case OpNot:
+		if len(n.Kids) != 1 {
+			return fmt.Errorf("synth: not with %d kids", len(n.Kids))
+		}
+	case OpAnd, OpOr:
+		if len(n.Kids) < 2 {
+			return fmt.Errorf("synth: %s with %d kids", n.Op, len(n.Kids))
+		}
+	default:
+		return fmt.Errorf("synth: unknown op %q", n.Op)
+	}
+	for _, k := range n.Kids {
+		if err := k.Validate(entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EntryIndex maps catalog entry names to their entries, built once
+// per caller from evasion.Catalog().
+func EntryIndex() map[string]evasion.CatalogEntry {
+	idx := make(map[string]evasion.CatalogEntry)
+	for _, e := range evasion.Catalog() {
+		idx[e.Name] = e
+	}
+	return idx
+}
+
+// Compile lowers the predicate tree into a single evasion.Check whose
+// probe evaluates the tree with left-to-right short-circuiting. The
+// check's Technique is the first leaf's (the trigger candidate), its
+// Name the fingerprint.
+func Compile(n *Node, entries map[string]evasion.CatalogEntry) (evasion.Check, error) {
+	if err := n.Validate(entries); err != nil {
+		return evasion.Check{}, err
+	}
+	probe, err := compileProbe(n, entries)
+	if err != nil {
+		return evasion.Check{}, err
+	}
+	tech := evasion.Technique("composite")
+	if leaves := n.Leaves(); len(leaves) > 0 {
+		tech = entries[leaves[0].Entry].Technique
+	}
+	return evasion.Check{
+		Name:      "synth:" + n.Fingerprint(),
+		Technique: tech,
+		Probe:     probe,
+	}, nil
+}
+
+func compileProbe(n *Node, entries map[string]evasion.CatalogEntry) (func(*winapi.Context) bool, error) {
+	switch n.Op {
+	case OpLeaf:
+		entry := entries[n.Entry]
+		check := entry.BuildVariant(n.Variant)
+		delay := time.Duration(n.DelayMS) * time.Millisecond
+		return func(ctx *winapi.Context) bool {
+			if delay > 0 {
+				ctx.Sleep(delay)
+			}
+			return check.Probe(ctx)
+		}, nil
+	case OpNot:
+		kid, err := compileProbe(n.Kids[0], entries)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *winapi.Context) bool { return !kid(ctx) }, nil
+	case OpAnd, OpOr:
+		kids := make([]func(*winapi.Context) bool, len(n.Kids))
+		for i, k := range n.Kids {
+			p, err := compileProbe(k, entries)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = p
+		}
+		isOr := n.Op == OpOr
+		return func(ctx *winapi.Context) bool {
+			for _, p := range kids {
+				if p(ctx) == isOr {
+					return isOr
+				}
+			}
+			return !isOr
+		}, nil
+	}
+	return nil, fmt.Errorf("synth: unknown op %q", n.Op)
+}
+
+// SourceSynthetic tags fuzzer-generated specimens.
+const SourceSynthetic = malware.Source("synthetic")
+
+// ToSpecimen wraps the compiled predicate in the standard synthetic
+// specimen body: terminate when the predicate detects an analysis
+// environment, otherwise run a payload with durable side effects
+// (file drop + Run-key persistence) so RawMutations distinguishes a
+// genuine survivor from a degenerate predicate that fires everywhere.
+func ToSpecimen(n *Node, entries map[string]evasion.CatalogEntry) (*malware.Specimen, error) {
+	check, err := Compile(n, entries)
+	if err != nil {
+		return nil, err
+	}
+	id := "syn_" + n.Fingerprint()[:12]
+	return &malware.Specimen{
+		ID:      id,
+		Family:  "synthetic",
+		Source:  SourceSynthetic,
+		Image:   malware.ImagePath(id),
+		Checks:  []evasion.Check{check},
+		React:   malware.ReactTerminate(),
+		Payload: malware.Compose(malware.PayloadDropper("synth_payload.exe"), malware.PayloadRegistryPersist("SynthGap", "synth_svc.exe")),
+		Notes:   "synthesized predicate " + n.Canonical(),
+	}, nil
+}
+
+// TechniquesOf returns the sorted, deduplicated techniques the
+// predicate's leaves span — the gap report's classification axis.
+func TechniquesOf(n *Node, entries map[string]evasion.CatalogEntry) []evasion.Technique {
+	set := map[evasion.Technique]bool{}
+	for _, leaf := range n.Leaves() {
+		set[entries[leaf.Entry].Technique] = true
+	}
+	out := make([]evasion.Technique, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
