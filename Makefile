@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke bench-hotpath bench-synth synth-smoke generate generate-check hooks ci
+.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke front-smoke bench-hotpath bench-synth synth-smoke generate generate-check hooks ci
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,15 @@ bench-synth:
 service-smoke:
 	bash scripts/service-smoke.sh
 
+# front-smoke drives scarefront's scale-out tier end to end over
+# localhost: the front bench (fleets of 2 and 4 gated at 0.7 x
+# min(N, GOMAXPROCS) x the single-backend warm rate), routed verdicts
+# with byte-identical cached replays, and a kill -9 of one backend
+# mid-campaign that must resume from its WAL checkpoint and finish with
+# every cell reported exactly once. Artifact: BENCH_front.json.
+front-smoke:
+	bash scripts/front-smoke.sh
+
 # hooks installs the repo's pre-commit hook (vet + scarelint) into .git.
 hooks:
 	install -m 0755 scripts/pre-commit .git/hooks/pre-commit
@@ -111,4 +120,4 @@ hooks:
 
 # ci mirrors .github/workflows/ci.yml: the tier-1 verify plus the static
 # checks. `make ci` green locally means CI is green.
-ci: build vet lint generate-check race cover fuzz-smoke synth-smoke bench-hotpath bench-synth service-smoke
+ci: build vet lint generate-check race cover fuzz-smoke synth-smoke bench-hotpath bench-synth service-smoke front-smoke

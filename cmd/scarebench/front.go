@@ -1,0 +1,279 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"scarecrow/internal/campaign"
+	"scarecrow/internal/front"
+	"scarecrow/internal/service"
+)
+
+// runFrontMode drives -front: measure the scale-out tier over in-process
+// backend fleets, print and write the report, and exit nonzero on sweep
+// errors or a missed -min-scaling gate.
+func runFrontMode(opts frontOptions, out string) {
+	report, err := benchFront(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scarebench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	if out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+	}
+	failed := false
+	for _, run := range append([]FrontRun{report.Baseline}, report.Runs...) {
+		if run.Cold.Errors > 0 || run.Warm.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "scarebench: N=%d sweep errors (cold %d, warm %d)\n", run.Backends, run.Cold.Errors, run.Warm.Errors)
+			failed = true
+		}
+	}
+	if opts.MinScaling > 0 {
+		for _, run := range report.Runs {
+			if run.ScalingX < opts.MinScaling*float64(run.ScalingBasis) {
+				fmt.Fprintf(os.Stderr,
+					"scarebench: N=%d aggregate warm scaling %.2fx below the required %.2f x %d — sharding is not paying off\n",
+					run.Backends, run.ScalingX, opts.MinScaling, run.ScalingBasis)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// frontOptions sizes the scale-out benchmark.
+type frontOptions struct {
+	// Fleets lists the backend counts to measure (beyond the N=1
+	// baseline).
+	Fleets []int
+	Seeds  int
+	Quota  int
+	// MinScaling gates each fleet: aggregate warm verdicts/s must be at
+	// least MinScaling x basis x the single-backend warm rate, where
+	// basis = min(N, GOMAXPROCS). On a box with fewer cores than
+	// backends, in-process shards time-slice one CPU — near-linear
+	// scaling is physically unobservable there, so the basis clamps the
+	// expectation to the parallelism the host can actually express.
+	MinScaling float64
+}
+
+// FrontBackendStat is one backend's share of a fleet's warm sweep.
+type FrontBackendStat struct {
+	Index        int     `json:"index"`
+	Cells        int     `json:"cells"`
+	WallS        float64 `json:"wall_s"`
+	VerdictsPerS float64 `json:"verdicts_per_s"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	LabRuns      uint64  `json:"lab_runs"`
+}
+
+// FrontRun is one fleet size's cold/warm measurement through the front.
+type FrontRun struct {
+	Backends int `json:"backends"`
+
+	Cold campaign.Summary `json:"cold"`
+	Warm campaign.Summary `json:"warm"`
+
+	// PerBackend breaks the warm sweep down by shard: every backend's
+	// sub-campaign cells and rate, plus its service counters after both
+	// sweeps.
+	PerBackend []FrontBackendStat `json:"per_backend"`
+
+	// ScalingX is this fleet's aggregate warm verdicts/s over the N=1
+	// baseline's (1.0 for the baseline itself).
+	ScalingX float64 `json:"scaling_x"`
+	// ScalingBasis is min(backends, GOMAXPROCS): the parallelism the
+	// host can actually express for in-process shards.
+	ScalingBasis int `json:"scaling_basis"`
+}
+
+// FrontReport is the -front artifact (BENCH_front.json): the same
+// catalog sweep pushed through scarefront's routing/merge layer over
+// fleets of in-process backends, against a single-backend baseline.
+type FrontReport struct {
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Specimens  int    `json:"specimens"`
+	Seeds      int    `json:"seeds"`
+	Jobs       int    `json:"jobs"`
+	Quota      int    `json:"quota"`
+
+	Baseline FrontRun   `json:"baseline"`
+	Runs     []FrontRun `json:"runs"`
+}
+
+func (r FrontReport) String() string {
+	s := fmt.Sprintf("scarebench front: %d specimens x %d seeds = %d jobs (quota %d, GOMAXPROCS %d)\n",
+		r.Specimens, r.Seeds, r.Jobs, r.Quota, r.GoMaxProcs)
+	for _, run := range append([]FrontRun{r.Baseline}, r.Runs...) {
+		s += fmt.Sprintf("  N=%d: cold %.2fs (%.1f verdicts/s), warm %.2fs (%.1f verdicts/s), scaling %.2fx (basis %d)\n",
+			run.Backends, run.Cold.WallS, run.Cold.VerdictsPerS,
+			run.Warm.WallS, run.Warm.VerdictsPerS, run.ScalingX, run.ScalingBasis)
+		for _, b := range run.PerBackend {
+			s += fmt.Sprintf("    backend %d: %d cells, %.1f verdicts/s warm, %.0f%% cache hit-rate\n",
+				b.Index, b.Cells, b.VerdictsPerS, 100*b.CacheHitRate)
+		}
+	}
+	return s
+}
+
+// benchBackend is one in-process scarecrowd shard under the benchmark
+// front.
+type benchBackend struct {
+	srv *service.Server
+	eng *campaign.Engine
+	ts  *httptest.Server
+}
+
+func startBenchBackend() *benchBackend {
+	srv := service.NewServer(service.Config{Workers: 4, QueueDepth: 64, CacheSize: 4096})
+	srv.Start()
+	eng := campaign.NewEngine(srv, campaign.Options{})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	eng.Register(mux)
+	return &benchBackend{srv: srv, eng: eng, ts: httptest.NewServer(mux)}
+}
+
+func (b *benchBackend) close() {
+	b.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = b.srv.Shutdown(ctx)
+}
+
+// benchFront measures the N=1 baseline and each requested fleet size.
+func benchFront(opts frontOptions) (FrontReport, error) {
+	if opts.Seeds < 1 {
+		opts.Seeds = 1
+	}
+	if opts.Quota < 1 {
+		opts.Quota = 8
+	}
+	specimens := sweepSpecimens()
+	report := FrontReport{
+		Benchmark:  "scarebench-front",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Specimens:  len(specimens),
+		Seeds:      opts.Seeds,
+		Jobs:       len(specimens) * opts.Seeds,
+		Quota:      opts.Quota,
+	}
+	seeds := make([]int64, opts.Seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	manifest := campaign.Manifest{Specimens: specimens, Seeds: seeds, Quota: opts.Quota}
+
+	baseline, err := benchFleet(1, manifest)
+	if err != nil {
+		return report, fmt.Errorf("baseline fleet: %w", err)
+	}
+	baseline.ScalingX = 1
+	baseline.ScalingBasis = 1
+	report.Baseline = baseline
+
+	for _, n := range opts.Fleets {
+		if n < 2 {
+			continue
+		}
+		run, err := benchFleet(n, manifest)
+		if err != nil {
+			return report, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		if baseline.Warm.VerdictsPerS > 0 {
+			run.ScalingX = run.Warm.VerdictsPerS / baseline.Warm.VerdictsPerS
+		}
+		run.ScalingBasis = n
+		if g := runtime.GOMAXPROCS(0); g < run.ScalingBasis {
+			run.ScalingBasis = g
+		}
+		report.Runs = append(report.Runs, run)
+	}
+	return report, nil
+}
+
+// benchFleet runs the cold/warm sweep through a front over n fresh
+// backends and collects per-shard warm stats.
+func benchFleet(n int, manifest campaign.Manifest) (FrontRun, error) {
+	run := FrontRun{Backends: n}
+	backends := make([]*benchBackend, n)
+	urls := make([]string, n)
+	for i := range backends {
+		backends[i] = startBenchBackend()
+		urls[i] = backends[i].ts.URL
+		defer backends[i].close()
+	}
+	f, err := front.New(front.Options{Backends: urls, FrontID: "bench"})
+	if err != nil {
+		return run, err
+	}
+	f.Start()
+	defer f.Close()
+	fts := httptest.NewServer(f.Handler())
+	defer fts.Close()
+
+	if run.Cold, err = sweep(fts.URL, manifest); err != nil {
+		return run, fmt.Errorf("cold sweep: %w", err)
+	}
+	if run.Warm, err = sweep(fts.URL, manifest); err != nil {
+		return run, fmt.Errorf("warm sweep: %w", err)
+	}
+	for i, b := range backends {
+		stat := FrontBackendStat{Index: i}
+		// The newest sub-campaign on each backend is its share of the
+		// warm sweep (List is sorted by launch-ordered IDs).
+		if sums := b.eng.List(); len(sums) > 0 {
+			warm := sums[len(sums)-1]
+			stat.Cells = warm.Total
+			stat.WallS = warm.WallS
+			if warm.WallS > 0 {
+				stat.VerdictsPerS = float64(warm.Completed) / warm.WallS
+			}
+		}
+		snap := b.srv.Snapshot()
+		stat.CacheHitRate = snap.CacheHitRate
+		stat.LabRuns = snap.LabRuns
+		run.PerBackend = append(run.PerBackend, stat)
+	}
+	return run, nil
+}
+
+// parseFleets parses the -front-backends list ("2,4") into fleet sizes.
+func parseFleets(raw string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no fleet sizes in %q", raw)
+	}
+	return out, nil
+}

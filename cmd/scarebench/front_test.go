@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The -front measurement machinery end to end, sized small: a baseline
+// and one fleet of two, every sweep complete and error-free, the shard
+// accounting consistent. The real gate values are exercised by make
+// bench-front.
+func TestBenchFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("front fleet benchmarks take a few seconds")
+	}
+	report, err := benchFront(frontOptions{Fleets: []int{2}, Seeds: 1, Quota: 8})
+	if err != nil {
+		t.Fatalf("benchFront: %v", err)
+	}
+	jobs := len(sweepSpecimens())
+	if report.Jobs != jobs {
+		t.Fatalf("jobs = %d, want %d", report.Jobs, jobs)
+	}
+	if len(report.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(report.Runs))
+	}
+	for _, run := range []FrontRun{report.Baseline, report.Runs[0]} {
+		if run.Cold.Completed != jobs || run.Warm.Completed != jobs {
+			t.Fatalf("N=%d incomplete: cold %d warm %d of %d", run.Backends, run.Cold.Completed, run.Warm.Completed, jobs)
+		}
+		if run.Cold.Errors != 0 || run.Warm.Errors != 0 {
+			t.Fatalf("N=%d sweep errors: cold %d warm %d", run.Backends, run.Cold.Errors, run.Warm.Errors)
+		}
+		if run.ScalingX <= 0 || run.ScalingBasis < 1 {
+			t.Fatalf("N=%d scaling unmeasured: %+v", run.Backends, run)
+		}
+	}
+	fleet := report.Runs[0]
+	if fleet.ScalingBasis > 2 {
+		t.Fatalf("fleet of 2 has basis %d", fleet.ScalingBasis)
+	}
+	cells := 0
+	for _, b := range fleet.PerBackend {
+		if b.Cells == 0 {
+			t.Fatalf("backend %d ran no cells; sharding broken", b.Index)
+		}
+		if b.LabRuns == 0 || b.CacheHitRate == 0 {
+			t.Fatalf("backend %d counters unmeasured: %+v", b.Index, b)
+		}
+		cells += b.Cells
+	}
+	if cells != jobs {
+		t.Fatalf("shard cells sum to %d, want %d", cells, jobs)
+	}
+	if !strings.Contains(report.String(), "scaling") {
+		t.Fatalf("report rendering missing scaling: %s", report)
+	}
+}
+
+func TestParseFleets(t *testing.T) {
+	got, err := parseFleets(" 2, 4 ")
+	if err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("parseFleets = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", " , ", "2,zero", "0"} {
+		if _, err := parseFleets(bad); err == nil {
+			t.Errorf("parseFleets(%q) accepted", bad)
+		}
+	}
+}

@@ -18,6 +18,14 @@
 // the warm replay. -min-warm-speedup turns the comparison into a gate:
 // the warm sweep must beat the cold one by that factor, which only
 // happens when the verdict cache and durable store are actually serving.
+//
+// With -front the tool benchmarks the scale-out tier: the same catalog
+// sweep pushed through scarefront's hash-routing and SSE-merge layer
+// over in-process backend fleets (-front-backends, default 2 and 4),
+// against a single-backend baseline, writing BENCH_front.json with
+// per-backend and aggregate throughput. -min-scaling gates each fleet
+// against min(N, GOMAXPROCS) times the baseline warm rate — the
+// parallelism the host can actually express.
 package main
 
 import (
@@ -59,6 +67,11 @@ func main() {
 		synthWorkers = flag.Int("synth-workers", 0, "evaluation fan-out width (0 = GOMAXPROCS)")
 		minCovGrowth = flag.Float64("min-cov-growth", 0, "fail unless unique coverage per 1k generations meets this floor (0 = no gate)")
 
+		frontMode     = flag.Bool("front", false, "benchmark the scale-out tier: cold+warm sweeps through scarefront over in-process backend fleets, no daemon needed")
+		frontOut      = flag.String("front-out", "BENCH_front.json", "front artifact path (empty = skip)")
+		frontBackends = flag.String("front-backends", "2,4", "comma-separated fleet sizes to measure against the N=1 baseline (front mode)")
+		minScaling    = flag.Float64("min-scaling", 0, "fail unless each fleet's aggregate warm rate is at least this fraction of min(N, GOMAXPROCS) x the single-backend rate (0 = no gate)")
+
 		hotpathMode     = flag.Bool("hotpath", false, "benchmark the in-process cold path: clone+run+marshal+commit, no daemon needed")
 		hotpathOut      = flag.String("hotpath-out", "BENCH_hotpath.json", "hotpath artifact path (empty = skip)")
 		hotpathN        = flag.Int("hotpath-n", 512, "cold verdicts to run (hotpath mode)")
@@ -76,6 +89,21 @@ func main() {
 			Workers:      *synthWorkers,
 			MinCovGrowth: *minCovGrowth,
 		}, *synthOut)
+		return
+	}
+
+	if *frontMode {
+		fleets, err := parseFleets(*frontBackends)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+		runFrontMode(frontOptions{
+			Fleets:     fleets,
+			Seeds:      *seeds,
+			Quota:      *quota,
+			MinScaling: *minScaling,
+		}, *frontOut)
 		return
 	}
 

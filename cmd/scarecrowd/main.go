@@ -89,7 +89,18 @@ func run(opts options, ready chan<- string) error {
 		Store:      st,
 	})
 	srv.Start()
-	eng := campaign.NewEngine(srv, campaign.Options{})
+	engOpts := campaign.Options{}
+	if st != nil {
+		engOpts.Checkpoints = st
+	}
+	eng := campaign.NewEngine(srv, engOpts)
+	resumed, err := eng.Resume()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scarecrowd: resuming campaigns: %v\n", err)
+	}
+	if len(resumed) > 0 {
+		fmt.Printf("scarecrowd: resumed %d checkpointed campaign(s)\n", len(resumed))
+	}
 
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -131,6 +142,12 @@ func run(opts options, ready chan<- string) error {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
+	}
+	// With the service drained, any campaign still sweeping aborts on its
+	// next submit; Drain waits for those final (resumable) checkpoints to
+	// land before the deferred store close takes the WAL away.
+	if err := eng.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "scarecrowd: campaign drain: %v\n", err)
 	}
 	stats := srv.Snapshot()
 	fmt.Printf("scarecrowd: drained. %d runs, %d cache hits (%.0f%% hit rate), %d store hits, %d coalesced, %d rejected\n",

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"scarecrow/internal/campaign"
+	"scarecrow/internal/service"
+)
+
+// startBackend runs one in-process scarecrowd-shaped backend and
+// returns its base URL.
+func startBackend(t *testing.T) string {
+	t.Helper()
+	srv := service.NewServer(service.Config{Workers: 2, QueueDepth: 32, CacheSize: 256})
+	srv.Start()
+	eng := campaign.NewEngine(srv, campaign.Options{})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	eng.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// bootFront starts run() in a goroutine and waits for the listen
+// address. The returned channel carries run's exit status.
+func bootFront(t *testing.T, opts options) (string, chan error) {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.Drain == 0 {
+		opts.Drain = 30 * time.Second
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(opts, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("front exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("front never became ready")
+	}
+	return "", nil
+}
+
+// drainFront SIGTERMs the test process and waits for run to return.
+func drainFront(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("signalling self: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("front did not drain after SIGTERM")
+	}
+}
+
+// The front end to end over two real backends: health, a verdict and its
+// byte-identical cached replay, a fanned-out campaign streamed to the
+// summary, then a clean SIGTERM drain.
+func TestFrontServesAndDrains(t *testing.T) {
+	backends := startBackend(t) + " , " + startBackend(t)
+	base, done := bootFront(t, options{Backends: backends, HealthInterval: 50 * time.Millisecond})
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(hz, []byte("ok")) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, hz)
+	}
+
+	body := []byte(`{"specimen":"kasidet","seed":3}`)
+	resp, err = http.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	v1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdict: status %d, body %s", resp.StatusCode, v1)
+	}
+
+	resp, err = http.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("verdict replay: %v", err)
+	}
+	v2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Scarecrow-Cache") != "hit" {
+		t.Errorf("replay not served from the owning backend's cache")
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("replay bytes differ through the front:\n%s\nvs\n%s", v1, v2)
+	}
+
+	resp, err = http.Post(base+"/v1/campaign", "application/json",
+		strings.NewReader(`{"specimens":["kasidet","locky"],"seeds":[1,2]}`))
+	if err != nil {
+		t.Fatalf("campaign launch: %v", err)
+	}
+	var launched struct {
+		ID     string `json:"id"`
+		Total  int    `json:"total"`
+		Events string `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&launched); err != nil {
+		t.Fatalf("decoding launch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || launched.Total != 4 {
+		t.Fatalf("launch: status %d, %+v", resp.StatusCode, launched)
+	}
+
+	stream, err := http.Get(base + launched.Events)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer stream.Body.Close()
+	verdicts, sawSummary := 0, false
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		switch {
+		case strings.HasPrefix(sc.Text(), "event: verdict"):
+			verdicts++
+		case strings.HasPrefix(sc.Text(), "event: summary"):
+			sawSummary = true
+		}
+	}
+	if verdicts != 4 || !sawSummary {
+		t.Fatalf("merged stream carried %d verdicts (want 4), summary=%v", verdicts, sawSummary)
+	}
+
+	drainFront(t, done)
+}
+
+func TestRunRejectsNoBackends(t *testing.T) {
+	err := run(options{Addr: "127.0.0.1:0", Backends: " , ", Drain: time.Second}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no backends") {
+		t.Fatalf("no backends: err = %v, want config failure", err)
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	err := run(options{Addr: "256.256.256.256:99999", Backends: "http://127.0.0.1:1", Drain: time.Second}, nil)
+	if err == nil || !strings.Contains(err.Error(), "listening") {
+		t.Fatalf("bad addr: err = %v, want listen failure", err)
+	}
+}

@@ -28,10 +28,12 @@ import (
 )
 
 // Manifest is the body of POST /v1/campaign: the batch to sweep. The job
-// list is the cross product (Specimens + Predicates) × Profiles × Seeds.
+// list is the cross product (Specimens + Predicates) × Profiles × Seeds —
+// or, for sub-campaigns fanned out by a shard front, the explicit Cells
+// list.
 type Manifest struct {
 	// Specimens lists catalog names (wannacry, joe:<id>, mg:<id>, ...).
-	Specimens []string `json:"specimens"`
+	Specimens []string `json:"specimens,omitempty"`
 	// Predicates lists synthesized predicate trees (synth.Node JSON) to
 	// sweep alongside the named specimens — the fuzzer's campaign-scale
 	// submission path. Each is validated at launch (HTTP 400 on a
@@ -45,6 +47,31 @@ type Manifest struct {
 	// queue (default/cap set by the engine) — the fairness knob that
 	// keeps a batch from starving interactive traffic.
 	Quota int `json:"quota,omitempty"`
+	// Cells lists explicit (specimen-or-predicate, profile, seed) cells
+	// instead of a cross product — the shape scarefront uses to hand
+	// each backend exactly the cells its shard owns (an arbitrary subset
+	// of a cross product is not itself a cross product). Mutually
+	// exclusive with Specimens/Predicates/Profiles/Seeds.
+	Cells []Cell `json:"cells,omitempty"`
+	// Tag is an optional caller-supplied label, surfaced in summaries
+	// and used as the campaign's durable checkpoint identity: a crashed
+	// backend resumes a tagged campaign under the same tag, which is how
+	// a front re-finds the sub-campaigns it fanned out.
+	Tag string `json:"tag,omitempty"`
+}
+
+// Cell is one explicit campaign cell. Exactly one of Specimen and
+// Predicate must be set.
+type Cell struct {
+	// Specimen names a catalog sample, as in Manifest.Specimens.
+	Specimen string `json:"specimen,omitempty"`
+	// Predicate carries a synthesized predicate tree (synth.Node JSON);
+	// the cell is labelled "syn:<fingerprint>" in events.
+	Predicate json.RawMessage `json:"predicate,omitempty"`
+	// Profile is the machine profile ("" = service default).
+	Profile string `json:"profile,omitempty"`
+	// Seed drives machine construction.
+	Seed int64 `json:"seed"`
 }
 
 // jobSpec is one expanded (specimen, profile, seed) cell. Synthesized
@@ -68,10 +95,14 @@ func (j jobSpec) request() service.SubmitRequest {
 
 // expand validates the manifest shape and builds the job list in
 // deterministic specimen-major order (named specimens first, then
-// predicates in manifest order).
+// predicates in manifest order). A Cells manifest expands in cell
+// order instead.
 func (m Manifest) expand(maxJobs int) ([]jobSpec, error) {
+	if len(m.Cells) > 0 {
+		return m.expandCells(maxJobs)
+	}
 	if len(m.Specimens) == 0 && len(m.Predicates) == 0 {
-		return nil, fmt.Errorf("campaign: manifest lists no specimens or predicates")
+		return nil, fmt.Errorf("campaign: manifest lists no specimens, predicates, or cells")
 	}
 	type cell struct {
 		name string
@@ -117,6 +148,63 @@ func (m Manifest) expand(maxJobs int) ([]jobSpec, error) {
 	return jobs, nil
 }
 
+// expandCells builds the job list from an explicit Cells manifest, in
+// cell order.
+func (m Manifest) expandCells(maxJobs int) ([]jobSpec, error) {
+	if len(m.Specimens) > 0 || len(m.Predicates) > 0 || len(m.Profiles) > 0 || len(m.Seeds) > 0 {
+		return nil, fmt.Errorf("campaign: cells are mutually exclusive with specimens/predicates/profiles/seeds")
+	}
+	if len(m.Cells) > maxJobs {
+		return nil, fmt.Errorf("campaign: %d jobs exceeds the per-campaign limit of %d", len(m.Cells), maxJobs)
+	}
+	jobs := make([]jobSpec, 0, len(m.Cells))
+	for i, cl := range m.Cells {
+		hasSpec, hasPred := cl.Specimen != "", len(cl.Predicate) > 0
+		if hasSpec == hasPred {
+			return nil, fmt.Errorf("campaign: cell %d: exactly one of specimen and predicate must be set", i)
+		}
+		js := jobSpec{Specimen: cl.Specimen, Profile: cl.Profile, Seed: cl.Seed}
+		if hasPred {
+			var n *synth.Node
+			if err := json.Unmarshal(cl.Predicate, &n); err != nil {
+				return nil, fmt.Errorf("campaign: cell %d: %w", i, err)
+			}
+			if err := synth.CheckBounds(n); err != nil {
+				return nil, fmt.Errorf("campaign: cell %d: %w", i, err)
+			}
+			if err := n.Validate(synth.EntryIndex()); err != nil {
+				return nil, fmt.Errorf("campaign: cell %d: %w", i, err)
+			}
+			js.Specimen = "syn:" + n.Fingerprint()
+			js.Predicate = cl.Predicate
+		}
+		jobs = append(jobs, js)
+	}
+	return jobs, nil
+}
+
+// ExpandCells expands the manifest into its explicit cell list — the
+// same cells, in the same order, the engine itself would run, with the
+// same validation. A shard front uses this to fan one cross-product
+// manifest out as per-backend Cells sub-manifests.
+func (m Manifest) ExpandCells(maxJobs int) ([]Cell, error) {
+	jobs, err := m.expand(maxJobs)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(jobs))
+	for _, j := range jobs {
+		c := Cell{Profile: j.Profile, Seed: j.Seed}
+		if len(j.Predicate) > 0 {
+			c.Predicate = j.Predicate
+		} else {
+			c.Specimen = j.Specimen
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
 // Campaign lifecycle states.
 const (
 	StateRunning = "running"
@@ -154,6 +242,7 @@ type Event struct {
 // wire form.
 type Summary struct {
 	ID         string         `json:"id"`
+	Tag        string         `json:"tag,omitempty"`
 	State      string         `json:"state"`
 	Total      int            `json:"total"`
 	Completed  int            `json:"completed"`
@@ -163,12 +252,19 @@ type Summary struct {
 
 	WallS        float64 `json:"wall_s"`
 	VerdictsPerS float64 `json:"verdicts_per_s"`
+
+	// ResumedFrom is the checkpointed completion watermark this campaign
+	// was resumed from (0 for a fresh launch).
+	ResumedFrom int `json:"resumed_from,omitempty"`
+	// CheckpointErrors counts failed checkpoint writes — advisory, the
+	// sweep itself is unaffected.
+	CheckpointErrors int `json:"checkpoint_errors,omitempty"`
 }
 
-// eventRing bounds each campaign's event memory. Large enough that any
-// live SSE consumer (or a reconnect within the same sweep) resumes
-// losslessly; a consumer further behind than this gets a snapshot event
-// and continues from there.
+// eventRing is the default bound on each campaign's event memory. Large
+// enough that any live SSE consumer (or a reconnect within the same
+// sweep) resumes losslessly; a consumer further behind than this gets a
+// snapshot event and continues from there.
 const eventRing = 4096
 
 // Campaign is one running or finished sweep. Everything above mu is
@@ -177,10 +273,13 @@ type Campaign struct {
 	// ID addresses the campaign in /v1/campaign/{id}.
 	ID string
 
-	manifest Manifest
-	jobs     []jobSpec
-	started  time.Time
-	done     chan struct{}
+	manifest    Manifest
+	jobs        []jobSpec
+	started     time.Time
+	done        chan struct{}
+	ring        int    // event ring capacity
+	ckptName    string // durable checkpoint identity (tag or manifest hash)
+	resumedFrom int    // checkpointed watermark at resume (0 = fresh)
 
 	mu         sync.Mutex
 	state      string
@@ -192,15 +291,21 @@ type Campaign struct {
 	events     []Event // ring: events[0].Seq is the oldest retained
 	nextSeq    uint64
 	subs       map[chan struct{}]bool
+	lastCkpt   int // completed watermark at the last periodic checkpoint
+	ckptErrors int
 }
 
-func newCampaign(id string, m Manifest, jobs []jobSpec) *Campaign {
+func newCampaign(id string, m Manifest, jobs []jobSpec, ring int) *Campaign {
+	if ring <= 0 {
+		ring = eventRing
+	}
 	return &Campaign{
 		ID:         id,
 		manifest:   m,
 		jobs:       jobs,
 		started:    time.Now(),
 		done:       make(chan struct{}),
+		ring:       ring,
 		state:      StateRunning,
 		categories: make(map[string]int),
 		subs:       make(map[chan struct{}]bool),
@@ -231,14 +336,17 @@ func (c *Campaign) summaryLocked() Summary {
 		cats[k] = v
 	}
 	s := Summary{
-		ID:         c.ID,
-		State:      c.state,
-		Total:      len(c.jobs),
-		Completed:  c.completed,
-		Errors:     c.errors,
-		CacheHits:  c.cacheHits,
-		Categories: cats,
-		WallS:      wall.Seconds(),
+		ID:               c.ID,
+		Tag:              c.manifest.Tag,
+		State:            c.state,
+		Total:            len(c.jobs),
+		Completed:        c.completed,
+		Errors:           c.errors,
+		CacheHits:        c.cacheHits,
+		Categories:       cats,
+		WallS:            wall.Seconds(),
+		ResumedFrom:      c.resumedFrom,
+		CheckpointErrors: c.ckptErrors,
 	}
 	if wall > 0 {
 		s.VerdictsPerS = float64(c.completed) / wall.Seconds()
@@ -289,8 +397,8 @@ func (c *Campaign) appendLocked(ev Event) {
 	ev.Completed = c.completed
 	ev.Total = len(c.jobs)
 	c.events = append(c.events, ev)
-	if len(c.events) > eventRing {
-		c.events = c.events[len(c.events)-eventRing:]
+	if len(c.events) > c.ring {
+		c.events = c.events[len(c.events)-c.ring:]
 	}
 	for ch := range c.subs { //maporder:ok — wakeup poke, every subscriber gets one, order is moot
 		select {

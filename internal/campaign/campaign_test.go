@@ -484,7 +484,7 @@ func TestSSEResumeWithLastEventID(t *testing.T) {
 func TestSSEResumeBeyondRingGetsSnapshot(t *testing.T) {
 	e := NewEngine(nil, Options{})
 	jobs := []jobSpec{{Specimen: "synthetic", Seed: 1}}
-	c := newCampaign("c00000001", Manifest{Specimens: []string{"synthetic"}}, jobs)
+	c := newCampaign("c00000001", Manifest{Specimens: []string{"synthetic"}}, jobs, eventRing)
 	e.mu.Lock()
 	e.campaigns[c.ID] = c
 	e.order = append(e.order, c.ID)

@@ -1,0 +1,344 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scarecrow/internal/service"
+	"scarecrow/internal/store"
+)
+
+func shutdownServer(t *testing.T, s *service.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// memCheckpoints is an in-memory CheckpointStore that records write
+// order, so tests can assert when checkpoints happen, not just that
+// they do.
+type memCheckpoints struct {
+	mu     sync.Mutex
+	recs   map[string][]byte
+	writes []string // names in write order
+	fail   bool
+}
+
+func newMemCheckpoints() *memCheckpoints {
+	return &memCheckpoints{recs: make(map[string][]byte)}
+}
+
+func (m *memCheckpoints) PutCheckpoint(name string, val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail {
+		return fmt.Errorf("fake checkpoint store: injected failure")
+	}
+	m.recs[name] = append([]byte(nil), val...)
+	m.writes = append(m.writes, name)
+	return nil
+}
+
+func (m *memCheckpoints) GetCheckpoint(name string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	val, ok := m.recs[name]
+	return val, ok, nil
+}
+
+func (m *memCheckpoints) Checkpoints() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.recs))
+	for name := range m.recs { // test fake; Resume sorts nothing on it
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+func (m *memCheckpoints) record(t *testing.T, name string) checkpointRecord {
+	t.Helper()
+	buf, ok, _ := m.GetCheckpoint(name)
+	if !ok {
+		t.Fatalf("no checkpoint named %q", name)
+	}
+	var rec checkpointRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatalf("checkpoint %q undecodable: %v", name, err)
+	}
+	return rec
+}
+
+func (m *memCheckpoints) writeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.writes)
+}
+
+func TestCellsManifestExpansion(t *testing.T) {
+	pred := json.RawMessage(`{"op":"leaf","entry":"file:deepfreeze"}`)
+	jobs, err := Manifest{Cells: []Cell{
+		{Specimen: "kasidet", Profile: "p1", Seed: 7},
+		{Predicate: pred, Seed: 3},
+		{Specimen: "kasidet", Seed: 7}, // duplicates are the caller's business
+	}}.expand(100)
+	if err != nil {
+		t.Fatalf("expand cells: %v", err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("expanded %d jobs, want 3", len(jobs))
+	}
+	if jobs[0].Specimen != "kasidet" || jobs[0].Profile != "p1" || jobs[0].Seed != 7 {
+		t.Fatalf("cell 0 expanded to %+v", jobs[0])
+	}
+	if jobs[1].Predicate == nil || jobs[1].Specimen == "" || jobs[1].Specimen[:4] != "syn:" {
+		t.Fatalf("predicate cell label = %q, want syn:<fp>", jobs[1].Specimen)
+	}
+
+	bad := []Manifest{
+		{Cells: []Cell{{Specimen: "a", Seed: 1}}, Specimens: []string{"b"}},
+		{Cells: []Cell{{Specimen: "a", Seed: 1}}, Seeds: []int64{2}},
+		{Cells: []Cell{{Seed: 1}}},                                       // neither specimen nor predicate
+		{Cells: []Cell{{Specimen: "a", Predicate: pred, Seed: 1}}},       // both
+		{Cells: []Cell{{Predicate: json.RawMessage(`{"op":`), Seed: 1}}}, // malformed tree
+	}
+	for i, m := range bad {
+		if _, err := m.expand(100); err == nil {
+			t.Errorf("bad cells manifest %d expanded without error", i)
+		}
+	}
+	if _, err := (Manifest{Cells: []Cell{{Specimen: "a", Seed: 1}, {Specimen: "b", Seed: 1}}}).expand(1); err == nil {
+		t.Fatal("over-limit cells manifest expanded without error")
+	}
+}
+
+// The engine writes a checkpoint at launch, periodically during the
+// sweep, and a terminal "done" record before Done() closes.
+func TestCheckpointLifecycle(t *testing.T) {
+	s := startServer(t, service.Config{})
+	cps := newMemCheckpoints()
+	e := NewEngine(s, Options{Checkpoints: cps, CheckpointEvery: 1})
+	c, err := e.Launch(Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 2, 3}, Tag: "sweep-a"})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	// The launch record is durable before any cell completes.
+	if rec := cps.record(t, "sweep-a"); rec.State != StateRunning || rec.Total != 3 {
+		t.Fatalf("launch record = %+v", rec)
+	}
+	sum := waitCampaign(t, c)
+	if sum.State != StateDone || sum.CheckpointErrors != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Terminal record: done at full completion. Done() closing after the
+	// final write is the ordering under test — no sleep needed.
+	rec := cps.record(t, "sweep-a")
+	if rec.State != StateDone || rec.Completed != 3 || rec.V != checkpointVersion {
+		t.Fatalf("final record = %+v", rec)
+	}
+	if rec.Manifest.Tag != "sweep-a" || len(rec.Manifest.Specimens) != 1 {
+		t.Fatalf("final record manifest = %+v", rec.Manifest)
+	}
+	// launch + up to 3 periodic (stride 1) + final.
+	if n := cps.writeCount(); n < 3 || n > 5 {
+		t.Fatalf("wrote %d checkpoints, want launch+periodic+final in [3,5]", n)
+	}
+
+	// A done record is not resumed.
+	e2 := NewEngine(s, Options{Checkpoints: cps})
+	resumed, err := e2.Resume()
+	if err != nil || len(resumed) != 0 {
+		t.Fatalf("Resume over done records = %v, %v", resumed, err)
+	}
+}
+
+// Checkpoint write failures are advisory: the sweep completes and the
+// failure count lands in the summary.
+func TestCheckpointFailureIsAdvisory(t *testing.T) {
+	s := startServer(t, service.Config{})
+	cps := newMemCheckpoints()
+	cps.fail = true
+	e := NewEngine(s, Options{Checkpoints: cps, CheckpointEvery: 1})
+	c, err := e.Launch(Manifest{Specimens: []string{"kasidet"}})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sum := waitCampaign(t, c)
+	if sum.State != StateDone {
+		t.Fatalf("state = %q, want done despite checkpoint failures", sum.State)
+	}
+	if sum.CheckpointErrors == 0 {
+		t.Fatal("checkpoint failures not surfaced in summary")
+	}
+}
+
+// A drain mid-campaign writes an aborted record; a fresh engine's
+// Resume picks it up and completes the sweep.
+func TestDrainWritesResumableCheckpoint(t *testing.T) {
+	s := startServer(t, service.Config{})
+	cps := newMemCheckpoints()
+	fs := &flakySubmitter{inner: s, drainFrom: 2}
+	e := NewEngine(fs, Options{Checkpoints: cps})
+	m := Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 2, 3, 4, 5}, Tag: "drained"}
+	c, err := e.Launch(m)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if sum := waitCampaign(t, c); sum.State != StateAborted || sum.Completed != 2 {
+		t.Fatalf("aborted summary = %+v", sum)
+	}
+	rec := cps.record(t, "drained")
+	if rec.State != StateAborted || rec.Completed != 2 || rec.Total != 5 {
+		t.Fatalf("drain record = %+v", rec)
+	}
+
+	// "Restart": a new engine over the same checkpoint store and a
+	// healthy submitter resumes and finishes the whole manifest.
+	e2 := NewEngine(s, Options{Checkpoints: cps})
+	resumed, err := e2.Resume()
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d campaigns, want 1", len(resumed))
+	}
+	sum := waitCampaign(t, resumed[0])
+	if sum.State != StateDone || sum.Completed != 5 || sum.Total != 5 {
+		t.Fatalf("resumed summary = %+v", sum)
+	}
+	if sum.ResumedFrom != 2 || sum.Tag != "drained" {
+		t.Fatalf("resume provenance missing: %+v", sum)
+	}
+	// The terminal record is now done: a third start resumes nothing.
+	if rec := cps.record(t, "drained"); rec.State != StateDone || rec.Completed != 5 {
+		t.Fatalf("post-resume record = %+v", rec)
+	}
+}
+
+// Resume skips corrupt records but still resumes the healthy ones, and
+// reports the first decode error.
+func TestResumeSkipsCorruptRecord(t *testing.T) {
+	s := startServer(t, service.Config{})
+	cps := newMemCheckpoints()
+	cps.recs["broken"] = []byte("not json")
+	rec, _ := json.Marshal(checkpointRecord{
+		V: checkpointVersion, State: StateAborted, Completed: 0, Total: 1,
+		Manifest: Manifest{Specimens: []string{"kasidet"}, Tag: "ok"},
+	})
+	cps.recs["ok"] = rec
+
+	e := NewEngine(s, Options{Checkpoints: cps})
+	resumed, err := e.Resume()
+	if err == nil {
+		t.Fatal("Resume swallowed the corrupt record")
+	}
+	if len(resumed) != 1 {
+		t.Fatalf("resumed %d campaigns, want the healthy 1", len(resumed))
+	}
+	if sum := waitCampaign(t, resumed[0]); sum.State != StateDone {
+		t.Fatalf("healthy resume did not complete: %+v", sum)
+	}
+}
+
+// End to end over the real store: a sweep aborted at 2/5 resumes on a
+// fresh service sharing the WAL; the two committed cells replay as
+// cache hits and only the lost three run in the lab.
+func TestResumeReplaysFromStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	s1 := service.NewServer(service.Config{Workers: 2, QueueDepth: 16, CacheSize: 64, Store: st})
+	s1.Start()
+	fs := &flakySubmitter{inner: s1, drainFrom: 2}
+	e1 := NewEngine(fs, Options{Checkpoints: st})
+	m := Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 2, 3, 4, 5}}
+	c1, err := e1.Launch(m)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if sum := waitCampaign(t, c1); sum.State != StateAborted || sum.Completed != 2 {
+		t.Fatalf("aborted summary = %+v", sum)
+	}
+	shutdownServer(t, s1)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// "Restart": reopen the WAL, fresh service and engine over it.
+	st2, err := store.Open(dir, store.Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	s2 := service.NewServer(service.Config{Workers: 2, QueueDepth: 16, CacheSize: 64, Store: st2})
+	s2.Start()
+	defer shutdownServer(t, s2)
+	e2 := NewEngine(s2, Options{Checkpoints: st2})
+	resumed, err := e2.Resume()
+	if err != nil || len(resumed) != 1 {
+		t.Fatalf("Resume = %v, %v; want 1 campaign", resumed, err)
+	}
+	sum := waitCampaign(t, resumed[0])
+	if sum.State != StateDone || sum.Completed != 5 {
+		t.Fatalf("resumed summary = %+v", sum)
+	}
+	// The two cells committed before the crash came back from the WAL.
+	if sum.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want exactly the 2 committed cells", sum.CacheHits)
+	}
+	if sum.ResumedFrom != 2 {
+		t.Fatalf("resumed_from = %d, want 2", sum.ResumedFrom)
+	}
+}
+
+// Untagged manifests checkpoint under a content hash that is stable
+// across engines (restarts), and distinct manifests get distinct names.
+func TestCheckpointNameStability(t *testing.T) {
+	a := Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 2}}
+	b := Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 2}}
+	c := Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 3}}
+	if a.checkpointName() != b.checkpointName() {
+		t.Fatal("identical manifests hash to different checkpoint names")
+	}
+	if a.checkpointName() == c.checkpointName() {
+		t.Fatal("distinct manifests collide")
+	}
+	if got := (Manifest{Tag: "x", Specimens: []string{"a"}}).checkpointName(); got != "x" {
+		t.Fatalf("tagged manifest checkpoints under %q, want its tag", got)
+	}
+}
+
+// Drain waits for every campaign's terminal state (and therefore its
+// final checkpoint) and honors context cancellation.
+func TestEngineDrain(t *testing.T) {
+	s := startServer(t, service.Config{})
+	cps := newMemCheckpoints()
+	e := NewEngine(s, Options{Checkpoints: cps})
+	c, err := e.Launch(Manifest{Specimens: []string{"kasidet"}, Seeds: []int64{1, 2}, Tag: "drainme"})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("Drain returned before the campaign finished")
+	}
+	if rec := cps.record(t, "drainme"); rec.State != StateDone {
+		t.Fatalf("record after drain = %+v, want done", rec)
+	}
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,6 +35,17 @@ type Options struct {
 	// one of its own completions, which is the event that actually frees
 	// a queue slot.
 	QueueRetry time.Duration
+	// Checkpoints, when set, makes campaign progress durable: a record
+	// is written at launch, every CheckpointEvery completions, and at
+	// finish (including drain-abort), so Resume on the next start picks
+	// up interrupted sweeps. Nil disables checkpointing.
+	Checkpoints CheckpointStore
+	// CheckpointEvery is the completion stride between periodic
+	// checkpoint writes (default 8).
+	CheckpointEvery int
+	// EventRing overrides the per-campaign event ring capacity (default
+	// 4096). Tests shrink it to force snapshot-on-gap resumes.
+	EventRing int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +60,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueRetry <= 0 {
 		o.QueueRetry = 50 * time.Millisecond
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 8
+	}
+	if o.EventRing <= 0 {
+		o.EventRing = eventRing
 	}
 	return o
 }
@@ -77,6 +95,13 @@ func NewEngine(sub Submitter, opts Options) *Engine {
 // starts its runner. The campaign is immediately addressable; Done()
 // closes when it reaches a terminal state.
 func (e *Engine) Launch(m Manifest) (*Campaign, error) {
+	return e.launch(m, m.checkpointName(), 0)
+}
+
+// launch is the shared path behind Launch and Resume: ckptName is the
+// campaign's durable identity, resumedFrom the checkpointed watermark
+// it restarts from (0 for a fresh launch).
+func (e *Engine) launch(m Manifest, ckptName string, resumedFrom int) (*Campaign, error) {
 	jobs, err := m.expand(e.opts.MaxJobs)
 	if err != nil {
 		return nil, err
@@ -84,11 +109,16 @@ func (e *Engine) Launch(m Manifest) (*Campaign, error) {
 	e.mu.Lock()
 	e.nextID++
 	id := fmt.Sprintf("c%08d", e.nextID)
-	c := newCampaign(id, m, jobs)
+	c := newCampaign(id, m, jobs, e.opts.EventRing)
+	c.ckptName = ckptName
+	c.resumedFrom = resumedFrom
 	e.campaigns[id] = c
 	e.order = append(e.order, id)
 	e.mu.Unlock()
 
+	// The launch record makes the campaign itself durable before any
+	// cell runs: a process killed a millisecond from now still resumes.
+	e.checkpoint(c, StateRunning)
 	go e.run(c)
 	return c, nil
 }
@@ -168,6 +198,7 @@ func (e *Engine) run(c *Campaign) {
 			<-job.Done()
 			category, cacheHit, jobErr := tally(job)
 			c.recordVerdict(js, category, cacheHit, jobErr)
+			e.maybeCheckpoint(c)
 			select {
 			case freed <- struct{}{}:
 			default:
@@ -175,11 +206,39 @@ func (e *Engine) run(c *Campaign) {
 		}(js, job)
 	}
 	wg.Wait()
+	state := StateDone
 	if aborted {
-		c.finish(StateAborted)
-	} else {
-		c.finish(StateDone)
+		state = StateAborted
 	}
+	// The final checkpoint lands before finish closes done: by the time
+	// any waiter (the daemon's drain path included) observes the
+	// terminal state, the record a restart will read is already durable.
+	// An aborted record resumes; a done record is skipped.
+	e.checkpoint(c, state)
+	c.finish(state)
+}
+
+// Drain blocks until every launched campaign reaches a terminal state —
+// and therefore, when checkpointing is on, until each one's final
+// checkpoint is durable — or the context expires. The daemon calls this
+// between draining the verdict service and closing the store, so a
+// graceful shutdown mid-campaign leaves the same resumable record a
+// SIGKILL does.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	cs := make([]*Campaign, 0, len(e.campaigns))
+	for _, id := range e.order {
+		cs = append(cs, e.campaigns[id])
+	}
+	e.mu.Unlock()
+	for _, c := range cs {
+		select {
+		case <-c.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // tally extracts the event fields from a completed job's verdict bytes.

@@ -1,0 +1,265 @@
+package front
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"scarecrow/internal/service"
+)
+
+// Proxying deliberately preserves the backend's wire behaviour instead
+// of re-deriving it: verdict bytes pass through untouched (replay stays
+// byte-identical through the front), a 429's Retry-After is the
+// backend's own deterministic per-key jitter forwarded verbatim, and
+// the X-Scarecrow-* headers survive the hop. The only rewrite is job-ID
+// namespacing — "b<idx>-" prefixes route GET /v1/result back to the
+// backend that owns the job.
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the front's HTTP mux: the verdict-service surface
+// (/v1/submit, /v1/verdict, /v1/result/), the campaign surface
+// (/v1/campaign...), and the front's own /healthz and /statusz.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", f.handleSubmit)
+	mux.HandleFunc("/v1/verdict", f.handleVerdict)
+	mux.HandleFunc("/v1/result/", f.handleResult)
+	mux.HandleFunc("POST /v1/campaign", f.handleCampaignLaunch)
+	mux.HandleFunc("GET /v1/campaign", f.handleCampaignList)
+	mux.HandleFunc("GET /v1/campaign/{id}", f.handleCampaignSnapshot)
+	mux.HandleFunc("GET /v1/campaign/{id}/events", f.handleCampaignEvents)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/statusz", f.handleStatusz)
+	return mux
+}
+
+// jobID namespaces a backend job ID into the front's ID space.
+func jobID(idx int, id string) string {
+	return fmt.Sprintf("b%d-%s", idx, id)
+}
+
+// splitJobID parses a front job ID back into (backend index, backend
+// job ID).
+func splitJobID(id string) (int, string, bool) {
+	if !strings.HasPrefix(id, "b") {
+		return 0, "", false
+	}
+	head, rest, ok := strings.Cut(id[1:], "-")
+	if !ok || head == "" || rest == "" {
+		return 0, "", false
+	}
+	idx, err := strconv.Atoi(head)
+	if err != nil || idx < 0 {
+		return 0, "", false
+	}
+	return idx, rest, true
+}
+
+// routeBody reads and decodes a submit-shaped request and resolves the
+// owning backend. The raw bytes come back too: the proxy forwards the
+// client's exact body, not a re-marshal.
+func (f *Front) routeBody(w http.ResponseWriter, r *http.Request) (*backend, []byte, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return nil, nil, false
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("reading request: %v", err)})
+		return nil, nil, false
+	}
+	var req service.SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return nil, nil, false
+	}
+	key, err := service.RouteKey(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return nil, nil, false
+	}
+	b := f.backends[f.ring.owner(key)]
+	if !b.isHealthy() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: fmt.Sprintf("backend %d (%s) degraded; key %q parked until it recovers", b.idx, b.base, key),
+		})
+		return nil, nil, false
+	}
+	return b, raw, true
+}
+
+// proxyPost forwards a POST body to one backend path and returns the
+// response. A transport error marks the backend degraded immediately —
+// no waiting for the next health sweep — and surfaces as 502.
+func (f *Front) proxyPost(w http.ResponseWriter, r *http.Request, b *backend, path string, body []byte) (*http.Response, bool) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.base+path, bytes.NewReader(body))
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		b.setHealth(false, err.Error(), time.Now())
+		writeJSON(w, http.StatusBadGateway, errorResponse{
+			Error: fmt.Sprintf("backend %d (%s): %v", b.idx, b.base, err),
+		})
+		return nil, false
+	}
+	return resp, true
+}
+
+// passthroughHeaders copies the backend's semantically load-bearing
+// headers verbatim, rewriting only the job-ID header into the front's
+// namespace. The list is explicit (not a map range) so the copy is
+// deterministic and reviewable: Retry-After carries the backend's
+// per-key jitter, X-Scarecrow-Cache the cache disposition.
+func passthroughHeaders(w http.ResponseWriter, resp *http.Response, idx int) {
+	for _, name := range []string{"Content-Type", "Retry-After", "X-Scarecrow-Cache"} {
+		if v := resp.Header.Get(name); v != "" {
+			w.Header().Set(name, v)
+		}
+	}
+	if v := resp.Header.Get("X-Scarecrow-Job"); v != "" {
+		w.Header().Set("X-Scarecrow-Job", jobID(idx, v))
+	}
+}
+
+// handleSubmit routes an async submission to the owning backend and
+// namespaces the returned job ID.
+func (f *Front) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	b, raw, ok := f.routeBody(w, r)
+	if !ok {
+		return
+	}
+	resp, ok := f.proxyPost(w, r, b, "/v1/submit", raw)
+	if !ok {
+		return
+	}
+	defer resp.Body.Close()
+	passthroughHeaders(w, resp, b.idx)
+	if resp.StatusCode != http.StatusAccepted {
+		// Error statuses (429, 503, 400) pass through byte for byte —
+		// the headers above already carried Retry-After.
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+	var sub struct {
+		ID       string          `json:"id"`
+		State    json.RawMessage `json:"state"`
+		CacheHit bool            `json:"cache_hit"`
+		Result   string          `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: fmt.Sprintf("backend %d: undecodable submit response: %v", b.idx, err)})
+		return
+	}
+	sub.ID = jobID(b.idx, sub.ID)
+	sub.Result = "/v1/result/" + sub.ID
+	writeJSON(w, http.StatusAccepted, sub)
+}
+
+// handleVerdict routes a synchronous submission. The response body is
+// raw verdict JSON and is streamed through untouched, so the bytes a
+// client sees through the front are exactly the backend's — and
+// therefore exactly the WAL's.
+func (f *Front) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	b, raw, ok := f.routeBody(w, r)
+	if !ok {
+		return
+	}
+	resp, ok := f.proxyPost(w, r, b, "/v1/verdict", raw)
+	if !ok {
+		return
+	}
+	defer resp.Body.Close()
+	passthroughHeaders(w, resp, b.idx)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleResult routes a poll to the backend encoded in the job ID.
+func (f *Front) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	idx, rest, ok := splitJobID(id)
+	if !ok || idx >= len(f.backends) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	b := f.backends[idx]
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.base+"/v1/result/"+rest, nil)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		b.setHealth(false, err.Error(), time.Now())
+		writeJSON(w, http.StatusBadGateway, errorResponse{
+			Error: fmt.Sprintf("backend %d (%s): %v", b.idx, b.base, err),
+		})
+		return
+	}
+	defer resp.Body.Close()
+	passthroughHeaders(w, resp, b.idx)
+	if resp.StatusCode != http.StatusOK {
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+	var res struct {
+		ID       string          `json:"id"`
+		State    json.RawMessage `json:"state"`
+		CacheHit bool            `json:"cache_hit,omitempty"`
+		Verdict  json.RawMessage `json:"verdict,omitempty"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: fmt.Sprintf("backend %d: undecodable result: %v", b.idx, err)})
+		return
+	}
+	res.ID = jobID(b.idx, res.ID)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleHealthz reports the front's aggregate liveness: ok while every
+// backend is healthy, degraded (still 200 — the front itself serves)
+// while some are, 503 only when none are.
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := f.Status()
+	switch {
+	case st.Healthy == len(st.Backends):
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case st.Healthy > 0:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "down"})
+	}
+}
+
+func (f *Front) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Status())
+}

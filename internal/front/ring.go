@@ -1,0 +1,74 @@
+package front
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend
+// contributes vnodes points, hashed from a stable label, so ownership
+// of the key space (1) spreads evenly without a coordinated assignment,
+// and (2) is a pure function of the backend list — every front replica
+// configured with the same -backends flag routes every key identically,
+// and a front restart changes nothing. Keys are the service's canonical
+// verdict keys (service.RouteKey), so one cell's cache entry and WAL
+// record always live on exactly one backend.
+type ring struct {
+	points []point // sorted by hash; owner = first point clockwise
+	n      int
+}
+
+type point struct {
+	hash    uint64
+	backend int
+}
+
+// defaultVnodes balances spread against ring size: 64 points per
+// backend keeps the per-backend share within a few percent of uniform
+// for small N while the whole ring stays a few KB.
+const defaultVnodes = 64
+
+func newRing(backends, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &ring{n: backends, points: make([]point, 0, backends*vnodes)}
+	for b := 0; b < backends; b++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:    hash64(fmt.Sprintf("backend-%d/vnode-%d", b, v)),
+				backend: b,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit points) break by index
+		// so the ring is still a deterministic function of the config.
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// owner returns the backend index owning a key: the first ring point at
+// or clockwise of the key's hash.
+func (r *ring) owner(key string) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].backend
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

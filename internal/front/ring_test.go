@@ -1,0 +1,69 @@
+package front
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Two rings built from the same configuration agree on every key — the
+// property that lets front replicas (and restarts) route identically
+// with no coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(4, 0)
+	b := newRing(4, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cat:spec%d|baremetal-sandbox|%d", i%7, i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+// Every backend owns a meaningful share of the key space: no shard sits
+// idle, none soaks the fleet.
+func TestRingSpread(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		r := newRing(n, 0)
+		counts := make([]int, n)
+		const keys = 4000
+		for i := 0; i < keys; i++ {
+			counts[r.owner(fmt.Sprintf("cat:spec%d|baremetal-sandbox|%d", i%13, i))]++
+		}
+		want := keys / n
+		for b, c := range counts {
+			// 64 vnodes keeps shares within a loose 3x band of uniform.
+			if c < want/3 || c > want*3 {
+				t.Errorf("n=%d: backend %d owns %d of %d keys (uniform %d)", n, b, c, keys, want)
+			}
+		}
+	}
+}
+
+// A single backend owns everything without hashing.
+func TestRingSingleBackend(t *testing.T) {
+	r := newRing(1, 0)
+	for i := 0; i < 50; i++ {
+		if got := r.owner(fmt.Sprintf("key%d", i)); got != 0 {
+			t.Fatalf("single-backend ring routed key%d to %d", i, got)
+		}
+	}
+}
+
+// Ownership moves only for keys whose arc changed when a backend is
+// added — most keys keep their owner (the point of consistent hashing).
+func TestRingStabilityOnGrowth(t *testing.T) {
+	r4 := newRing(4, 0)
+	r5 := newRing(5, 0)
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("cat:spec%d|baremetal-sandbox|%d", i%13, i)
+		if r4.owner(key) != r5.owner(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 of keys; allow a wide band but far below rehash-all.
+	if moved > keys/2 {
+		t.Fatalf("adding one backend moved %d/%d keys; consistent hashing should move ~%d", moved, keys, keys/5)
+	}
+}

@@ -17,6 +17,7 @@ var LockFieldScope = []string{
 	"scarecrow/internal/service",
 	"scarecrow/internal/store",
 	"scarecrow/internal/campaign",
+	"scarecrow/internal/front",
 }
 
 // LockField flags reads and writes of mu-guarded struct fields from code

@@ -26,6 +26,7 @@ var MapOrderScope = []string{
 	"scarecrow/internal/campaign",
 	"scarecrow/internal/store",
 	"scarecrow/internal/synth",
+	"scarecrow/internal/front",
 }
 
 // MapOrder extends the virtualclock determinism contract to iteration

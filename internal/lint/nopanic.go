@@ -10,18 +10,23 @@ import (
 // a corpus sweep, and the deployment framework (internal/core) returns
 // errors so the lab can keep that promise. A panic in either tree would
 // bypass the containment boundary (Lab.runContained) and take a whole
-// sweep down, so panics there are findings. The only sanctioned
-// panic/recover channels — winsim.BudgetExceeded and the scheduler's
-// exitPanic — both live outside this scope.
+// sweep down, so panics there are findings. The long-running serving
+// layers — the campaign engine and the scale-out front — make the same
+// promise to their callers: one bad cell or one bad backend must degrade,
+// never crash the process. The only sanctioned panic/recover channels —
+// winsim.BudgetExceeded and the scheduler's exitPanic — live outside
+// this scope.
 var NoPanicScope = []string{
 	"scarecrow/internal/analysis",
 	"scarecrow/internal/core",
+	"scarecrow/internal/campaign",
+	"scarecrow/internal/front",
 }
 
 // NoPanic forbids calls to the panic builtin in the contained packages.
 var NoPanic = &Analyzer{
 	Name: "nopanic",
-	Doc:  "forbid panic in fault-contained packages (internal/analysis, internal/core); return an error instead",
+	Doc:  "forbid panic in fault-contained packages (internal/analysis, internal/core, internal/campaign, internal/front); return an error instead",
 	Run:  runNoPanic,
 }
 

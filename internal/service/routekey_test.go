@@ -1,0 +1,73 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// RouteKey must agree byte for byte with the resolver's cache key for
+// every resolvable request — it is the shard-routing identity, and a
+// front that disagrees with its backends about a cell's key would pin
+// the cache and the WAL record on different machines.
+func TestRouteKeyMatchesResolvedKey(t *testing.T) {
+	seed := int64(7)
+	reqs := []SubmitRequest{
+		{Specimen: "kasidet"},
+		{Specimen: "wannacry", Profile: "cuckoo-vbox-sandbox", Seed: &seed},
+		{Recipe: &Recipe{Checks: []string{"debugger-api", "vm-mac"}}},
+		{Recipe: &Recipe{Checks: []string{"small-ram"}, React: "sleep", Payload: "beacon"}, Seed: &seed},
+		{Predicate: json.RawMessage(`{"op":"leaf","entry":"file:deepfreeze"}`)},
+		{Predicate: json.RawMessage(`{"op":"and","kids":[{"op":"leaf","entry":"file:deepfreeze"},{"op":"leaf","entry":"wt:dns-cache"}]}`), Seed: &seed},
+	}
+	for i, req := range reqs {
+		r, err := resolveRequest(req)
+		if err != nil {
+			t.Fatalf("request %d does not resolve: %v", i, err)
+		}
+		key, err := RouteKey(req)
+		if err != nil {
+			t.Fatalf("request %d has no route key: %v", i, err)
+		}
+		if key != r.key {
+			t.Errorf("request %d: RouteKey %q != resolved key %q", i, key, r.key)
+		}
+	}
+}
+
+// Structurally identical predicates with different JSON formatting key
+// identically — the canonical fingerprint, not the bytes, routes.
+func TestRouteKeyCanonicalizesPredicates(t *testing.T) {
+	a, err := RouteKey(SubmitRequest{Predicate: json.RawMessage(`{"op":"leaf","entry":"file:deepfreeze"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RouteKey(SubmitRequest{Predicate: json.RawMessage(`{ "op": "leaf", "entry": "file:deepfreeze" }`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("reformatted predicate routes differently: %q vs %q", a, b)
+	}
+}
+
+// Un-keyable requests are errors; merely unknown names are not — they
+// still key consistently and the owning backend rejects them.
+func TestRouteKeyErrors(t *testing.T) {
+	bad := []SubmitRequest{
+		{},
+		{Specimen: "kasidet", Recipe: &Recipe{Checks: []string{"vm-mac"}}},
+		{Specimen: "kasidet", Profile: "no-such-profile"},
+		{Predicate: json.RawMessage(`{"op":`)},
+	}
+	for i, req := range bad {
+		if _, err := RouteKey(req); err == nil {
+			t.Errorf("un-keyable request %d got a route key", i)
+		}
+	}
+	if _, err := RouteKey(SubmitRequest{Specimen: "no-such-specimen"}); err != nil {
+		t.Fatalf("unknown catalog name failed to key: %v", err)
+	}
+	if _, err := RouteKey(SubmitRequest{Recipe: &Recipe{Checks: []string{"no-such-check"}}}); err != nil {
+		t.Fatalf("unknown recipe check failed to key: %v", err)
+	}
+}

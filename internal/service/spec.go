@@ -275,6 +275,66 @@ func buildPredicate(raw json.RawMessage) (*malware.Specimen, string, error) {
 	return s, n.Fingerprint(), nil
 }
 
+// RouteKey returns the canonical verdict key for a request — the same
+// (specimen|profile|seed) string the service caches and commits under —
+// without building the specimen. It is the shard-routing identity: a
+// front hashing RouteKey sends every request for one cell to the same
+// backend, so that cell's cache entry and WAL record live in exactly
+// one place. Requests whose key cannot be determined (unknown profile,
+// more than one body, undecodable predicate) return an error; unknown
+// catalog or recipe names still key consistently — the owning backend
+// rejects them with the authoritative 400.
+func RouteKey(req SubmitRequest) (string, error) {
+	profile := DefaultProfile
+	if req.Profile != "" {
+		profile = winsim.ProfileName(req.Profile)
+		if !winsim.ValidProfile(profile) {
+			return "", fmt.Errorf("unknown profile %q", req.Profile)
+		}
+	}
+	seed := int64(defaultSeed)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	set := 0
+	for _, present := range []bool{req.Specimen != "", req.Recipe != nil, len(req.Predicate) > 0} {
+		if present {
+			set++
+		}
+	}
+	if set > 1 {
+		return "", fmt.Errorf("specimen, recipe, and predicate are mutually exclusive")
+	}
+	var specKey string
+	switch {
+	case req.Specimen != "":
+		specKey = "cat:" + req.Specimen
+	case req.Recipe != nil:
+		react := req.Recipe.React
+		if react == "" {
+			react = "terminate"
+		}
+		payload := req.Recipe.Payload
+		if payload == "" {
+			payload = "persist"
+		}
+		specKey = fmt.Sprintf("rcp:checks=%s;react=%s;payload=%s",
+			strings.Join(req.Recipe.Checks, "+"), react, payload)
+	case len(req.Predicate) > 0:
+		var n *synth.Node
+		if err := json.Unmarshal(req.Predicate, &n); err != nil {
+			return "", fmt.Errorf("decoding predicate: %w", err)
+		}
+		if err := synth.CheckBounds(n); err != nil {
+			return "", err
+		}
+		specKey = "syn:" + n.Fingerprint()
+	default:
+		return "", fmt.Errorf("request must name a specimen, carry a recipe, or carry a predicate")
+	}
+	return fmt.Sprintf("%s|%s|%d", specKey, profile, seed), nil
+}
+
 func fnvHash(s string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(s))

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// checkpointPrefix namespaces checkpoint records inside the WAL's key
+// space. Verdict keys all start with a specimen identity ("cat:",
+// "rcp:", "syn:", or a bare specimen ID), so the prefix cleanly
+// partitions the keydir into two record kinds sharing one log: the same
+// framing, the same torn-tail recovery, the same compaction. A
+// checkpoint is just a record whose key says "this is progress state,
+// not a verdict".
+const checkpointPrefix = "ckpt!"
+
+// IsCheckpointKey reports whether a raw WAL key names a checkpoint
+// record rather than a verdict.
+func IsCheckpointKey(key string) bool {
+	return strings.HasPrefix(key, checkpointPrefix)
+}
+
+// PutCheckpoint durably writes (or overwrites) the named checkpoint
+// record. Like Put, the record is committed — it survives a process
+// kill — once the call returns.
+func (s *Store) PutCheckpoint(name string, val []byte) error {
+	if name == "" {
+		return fmt.Errorf("store: empty checkpoint name")
+	}
+	if err := validateRecord(checkpointPrefix+name, val); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.one[0] = Record{Key: checkpointPrefix + name, Val: val}
+	err := s.putBatchLocked(s.one[:])
+	s.one[0] = Record{} // drop the value reference
+	return err
+}
+
+// GetCheckpoint returns the newest committed value of the named
+// checkpoint record.
+func (s *Store) GetCheckpoint(name string) ([]byte, bool, error) {
+	return s.Get(checkpointPrefix + name)
+}
+
+// Checkpoints lists the live checkpoint names, sorted. A restarted
+// daemon scans this to find campaigns that were in flight when the
+// process died.
+func (s *Store) Checkpoints() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	var names []string
+	for key := range s.keydir { // aggregate + sort below: order-safe
+		if strings.HasPrefix(key, checkpointPrefix) {
+			names = append(names, strings.TrimPrefix(key, checkpointPrefix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

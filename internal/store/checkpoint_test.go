@@ -1,0 +1,109 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCheckpointPutGetList(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	if _, ok, err := s.GetCheckpoint("camp-a"); err != nil || ok {
+		t.Fatalf("GetCheckpoint on empty store = %v, %v", ok, err)
+	}
+	if err := s.PutCheckpoint("camp-a", []byte(`{"completed":1}`)); err != nil {
+		t.Fatalf("PutCheckpoint: %v", err)
+	}
+	if err := s.PutCheckpoint("camp-b", []byte(`{"completed":2}`)); err != nil {
+		t.Fatalf("PutCheckpoint: %v", err)
+	}
+	// Overwrite: last write wins, exactly like a verdict key.
+	if err := s.PutCheckpoint("camp-a", []byte(`{"completed":9}`)); err != nil {
+		t.Fatalf("PutCheckpoint overwrite: %v", err)
+	}
+
+	val, ok, err := s.GetCheckpoint("camp-a")
+	if err != nil || !ok || string(val) != `{"completed":9}` {
+		t.Fatalf("GetCheckpoint camp-a = %q, %v, %v", val, ok, err)
+	}
+	names, err := s.Checkpoints()
+	if err != nil {
+		t.Fatalf("Checkpoints: %v", err)
+	}
+	if !reflect.DeepEqual(names, []string{"camp-a", "camp-b"}) {
+		t.Fatalf("Checkpoints = %v, want sorted [camp-a camp-b]", names)
+	}
+}
+
+// Checkpoints ride the same WAL as verdicts: a reopened store recovers
+// them alongside the verdict keys, last write winning.
+func TestCheckpointSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put("cat:kasidet|baremetal-sandbox|1", []byte(`{"category":"deactivated"}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.PutCheckpoint("sweep", []byte(`{"completed":3}`)); err != nil {
+		t.Fatalf("PutCheckpoint: %v", err)
+	}
+	if err := s.PutCheckpoint("sweep", []byte(`{"completed":7}`)); err != nil {
+		t.Fatalf("PutCheckpoint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir, Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	val, ok, err := s2.GetCheckpoint("sweep")
+	if err != nil || !ok || string(val) != `{"completed":7}` {
+		t.Fatalf("reopened GetCheckpoint = %q, %v, %v", val, ok, err)
+	}
+	names, err := s2.Checkpoints()
+	if err != nil || !reflect.DeepEqual(names, []string{"sweep"}) {
+		t.Fatalf("reopened Checkpoints = %v, %v", names, err)
+	}
+	// The verdict key is untouched by the checkpoint traffic.
+	if v, ok, _ := s2.Get("cat:kasidet|baremetal-sandbox|1"); !ok || string(v) != `{"category":"deactivated"}` {
+		t.Fatalf("verdict key lost across reopen: %q, %v", v, ok)
+	}
+}
+
+// The checkpoint namespace is reserved: verdict writes cannot collide
+// with it, accidentally or otherwise.
+func TestCheckpointNamespaceReserved(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	if err := s.Put("ckpt!sneaky", []byte("x")); err == nil {
+		t.Fatal("Put accepted a checkpoint-namespace key")
+	}
+	if err := s.PutBatch([]Record{{Key: "ok", Val: []byte("v")}, {Key: "ckpt!sneaky", Val: []byte("x")}}); err == nil {
+		t.Fatal("PutBatch accepted a checkpoint-namespace key")
+	}
+	// The failed batch must be all-or-nothing: "ok" was not committed.
+	if _, ok, _ := s.Get("ok"); ok {
+		t.Fatal("rejected batch committed a prefix")
+	}
+	if err := s.PutCheckpoint("", []byte("x")); err == nil {
+		t.Fatal("PutCheckpoint accepted an empty name")
+	}
+	if !IsCheckpointKey("ckpt!x") || IsCheckpointKey("cat:x") {
+		t.Fatal("IsCheckpointKey misclassifies")
+	}
+}

@@ -236,8 +236,12 @@ func validateRecord(key string, val []byte) error {
 }
 
 // Put appends the (key, val) record to the active segment. The record is
-// committed — it survives a process kill — once Put returns.
+// committed — it survives a process kill — once Put returns. The
+// checkpoint namespace is reserved: use PutCheckpoint for those.
 func (s *Store) Put(key string, val []byte) error {
+	if IsCheckpointKey(key) {
+		return fmt.Errorf("store: key %q is in the reserved checkpoint namespace (use PutCheckpoint)", key)
+	}
 	if err := validateRecord(key, val); err != nil {
 		return err
 	}
@@ -261,6 +265,9 @@ func (s *Store) PutBatch(recs []Record) error {
 		return nil
 	}
 	for _, r := range recs {
+		if IsCheckpointKey(r.Key) {
+			return fmt.Errorf("store: key %q is in the reserved checkpoint namespace (use PutCheckpoint)", r.Key)
+		}
 		if err := validateRecord(r.Key, r.Val); err != nil {
 			return err
 		}
