@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke front-smoke bench-hotpath bench-synth synth-smoke generate generate-check hooks ci
+.PHONY: build test vet lint lint-fix lint-sarif race cover fuzz-smoke service-smoke front-smoke monitor-smoke bench-hotpath bench-synth bench-monitor synth-smoke generate generate-check hooks ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=10s -run '^$$' ./internal/winsim
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/store
 	$(GO) test -fuzz=FuzzPredicateCodec -fuzztime=10s -run '^$$' ./internal/synth
+	$(GO) test -fuzz=FuzzDetectorWindow -fuzztime=10s -run '^$$' ./internal/deter
 
 # generate regenerates the checked-in code: the per-struct snapshot clone
 # methods in internal/winsim/snapshot_gen.go (kept honest by the
@@ -104,6 +105,21 @@ bench-synth:
 service-smoke:
 	bash scripts/service-smoke.sh
 
+# monitor-smoke drives the real-time deterrence tier end to end over
+# localhost: a streamed /v1/monitor run must emit a detection frame
+# before its deterred verdict, replay byte-identical with the cache
+# bypassed, and observe mode must show the loss the kill prevented.
+monitor-smoke:
+	bash scripts/monitor-smoke.sh
+
+# bench-monitor runs every catalog ransomware row (stock and
+# evasive-gated) under the deterrence tier across four seeds each and
+# writes BENCH_monitor.json. The gates are the tier's headline numbers:
+# 100% detection rate and a median of at most 5 real files lost before
+# the kill.
+bench-monitor:
+	$(GO) run ./cmd/scarebench -monitor -monitor-seeds 4 -min-detection-rate 1.0 -max-median-files-lost 5 -monitor-out BENCH_monitor.json
+
 # front-smoke drives scarefront's scale-out tier end to end over
 # localhost: the front bench (fleets of 2 and 4 gated at 0.7 x
 # min(N, GOMAXPROCS) x the single-backend warm rate), routed verdicts
@@ -120,4 +136,4 @@ hooks:
 
 # ci mirrors .github/workflows/ci.yml: the tier-1 verify plus the static
 # checks. `make ci` green locally means CI is green.
-ci: build vet lint generate-check race cover fuzz-smoke synth-smoke bench-hotpath bench-synth service-smoke front-smoke
+ci: build vet lint generate-check race cover fuzz-smoke synth-smoke bench-hotpath bench-synth bench-monitor service-smoke front-smoke monitor-smoke

@@ -26,6 +26,13 @@
 // per-backend and aggregate throughput. -min-scaling gates each fleet
 // against min(N, GOMAXPROCS) times the baseline warm rate — the
 // parallelism the host can actually express.
+//
+// With -monitor the tool benchmarks the real-time deterrence tier in
+// process: each catalog ransomware row runs once per seed under canary
+// planting, the live trace tap, and kill-on-flag enforcement, writing
+// BENCH_monitor.json with the detection rate and the files lost before
+// each kill. -min-detection-rate and -max-median-files-lost turn those
+// numbers into gates.
 package main
 
 import (
@@ -72,6 +79,13 @@ func main() {
 		frontBackends = flag.String("front-backends", "2,4", "comma-separated fleet sizes to measure against the N=1 baseline (front mode)")
 		minScaling    = flag.Float64("min-scaling", 0, "fail unless each fleet's aggregate warm rate is at least this fraction of min(N, GOMAXPROCS) x the single-backend rate (0 = no gate)")
 
+		monitorMode      = flag.Bool("monitor", false, "benchmark the real-time deterrence tier: monitored runs with canary planting and kill-on-flag, no daemon needed")
+		monitorOut       = flag.String("monitor-out", "BENCH_monitor.json", "monitor artifact path (empty = skip)")
+		monitorSamples   = flag.String("monitor-samples", "wannacry,locky,cryptowall,wannacry-gated,locky-gated", "comma-separated catalog samples to monitor")
+		monitorSeeds     = flag.Int("monitor-seeds", 4, "distinct machine seeds per sample (monitor mode)")
+		minDetectionRate = flag.Float64("min-detection-rate", 0, "fail unless the deterred fraction meets this floor (0 = no gate)")
+		maxMedianLost    = flag.Float64("max-median-files-lost", -1, "fail if the median files lost before kill exceeds this (negative = no gate)")
+
 		hotpathMode     = flag.Bool("hotpath", false, "benchmark the in-process cold path: clone+run+marshal+commit, no daemon needed")
 		hotpathOut      = flag.String("hotpath-out", "BENCH_hotpath.json", "hotpath artifact path (empty = skip)")
 		hotpathN        = flag.Int("hotpath-n", 512, "cold verdicts to run (hotpath mode)")
@@ -104,6 +118,16 @@ func main() {
 			Quota:      *quota,
 			MinScaling: *minScaling,
 		}, *frontOut)
+		return
+	}
+
+	if *monitorMode {
+		runMonitorMode(monitorOptions{
+			Samples:            strings.Split(*monitorSamples, ","),
+			Seeds:              *monitorSeeds,
+			MinDetectionRate:   *minDetectionRate,
+			MaxMedianFilesLost: *maxMedianLost,
+		}, *monitorOut)
 		return
 	}
 

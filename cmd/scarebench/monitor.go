@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scarecrow/internal/analysis"
+	"scarecrow/internal/core"
+	"scarecrow/internal/malware"
+	"scarecrow/internal/winsim"
+)
+
+// The monitor mode benchmarks the real-time deterrence tier in process:
+// every (sample, seed) pair runs once under canary planting, the live
+// trace tap, and kill-on-flag enforcement, and the artifact reports the
+// two numbers the tier is judged on — detection rate and files lost
+// before the kill. Runs are deterministic, so the artifact is a
+// regression gate, not a statistical estimate: -min-detection-rate and
+// -max-median-files-lost turn any drift into a nonzero exit.
+
+type monitorOptions struct {
+	// Samples are the catalog rows to monitor.
+	Samples []string
+	// Seeds is the number of distinct machine seeds per sample.
+	Seeds int
+	// Workers is the fan-out width (0 = GOMAXPROCS).
+	Workers int
+	// MinDetectionRate gates the deterred fraction (0 = no gate).
+	MinDetectionRate float64
+	// MaxMedianFilesLost gates the median loss (negative = no gate).
+	MaxMedianFilesLost float64
+}
+
+// MonitorRow is one monitored run in the artifact.
+type MonitorRow struct {
+	Specimen       string `json:"specimen"`
+	Family         string `json:"family"`
+	Source         string `json:"source"`
+	Seed           int64  `json:"seed"`
+	Category       string `json:"category"`
+	Deterred       bool   `json:"deterred"`
+	TimeToDetectNS int64  `json:"time_to_detect_ns"`
+	FilesLost      int    `json:"files_lost_before_kill"`
+	CanaryTouched  int    `json:"canaries_touched"`
+	Detections     int    `json:"detections"`
+	FirstSignal    string `json:"first_signal,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// MonitorReport is the -monitor artifact (BENCH_monitor.json).
+type MonitorReport struct {
+	Benchmark  string   `json:"benchmark"`
+	Profile    string   `json:"profile"`
+	Samples    []string `json:"samples"`
+	Seeds      int      `json:"seeds"`
+	Workers    int      `json:"workers"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+
+	Runs     int `json:"runs"`
+	Deterred int `json:"deterred"`
+	Errors   int `json:"errors"`
+
+	DetectionRate        float64 `json:"detection_rate"`
+	MedianFilesLost      float64 `json:"median_files_lost"`
+	MaxFilesLost         int     `json:"max_files_lost"`
+	MedianTimeToDetectNS int64   `json:"median_time_to_detect_ns"`
+
+	WallS      float64 `json:"wall_s"`
+	RunsPerS   float64 `json:"runs_per_s"`
+	VirtualNSS int64   `json:"virtual_ns_total"`
+
+	Rows []MonitorRow `json:"rows"`
+}
+
+func (r MonitorReport) String() string {
+	return fmt.Sprintf(
+		"scarebench monitor: %d runs (%d samples x %d seeds), %d workers\n"+
+			"  detection rate %.0f%% (%d/%d deterred, %d errors)\n"+
+			"  files lost before kill: median %.1f, max %d\n"+
+			"  median time-to-detect %.2fms virtual, wall %.2fs (%.1f runs/s)\n",
+		r.Runs, len(r.Samples), r.Seeds, r.Workers,
+		100*r.DetectionRate, r.Deterred, r.Runs, r.Errors,
+		r.MedianFilesLost, r.MaxFilesLost,
+		float64(r.MedianTimeToDetectNS)/1e6, r.WallS, r.RunsPerS)
+}
+
+// runMonitorMode drives -monitor: measure, print, write the artifact, and
+// exit nonzero on a missed gate.
+func runMonitorMode(opts monitorOptions, out string) {
+	report, err := benchMonitor(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scarebench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	if out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scarebench:", err)
+			os.Exit(1)
+		}
+	}
+	failed := false
+	if report.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "scarebench: %d monitored runs errored\n", report.Errors)
+		failed = true
+	}
+	if opts.MinDetectionRate > 0 && report.DetectionRate < opts.MinDetectionRate {
+		fmt.Fprintf(os.Stderr, "scarebench: detection rate %.2f below the %.2f gate\n",
+			report.DetectionRate, opts.MinDetectionRate)
+		failed = true
+	}
+	if opts.MaxMedianFilesLost >= 0 && report.MedianFilesLost > opts.MaxMedianFilesLost {
+		fmt.Fprintf(os.Stderr, "scarebench: median files lost %.1f above the %.1f gate\n",
+			report.MedianFilesLost, opts.MaxMedianFilesLost)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func benchMonitor(opts monitorOptions) (MonitorReport, error) {
+	if opts.Seeds < 1 {
+		opts.Seeds = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	var samples []string
+	for _, s := range opts.Samples {
+		if s = strings.TrimSpace(s); s != "" {
+			samples = append(samples, s)
+		}
+	}
+	if len(samples) == 0 {
+		return MonitorReport{}, fmt.Errorf("no samples to monitor")
+	}
+	// Resolve up front so a typo fails fast, before any run.
+	for _, name := range samples {
+		if _, err := malware.Resolve(name); err != nil {
+			return MonitorReport{}, err
+		}
+	}
+
+	type job struct {
+		sample string
+		seed   int64
+	}
+	jobs := make([]job, 0, len(samples)*opts.Seeds)
+	for _, sample := range samples {
+		for seed := 1; seed <= opts.Seeds; seed++ {
+			jobs = append(jobs, job{sample, int64(seed)})
+		}
+	}
+
+	profile := winsim.ProfileBareMetalSandbox
+	rows := make([]MonitorRow, len(jobs))
+	var virtual int64
+	var mu sync.Mutex
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lab := &analysis.Lab{Profile: profile, Config: core.RecommendedConfig(string(profile))}
+			for i := range work {
+				spec, err := malware.Resolve(jobs[i].sample)
+				if err != nil {
+					rows[i] = MonitorRow{Specimen: jobs[i].sample, Seed: jobs[i].seed, Error: err.Error()}
+					continue
+				}
+				res := lab.RunMonitoredSeeded(spec, jobs[i].seed, analysis.MonitorOptions{})
+				row := MonitorRow{
+					Specimen:       spec.ID,
+					Family:         spec.Family,
+					Source:         string(spec.Source),
+					Seed:           jobs[i].seed,
+					Category:       res.Category.String(),
+					Deterred:       res.Outcome.Deterred,
+					TimeToDetectNS: int64(res.Outcome.TimeToDetect),
+					FilesLost:      res.Outcome.FilesLost,
+					CanaryTouched:  res.Outcome.CanariesTouched,
+					Detections:     len(res.Outcome.Detections),
+				}
+				if len(res.Outcome.Detections) > 0 {
+					row.FirstSignal = res.Outcome.Detections[0].Signal
+				}
+				if res.Err != nil {
+					row.Error = res.Err.Error()
+				}
+				rows[i] = row
+				mu.Lock()
+				virtual += int64(res.VirtualTime)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := MonitorReport{
+		Benchmark:  "scarebench-monitor",
+		Profile:    string(profile),
+		Samples:    samples,
+		Seeds:      opts.Seeds,
+		Workers:    opts.Workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Runs:       len(rows),
+		WallS:      wall.Seconds(),
+		VirtualNSS: virtual,
+		Rows:       rows,
+	}
+	lost := make([]int, 0, len(rows))
+	detect := make([]int64, 0, len(rows))
+	for _, row := range rows {
+		if row.Error != "" {
+			report.Errors++
+			continue
+		}
+		if row.Deterred {
+			report.Deterred++
+			lost = append(lost, row.FilesLost)
+			detect = append(detect, row.TimeToDetectNS)
+		}
+		if row.FilesLost > report.MaxFilesLost {
+			report.MaxFilesLost = row.FilesLost
+		}
+	}
+	if report.Runs > 0 {
+		report.DetectionRate = float64(report.Deterred) / float64(report.Runs)
+	}
+	if len(lost) > 0 {
+		sort.Ints(lost)
+		report.MedianFilesLost = float64(lost[len(lost)/2])
+	}
+	if len(detect) > 0 {
+		sort.Slice(detect, func(a, b int) bool { return detect[a] < detect[b] })
+		report.MedianTimeToDetectNS = detect[len(detect)/2]
+	}
+	if wall > 0 {
+		report.RunsPerS = float64(report.Runs) / wall.Seconds()
+	}
+	return report, nil
+}

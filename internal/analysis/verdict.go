@@ -21,6 +21,11 @@ const (
 	// recovered panic). Errored samples are excluded from the
 	// deactivated/survived counts and surfaced via RunReport.
 	VerdictError
+	// VerdictDeterred: the real-time deterrence tier (internal/deter)
+	// detected the payload mid-run and enforced against it — the monitored
+	// analogue of VerdictDeactivated for samples whose evasive logic the
+	// camouflage could not stop (see RunMonitoredSeeded).
+	VerdictDeterred
 )
 
 func (c VerdictCategory) String() string {
@@ -31,6 +36,8 @@ func (c VerdictCategory) String() string {
 		return "deactivated"
 	case VerdictError:
 		return "error"
+	case VerdictDeterred:
+		return "deterred"
 	default:
 		return "survived"
 	}

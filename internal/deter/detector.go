@@ -1,0 +1,468 @@
+package deter
+
+import (
+	"math"
+	"strings"
+	"time"
+
+	"scarecrow/internal/trace"
+	"scarecrow/internal/winsim"
+)
+
+// Detection signals, in rough order of confidence.
+const (
+	// SignalCanaryTouch: any read/stat/enumeration of a planted canary.
+	// Nothing legitimate has a reason to look at them.
+	SignalCanaryTouch = "canary-touch"
+	// SignalCanaryTamper: a canary was overwritten or deleted.
+	SignalCanaryTamper = "canary-tamper"
+	// SignalMassEnum: directory enumerations crossing the threshold inside
+	// the window — the walk every file-encrypting payload starts with.
+	SignalMassEnum = "mass-enumeration"
+	// SignalReadOverwrite: files read and then overwritten (in place or
+	// under a new extension) crossing the threshold — the encrypt loop.
+	SignalReadOverwrite = "read-then-overwrite"
+	// SignalEntropyJump: a write whose content is near-random (ciphertext)
+	// where low-entropy user data lived.
+	SignalEntropyJump = "entropy-jump"
+	// SignalShadowDelete: vssadmin/wbadmin/bcdedit spawned — backup and
+	// shadow-copy destruction ahead of encryption.
+	SignalShadowDelete = "shadow-delete"
+)
+
+// DetectorConfig tunes the online scorer. The zero value means defaults.
+type DetectorConfig struct {
+	// Window is the virtual-time horizon signals stay live in the score.
+	Window time.Duration
+	// KillScore is the windowed score at which a process is flagged for
+	// enforcement.
+	KillScore float64
+
+	// Per-signal weights.
+	CanaryWeight    float64
+	TamperWeight    float64
+	EnumWeight      float64
+	OverwriteWeight float64
+	EntropyWeight   float64
+	ShadowWeight    float64
+
+	// EnumThreshold is how many directory enumerations inside the window
+	// fire SignalMassEnum; OverwriteThreshold the same for
+	// read-then-overwrite pairs.
+	EnumThreshold      int
+	OverwriteThreshold int
+
+	// EntropyHighBits is the Shannon entropy (bits/byte) at or above which
+	// a write counts as ciphertext; writes smaller than EntropyMinSize are
+	// ignored (tiny buffers read as high-entropy noise).
+	EntropyHighBits float64
+	EntropyMinSize  int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.KillScore <= 0 {
+		c.KillScore = 1.0
+	}
+	if c.CanaryWeight <= 0 {
+		c.CanaryWeight = 1.0
+	}
+	if c.TamperWeight <= 0 {
+		c.TamperWeight = 1.0
+	}
+	if c.EnumWeight <= 0 {
+		c.EnumWeight = 0.4
+	}
+	if c.OverwriteWeight <= 0 {
+		c.OverwriteWeight = 0.6
+	}
+	if c.EntropyWeight <= 0 {
+		c.EntropyWeight = 0.5
+	}
+	if c.ShadowWeight <= 0 {
+		c.ShadowWeight = 1.0
+	}
+	if c.EnumThreshold <= 0 {
+		c.EnumThreshold = 2
+	}
+	if c.OverwriteThreshold <= 0 {
+		c.OverwriteThreshold = 3
+	}
+	if c.EntropyHighBits <= 0 {
+		c.EntropyHighBits = 7.0
+	}
+	if c.EntropyMinSize <= 0 {
+		c.EntropyMinSize = 64
+	}
+	return c
+}
+
+// Detection is one signal firing for one process.
+type Detection struct {
+	// Time is the virtual timestamp of the event that fired the signal.
+	Time time.Duration `json:"time_ns"`
+	// PID is the process the signal attributes to.
+	PID int `json:"pid"`
+	// Signal names the tell (see the Signal* constants).
+	Signal string `json:"signal"`
+	// Target is the object involved (file, key, or image), when one is.
+	Target string `json:"target,omitempty"`
+	// Weight is this signal's contribution; Score the process's windowed
+	// total after it fired.
+	Weight float64 `json:"weight"`
+	Score  float64 `json:"score"`
+	// Detail carries signal-specific context in "k=v" form.
+	Detail string `json:"detail,omitempty"`
+}
+
+// pidState is the detector's per-process memory.
+type pidState struct {
+	reads      map[string]time.Duration // normalized path -> last successful read
+	enums      []time.Duration          // enumeration event times (window-pruned)
+	fires      map[string]time.Duration // signal -> last fire time
+	touched    map[string]bool          // canary paths already reported as touched
+	tampered   map[string]bool          // canary paths already reported as tampered
+	entropyHit map[string]bool          // paths already reported as entropy jumps
+	shadowHit  map[string]bool          // shadow-tool images already reported
+	pattern    map[string]bool          // original paths already counted as overwritten
+	overwrites int
+	enumFired  bool
+	owFired    bool
+	flagged    bool
+}
+
+func newPIDState() *pidState {
+	return &pidState{
+		reads:      make(map[string]time.Duration),
+		fires:      make(map[string]time.Duration),
+		touched:    make(map[string]bool),
+		tampered:   make(map[string]bool),
+		entropyHit: make(map[string]bool),
+		shadowHit:  make(map[string]bool),
+		pattern:    make(map[string]bool),
+	}
+}
+
+// Detector scores the live event stream against the plan's canaries. It is
+// single-goroutine by design: it runs inside the recorder tap, which the
+// deterministic scheduler drives serially, so it needs no locking. It
+// consumes only event timestamps (virtual clock) — never wall time — and
+// is therefore fully deterministic and replayable.
+type Detector struct {
+	cfg  DetectorConfig
+	plan *Plan
+	// content, when non-nil, resolves a written file's bytes for entropy
+	// scoring (wired to the machine's FS by the Monitor; nil skips the
+	// entropy signal, e.g. in pure-replay tests).
+	content func(path string) ([]byte, bool)
+	pids    map[int]*pidState
+}
+
+// NewDetector returns a detector scoring against the plan's canaries.
+func NewDetector(plan *Plan, cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), plan: plan, pids: make(map[int]*pidState)}
+}
+
+// SetContentFn installs the written-content resolver the entropy signal
+// needs (typically machine.FS.ReadFile).
+func (d *Detector) SetContentFn(fn func(path string) ([]byte, bool)) { d.content = fn }
+
+// Flagged reports whether the process's windowed score has ever crossed
+// KillScore. Flags are sticky: a payload that trips the detector stays
+// flagged even after the window slides past the signals.
+func (d *Detector) Flagged(pid int) bool {
+	st, ok := d.pids[pid]
+	return ok && st.flagged
+}
+
+// Observe consumes one trace event and returns the detections it fired
+// (usually none). Detections come back in deterministic order.
+func (d *Detector) Observe(e trace.Event) []Detection {
+	if e.PID == 0 {
+		return nil
+	}
+	st, ok := d.pids[e.PID]
+	if !ok {
+		st = newPIDState()
+		d.pids[e.PID] = st
+	}
+	var out []Detection
+
+	switch e.Kind {
+	case trace.KindFileQuery:
+		out = d.canaryFile(e, st, out)
+		if strings.HasPrefix(e.Detail, "enum=") {
+			out = d.enumeration(e, st, out)
+		}
+	case trace.KindFileCreate:
+		out = d.canaryFile(e, st, out)
+	case trace.KindFileRead:
+		out = d.canaryFile(e, st, out)
+		if e.Success {
+			st.reads[winsim.NormalizePath(e.Target)] = e.Time
+		}
+	case trace.KindFileWrite:
+		out = d.canaryWrite(e, st, out)
+		if e.Success {
+			out = d.overwrite(e, st, out)
+			out = d.entropy(e, st, out)
+		}
+	case trace.KindFileDelete:
+		out = d.canaryWrite(e, st, out)
+		if e.Success {
+			out = d.overwrite(e, st, out)
+		}
+	case trace.KindRegOpenKey, trace.KindRegQueryValue, trace.KindRegEnumKey:
+		out = d.canaryKey(e, st, false, out)
+	case trace.KindRegSetValue, trace.KindRegDeleteKey, trace.KindRegDeleteValue, trace.KindRegCreateKey:
+		out = d.canaryKey(e, st, true, out)
+	case trace.KindProcessCreate:
+		out = d.shadow(e, st, out)
+	}
+
+	for _, det := range out {
+		if det.Score >= d.cfg.KillScore {
+			st.flagged = true
+		}
+	}
+	return out
+}
+
+// fire records a signal for the process and builds its detection.
+func (d *Detector) fire(e trace.Event, st *pidState, signal string, weight float64, detail string) Detection {
+	st.fires[signal] = e.Time
+	return Detection{
+		Time: e.Time, PID: e.PID, Signal: signal, Target: e.Target,
+		Weight: weight, Score: d.score(st, e.Time), Detail: detail,
+	}
+}
+
+// score sums the weights of signals that fired inside the window ending
+// at now. Iterating the small fires map is fine: the sum is
+// order-independent.
+func (d *Detector) score(st *pidState, now time.Duration) float64 {
+	total := 0.0
+	for signal, t := range st.fires {
+		if now-t > d.cfg.Window {
+			continue
+		}
+		switch signal {
+		case SignalCanaryTouch:
+			total += d.cfg.CanaryWeight
+		case SignalCanaryTamper:
+			total += d.cfg.TamperWeight
+		case SignalMassEnum:
+			total += d.cfg.EnumWeight
+		case SignalReadOverwrite:
+			total += d.cfg.OverwriteWeight
+		case SignalEntropyJump:
+			total += d.cfg.EntropyWeight
+		case SignalShadowDelete:
+			total += d.cfg.ShadowWeight
+		}
+	}
+	return total
+}
+
+// canaryFile fires SignalCanaryTouch on any access to a planted file
+// canary — even a failed one: the attempt is the tell. Once per
+// (process, canary).
+func (d *Detector) canaryFile(e trace.Event, st *pidState, out []Detection) []Detection {
+	c, ok := d.plan.CanaryFile(e.Target)
+	if !ok || st.touched[c.Path] {
+		return out
+	}
+	st.touched[c.Path] = true
+	return append(out, d.fire(e, st, SignalCanaryTouch, d.cfg.CanaryWeight, "kind="+string(c.Kind)))
+}
+
+// canaryWrite fires SignalCanaryTamper when a canary is overwritten or
+// deleted (and counts the touch first if this is the process's first
+// contact with it).
+func (d *Detector) canaryWrite(e trace.Event, st *pidState, out []Detection) []Detection {
+	c, ok := d.plan.CanaryFile(e.Target)
+	if !ok {
+		return out
+	}
+	if !st.touched[c.Path] {
+		st.touched[c.Path] = true
+		out = append(out, d.fire(e, st, SignalCanaryTouch, d.cfg.CanaryWeight, "kind="+string(c.Kind)))
+	}
+	if e.Success && !st.tampered[c.Path] {
+		st.tampered[c.Path] = true
+		out = append(out, d.fire(e, st, SignalCanaryTamper, d.cfg.TamperWeight, "kind="+string(c.Kind)))
+	}
+	return out
+}
+
+// canaryKey handles registry canaries; mutate marks set/delete operations,
+// which count as tampering.
+func (d *Detector) canaryKey(e trace.Event, st *pidState, mutate bool, out []Detection) []Detection {
+	c, ok := d.plan.CanaryKey(e.Target)
+	if !ok {
+		return out
+	}
+	if !st.touched[c.Path] {
+		st.touched[c.Path] = true
+		out = append(out, d.fire(e, st, SignalCanaryTouch, d.cfg.CanaryWeight, "kind="+string(c.Kind)))
+	}
+	if mutate && !st.tampered[c.Path] {
+		st.tampered[c.Path] = true
+		out = append(out, d.fire(e, st, SignalCanaryTamper, d.cfg.TamperWeight, "kind="+string(c.Kind)))
+	}
+	return out
+}
+
+// enumeration counts directory listings in the window and fires
+// SignalMassEnum once the threshold is crossed (once per process).
+func (d *Detector) enumeration(e trace.Event, st *pidState, out []Detection) []Detection {
+	st.enums = append(st.enums, e.Time)
+	cut := 0
+	for cut < len(st.enums) && e.Time-st.enums[cut] > d.cfg.Window {
+		cut++
+	}
+	st.enums = st.enums[cut:]
+	if st.enumFired || len(st.enums) < d.cfg.EnumThreshold {
+		return out
+	}
+	st.enumFired = true
+	return append(out, d.fire(e, st, SignalMassEnum, d.cfg.EnumWeight,
+		"dirs="+itoa(len(st.enums))))
+}
+
+// overwrite detects the encrypt loop's shape: a write or delete whose
+// target — directly, or with the appended extension stripped — was read
+// inside the window. Each original path counts once; the signal fires
+// when the count crosses the threshold (once per process).
+func (d *Detector) overwrite(e trace.Event, st *pidState, out []Detection) []Detection {
+	norm := winsim.NormalizePath(e.Target)
+	candidates := []string{norm}
+	if i := strings.LastIndexByte(norm, '.'); i > 0 {
+		candidates = append(candidates, norm[:i])
+	}
+	for _, cand := range candidates {
+		t, ok := st.reads[cand]
+		if !ok || e.Time-t > d.cfg.Window || st.pattern[cand] {
+			continue
+		}
+		st.pattern[cand] = true
+		st.overwrites++
+		break
+	}
+	if st.owFired || st.overwrites < d.cfg.OverwriteThreshold {
+		return out
+	}
+	st.owFired = true
+	return append(out, d.fire(e, st, SignalReadOverwrite, d.cfg.OverwriteWeight,
+		"pairs="+itoa(st.overwrites)))
+}
+
+// entropy fires SignalEntropyJump when a written file's bytes measure as
+// ciphertext. Once per (process, path).
+func (d *Detector) entropy(e trace.Event, st *pidState, out []Detection) []Detection {
+	if d.content == nil {
+		return out
+	}
+	norm := winsim.NormalizePath(e.Target)
+	if st.entropyHit[norm] {
+		return out
+	}
+	data, ok := d.content(e.Target)
+	if !ok || len(data) < d.cfg.EntropyMinSize {
+		return out
+	}
+	bits := shannonBits(data)
+	if bits < d.cfg.EntropyHighBits {
+		return out
+	}
+	st.entropyHit[norm] = true
+	return append(out, d.fire(e, st, SignalEntropyJump, d.cfg.EntropyWeight,
+		"bits="+formatBits(bits)))
+}
+
+// shadowTools are the image basenames whose launch signals backup
+// destruction.
+var shadowTools = map[string]bool{
+	"vssadmin.exe": true,
+	"wbadmin.exe":  true,
+	"bcdedit.exe":  true,
+	"wmic.exe":     true,
+}
+
+// shadow fires SignalShadowDelete when the process spawns a shadow-copy /
+// backup destruction tool. The event's PID is the parent — the specimen.
+func (d *Detector) shadow(e trace.Event, st *pidState, out []Detection) []Detection {
+	base := strings.ToLower(e.Target)
+	if i := strings.LastIndexByte(base, '\\'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !shadowTools[base] || st.shadowHit[base] {
+		return out
+	}
+	st.shadowHit[base] = true
+	return append(out, d.fire(e, st, SignalShadowDelete, d.cfg.ShadowWeight, "tool="+base))
+}
+
+// shannonBits returns the Shannon entropy of the data in bits per byte
+// (0 for uniform content, 8 for ideal ciphertext).
+func shannonBits(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var hist [256]int
+	for _, b := range data {
+		hist[b]++
+	}
+	n := float64(len(data))
+	bits := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		bits -= p * math.Log2(p)
+	}
+	return bits
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// formatBits renders entropy with two decimals without fmt in the hot
+// path.
+func formatBits(b float64) string {
+	whole := int(b)
+	frac := int((b - float64(whole)) * 100)
+	return itoa(whole) + "." + pad2(frac)
+}
+
+func pad2(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n < 10 {
+		return "0" + itoa(n)
+	}
+	return itoa(n)
+}

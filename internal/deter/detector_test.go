@@ -1,0 +1,246 @@
+package deter
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"scarecrow/internal/trace"
+	"scarecrow/internal/winsim"
+)
+
+func testPlan(t testing.TB) (*winsim.Machine, *Plan) {
+	t.Helper()
+	m := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 1)
+	plan, err := Plant(m, PlantConfig{})
+	if err != nil {
+		t.Fatalf("plant: %v", err)
+	}
+	return m, plan
+}
+
+func TestDetectorCanaryTouchFlags(t *testing.T) {
+	_, plan := testPlan(t)
+	d := NewDetector(plan, DetectorConfig{})
+	canary := plan.Canaries[0].Path
+
+	dets := d.Observe(trace.Event{Kind: trace.KindFileRead, PID: 9, Target: canary, Success: true, Time: time.Second})
+	if len(dets) != 1 || dets[0].Signal != SignalCanaryTouch {
+		t.Fatalf("canary read produced %v, want one canary-touch", dets)
+	}
+	if !d.Flagged(9) {
+		t.Fatalf("canary touch (weight 1.0) must flag the process at the default kill score")
+	}
+	// Same canary again: deduplicated.
+	if dets := d.Observe(trace.Event{Kind: trace.KindFileRead, PID: 9, Target: canary, Success: true, Time: 2 * time.Second}); len(dets) != 0 {
+		t.Fatalf("repeat touch re-fired: %v", dets)
+	}
+	// A failed access still counts: the attempt is the tell.
+	if dets := d.Observe(trace.Event{Kind: trace.KindFileRead, PID: 10, Target: plan.Canaries[1].Path, Success: false, Time: time.Second}); len(dets) != 1 {
+		t.Fatalf("failed canary access did not fire: %v", dets)
+	}
+}
+
+func TestDetectorCanaryTamper(t *testing.T) {
+	_, plan := testPlan(t)
+	d := NewDetector(plan, DetectorConfig{})
+	canary := plan.Canaries[0].Path
+	dets := d.Observe(trace.Event{Kind: trace.KindFileWrite, PID: 4, Target: canary, Success: true, Time: time.Second})
+	want := map[string]bool{SignalCanaryTouch: true, SignalCanaryTamper: true}
+	if len(dets) != 2 || !want[dets[0].Signal] || !want[dets[1].Signal] {
+		t.Fatalf("canary overwrite produced %v, want touch+tamper", dets)
+	}
+}
+
+func TestDetectorMassEnumAndOverwrite(t *testing.T) {
+	_, plan := testPlan(t)
+	d := NewDetector(plan, DetectorConfig{})
+	now := time.Second
+	ev := func(kind trace.Kind, target, detail string) []Detection {
+		now += 10 * time.Millisecond
+		return d.Observe(trace.Event{Kind: kind, PID: 7, Target: target, Detail: detail, Success: true, Time: now})
+	}
+
+	var got []Detection
+	got = append(got, ev(trace.KindFileQuery, `C:\work\a`, "enum=*")...)
+	got = append(got, ev(trace.KindFileQuery, `C:\work\b`, "enum=*")...)
+	if len(got) != 1 || got[0].Signal != SignalMassEnum {
+		t.Fatalf("two enumerations inside the window produced %v, want mass-enumeration", got)
+	}
+
+	got = nil
+	for _, f := range []string{`C:\work\a\1.doc`, `C:\work\a\2.doc`, `C:\work\a\3.doc`} {
+		ev(trace.KindFileRead, f, "")
+		got = append(got, ev(trace.KindFileWrite, f+".enc", "")...)
+		got = append(got, ev(trace.KindFileDelete, f, "")...)
+	}
+	var ow int
+	for _, det := range got {
+		if det.Signal == SignalReadOverwrite {
+			ow++
+		}
+	}
+	if ow != 1 {
+		t.Fatalf("read-then-overwrite fired %d times across %v, want once", ow, got)
+	}
+	if !d.Flagged(7) {
+		t.Fatalf("enum+overwrite signals did not flag the process")
+	}
+}
+
+func TestDetectorEntropyJump(t *testing.T) {
+	_, plan := testPlan(t)
+	d := NewDetector(plan, DetectorConfig{})
+	content := map[string][]byte{}
+	d.SetContentFn(func(path string) ([]byte, bool) {
+		b, ok := content[path]
+		return b, ok
+	})
+
+	low := make([]byte, 256) // all zeros: 0 bits/byte
+	high := make([]byte, 256)
+	streamCipherTest(high)
+	content[`C:\u\plain.txt`] = low
+	content[`C:\u\cipher.bin`] = high
+
+	if dets := d.Observe(trace.Event{Kind: trace.KindFileWrite, PID: 3, Target: `C:\u\plain.txt`, Success: true, Time: time.Second}); len(dets) != 0 {
+		t.Fatalf("low-entropy write fired: %v", dets)
+	}
+	dets := d.Observe(trace.Event{Kind: trace.KindFileWrite, PID: 3, Target: `C:\u\cipher.bin`, Success: true, Time: 2 * time.Second})
+	if len(dets) != 1 || dets[0].Signal != SignalEntropyJump {
+		t.Fatalf("ciphertext write produced %v, want entropy-jump", dets)
+	}
+}
+
+// streamCipherTest fills buf with the malware package's keystream shape
+// (xorshift64*), locally so the test does not import it.
+func streamCipherTest(buf []byte) {
+	var x uint64 = 88172645463325252
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte((x * 2685821657736338717) >> 56)
+	}
+}
+
+func TestDetectorShadowDelete(t *testing.T) {
+	_, plan := testPlan(t)
+	d := NewDetector(plan, DetectorConfig{})
+	dets := d.Observe(trace.Event{Kind: trace.KindProcessCreate, PID: 5, Target: `C:\Windows\System32\vssadmin.exe`, Success: true, Time: time.Second})
+	if len(dets) != 1 || dets[0].Signal != SignalShadowDelete {
+		t.Fatalf("vssadmin spawn produced %v, want shadow-delete", dets)
+	}
+	if !d.Flagged(5) {
+		t.Fatalf("shadow deletion (weight 1.0) must flag")
+	}
+}
+
+// Signals outside the window no longer contribute to the score.
+func TestDetectorWindowExpiry(t *testing.T) {
+	_, plan := testPlan(t)
+	d := NewDetector(plan, DetectorConfig{Window: time.Second, EnumThreshold: 2})
+	d.Observe(trace.Event{Kind: trace.KindFileQuery, PID: 2, Target: `C:\a`, Detail: "enum=*", Success: true, Time: 0})
+	// Ten seconds later: the first enumeration has aged out of the window.
+	dets := d.Observe(trace.Event{Kind: trace.KindFileQuery, PID: 2, Target: `C:\b`, Detail: "enum=*", Success: true, Time: 10 * time.Second})
+	if len(dets) != 0 {
+		t.Fatalf("stale enumeration still counted: %v", dets)
+	}
+}
+
+// The detector is a pure function of the event sequence: replaying the
+// same stream yields identical detections.
+func TestDetectorDeterministicReplay(t *testing.T) {
+	_, plan := testPlan(t)
+	events := []trace.Event{
+		{Kind: trace.KindFileQuery, PID: 1, Target: `C:\u\Documents`, Detail: "enum=*", Success: true, Time: 1 * time.Second},
+		{Kind: trace.KindFileRead, PID: 1, Target: plan.Canaries[0].Path, Success: true, Time: 2 * time.Second},
+		{Kind: trace.KindFileWrite, PID: 1, Target: plan.Canaries[0].Path + ".enc", Success: true, Time: 3 * time.Second},
+		{Kind: trace.KindProcessCreate, PID: 1, Target: `vssadmin.exe`, Success: true, Time: 4 * time.Second},
+		{Kind: trace.KindRegQueryValue, PID: 1, Target: canaryRegKeys[0], Success: true, Time: 5 * time.Second},
+	}
+	run := func() []Detection {
+		d := NewDetector(plan, DetectorConfig{})
+		var out []Detection
+		for _, e := range events {
+			out = append(out, d.Observe(e)...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatalf("replay produced no detections at all")
+	}
+}
+
+// FuzzDetectorWindow drives the online scorer with an arbitrary event
+// stream: it must never panic, detections must be time-ordered and carry
+// non-negative scores, and a replay must be bit-identical.
+func FuzzDetectorWindow(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(1), uint8(2))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f}, int64(100), uint8(0))
+	f.Add([]byte("enumenumenum"), int64(-5), uint8(9))
+
+	m := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 1)
+	plan, err := Plant(m, PlantConfig{})
+	if err != nil {
+		f.Fatalf("plant: %v", err)
+	}
+	kinds := []trace.Kind{
+		trace.KindFileQuery, trace.KindFileRead, trace.KindFileWrite,
+		trace.KindFileDelete, trace.KindFileCreate, trace.KindProcessCreate,
+		trace.KindRegOpenKey, trace.KindRegSetValue, trace.KindRegDeleteKey,
+		trace.KindAPICall,
+	}
+	targets := []string{
+		plan.Canaries[0].Path,
+		plan.Canaries[len(plan.Canaries)-1].Path,
+		`C:\Users\u\Documents\report.docx`,
+		`C:\Users\u\Documents\report.docx.enc`,
+		`C:\Windows\System32\vssadmin.exe`,
+		canaryRegKeys[0] + `\sub`,
+		`HKLM\SOFTWARE\Microsoft`,
+		"",
+	}
+	details := []string{"", "enum=*", "bytes=100"}
+
+	f.Fuzz(func(t *testing.T, data []byte, windowNS int64, seed uint8) {
+		cfg := DetectorConfig{Window: time.Duration(windowNS)}
+		events := make([]trace.Event, 0, len(data)/2)
+		now := time.Duration(seed) * time.Millisecond
+		for i := 0; i+1 < len(data); i += 2 {
+			now += time.Duration(data[i]&0x3f) * time.Millisecond
+			events = append(events, trace.Event{
+				Kind:    kinds[int(data[i])%len(kinds)],
+				PID:     1 + int(data[i+1]%4),
+				Target:  targets[int(data[i+1])%len(targets)],
+				Detail:  details[int(data[i]>>6)%len(details)],
+				Success: data[i+1]&1 == 0,
+				Time:    now,
+			})
+		}
+		run := func() []Detection {
+			d := NewDetector(plan, cfg)
+			var out []Detection
+			for _, e := range events {
+				out = append(out, d.Observe(e)...)
+			}
+			return out
+		}
+		a := run()
+		for i, det := range a {
+			if det.Score < 0 || det.Weight < 0 {
+				t.Fatalf("detection %d has negative score/weight: %+v", i, det)
+			}
+			if i > 0 && det.Time < a[i-1].Time {
+				t.Fatalf("detections out of time order at %d: %v then %v", i, a[i-1].Time, det.Time)
+			}
+		}
+		if b := run(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("replay diverged for the same stream")
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package deter
+
+import (
+	"fmt"
+	"time"
+
+	"scarecrow/internal/trace"
+	"scarecrow/internal/winapi"
+	"scarecrow/internal/winsim"
+)
+
+// Action is the enforcement a monitor applies to a flagged payload.
+type Action string
+
+// Enforcement actions.
+const (
+	// ActionKill terminates the flagged process at its next API call.
+	ActionKill Action = "kill"
+	// ActionThrottle injects virtual delay ahead of every call the flagged
+	// process makes, so the observation window closes on it.
+	ActionThrottle Action = "throttle"
+	// ActionIsolate denies the flagged process's network calls.
+	ActionIsolate Action = "isolate"
+	// ActionObserve detects and reports but never enforces.
+	ActionObserve Action = "observe"
+)
+
+// ParseAction resolves an action name; "" means ActionKill.
+func ParseAction(s string) (Action, error) {
+	switch Action(s) {
+	case "":
+		return ActionKill, nil
+	case ActionKill, ActionThrottle, ActionIsolate, ActionObserve:
+		return Action(s), nil
+	}
+	return "", fmt.Errorf("deter: unknown action %q (want kill, throttle, isolate, or observe)", s)
+}
+
+// MonitorConfig configures one monitored run.
+type MonitorConfig struct {
+	// Action is what happens to a flagged process (default kill).
+	Action Action
+	// Detector tunes the online scorer.
+	Detector DetectorConfig
+	// ThrottleDelay is the per-call delay ActionThrottle injects
+	// (default 250ms of virtual time).
+	ThrottleDelay time.Duration
+	// OnDetection, when non-nil, observes every detection as it fires —
+	// the /v1/monitor streaming hook. It runs synchronously inside the
+	// recorder tap and must not block.
+	OnDetection func(Detection)
+}
+
+// Monitor wires a plan and a detector into one machine run: install
+// Observe as the recorder tap and Enforce as the system enforcer, run the
+// sample, then read Outcome. A monitor serves exactly one run and is
+// single-goroutine by construction — both callbacks fire inside the
+// deterministic scheduler — so it needs no locking.
+type Monitor struct {
+	m    *winsim.Machine
+	plan *Plan
+	det  *Detector
+	cfg  MonitorConfig
+
+	start      time.Duration
+	detections []Detection
+	lost       map[string]bool
+	enforced   bool
+	enforcedAt time.Duration
+	enforcePID int
+	lostAtEnf  int
+}
+
+// NewMonitor builds a monitor for one run on the planted machine. The
+// detector's entropy signal reads written content through the machine's
+// file system.
+func NewMonitor(m *winsim.Machine, plan *Plan, cfg MonitorConfig) *Monitor {
+	if cfg.Action == "" {
+		cfg.Action = ActionKill
+	}
+	if cfg.ThrottleDelay <= 0 {
+		cfg.ThrottleDelay = 250 * time.Millisecond
+	}
+	det := NewDetector(plan, cfg.Detector)
+	det.SetContentFn(m.FS.ReadFile)
+	return &Monitor{
+		m: m, plan: plan, det: det, cfg: cfg,
+		start: m.Clock.Now(),
+		lost:  make(map[string]bool),
+	}
+}
+
+// Observe is the recorder tap: it feeds the detector, accounts real files
+// lost, and surfaces detections to the streaming hook.
+func (mo *Monitor) Observe(e trace.Event) {
+	// A baseline file overwritten or deleted is lost; canaries are not
+	// counted (losing them is their job).
+	if e.Success && (e.Kind == trace.KindFileWrite || e.Kind == trace.KindFileDelete) {
+		if mo.plan.BaselineFile(e.Target) {
+			mo.lost[winsim.NormalizePath(e.Target)] = true
+		}
+	}
+	dets := mo.det.Observe(e)
+	if len(dets) == 0 {
+		return
+	}
+	mo.detections = append(mo.detections, dets...)
+	if mo.cfg.OnDetection != nil {
+		for _, d := range dets {
+			mo.cfg.OnDetection(d)
+		}
+	}
+}
+
+// Enforce is the winapi enforcer: flagged processes get the configured
+// action at their next API boundary. The first enforcement freezes the
+// files-lost counter — that is the "files lost before kill" the verdict
+// reports.
+func (mo *Monitor) Enforce(pid int, api string) winapi.Enforcement {
+	if mo.cfg.Action == ActionObserve || !mo.det.Flagged(pid) {
+		return winapi.Enforcement{}
+	}
+	if !mo.enforced {
+		mo.enforced = true
+		mo.enforcedAt = mo.m.Clock.Now()
+		mo.enforcePID = pid
+		mo.lostAtEnf = len(mo.lost)
+	}
+	switch mo.cfg.Action {
+	case ActionThrottle:
+		return winapi.Enforcement{Action: winapi.EnforceThrottle, Delay: mo.cfg.ThrottleDelay}
+	case ActionIsolate:
+		return winapi.Enforcement{Action: winapi.EnforceIsolate}
+	default:
+		return winapi.Enforcement{Action: winapi.EnforceKill}
+	}
+}
+
+// Outcome is the deterrence verdict of one monitored run.
+type Outcome struct {
+	// Action is the enforcement mode the run used.
+	Action Action
+	// Detected reports whether any signal fired; Deterred whether an
+	// enforcement was actually applied.
+	Detected bool
+	Deterred bool
+	// PID is the first enforced process (0 when none).
+	PID int
+	// TimeToDetect is virtual time from sample launch to the first
+	// detection; EnforcedAt from launch to the first enforcement. Both are
+	// 0 when the corresponding thing never happened.
+	TimeToDetect time.Duration
+	EnforcedAt   time.Duration
+	// FilesLost counts real (baseline, non-canary) files overwritten or
+	// deleted before the first enforcement — or across the whole run when
+	// nothing was enforced.
+	FilesLost int
+	// CanariesPlanted/Touched/Tampered summarize canary contact;
+	// TamperedCanaries lists post-run fingerprint mismatches in plan
+	// order (attribution).
+	CanariesPlanted  int
+	CanariesTouched  int
+	CanariesTampered int
+	TamperedCanaries []Canary
+	// Detections is the full detection stream in firing order.
+	Detections []Detection
+}
+
+// Outcome computes the run's deterrence verdict. Call it after the
+// scheduler has drained (or the window expired).
+func (mo *Monitor) Outcome() Outcome {
+	out := Outcome{
+		Action:          mo.cfg.Action,
+		Detected:        len(mo.detections) > 0,
+		Deterred:        mo.enforced,
+		PID:             mo.enforcePID,
+		CanariesPlanted: len(mo.plan.Canaries),
+		Detections:      mo.detections,
+	}
+	if out.Detected {
+		out.TimeToDetect = mo.detections[0].Time - mo.start
+	}
+	if mo.enforced {
+		out.EnforcedAt = mo.enforcedAt - mo.start
+		out.FilesLost = mo.lostAtEnf
+	} else {
+		out.FilesLost = len(mo.lost)
+	}
+	touched := make(map[string]bool)
+	tampered := make(map[string]bool)
+	for _, d := range mo.detections {
+		switch d.Signal {
+		case SignalCanaryTouch:
+			touched[winsim.NormalizePath(d.Target)] = true
+		case SignalCanaryTamper:
+			tampered[winsim.NormalizePath(d.Target)] = true
+		}
+	}
+	out.CanariesTouched = len(touched)
+	out.CanariesTampered = len(tampered)
+	out.TamperedCanaries = mo.plan.Tampered(mo.m)
+	return out
+}

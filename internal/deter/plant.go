@@ -1,0 +1,348 @@
+// Package deter is the real-time ransomware deterrence tier: where the
+// rest of the codebase deactivates evasive malware by feeding its evasive
+// logic (the paper's camouflage), this package handles the specimens that
+// pass the camouflage — or were never evasive to begin with — by watching
+// the live kernel-event stream and stopping a destructive payload while it
+// runs. It has three parts, mirroring a minimal EDR:
+//
+//   - Plant seeds a machine with canaries before the sample launches:
+//     decoy files whose names sort ahead of the user's real documents,
+//     a honeypot directory, and registry keys advertising wallets and
+//     credentials. Every canary is content-fingerprinted so tampering is
+//     attributable after the fact.
+//   - Detector scores the event stream online (delivered through
+//     trace.Recorder.Tap) against ransomware tells: canary touches, mass
+//     file enumeration, read-then-overwrite patterns, entropy-jump
+//     writes, and shadow-copy deletion.
+//   - Monitor glues the two to winapi's enforcement boundary: a flagged
+//     process is killed, throttled, or isolated at its next API call.
+//
+// Everything is deterministic: planting is a pure function of
+// (machine, seed), the detector consumes virtual-clock timestamps only,
+// and plans never iterate maps into output. The package returns errors
+// rather than panicking — it runs inside scarecrowd's serving path.
+package deter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scarecrow/internal/winsim"
+)
+
+// CanaryKind classifies a planted canary.
+type CanaryKind string
+
+// Canary kinds.
+const (
+	CanaryDecoyFile   CanaryKind = "decoy-file"
+	CanaryHoneypotDir CanaryKind = "honeypot-dir"
+	CanaryRegistryKey CanaryKind = "registry-key"
+)
+
+// PlantConfig controls what Plant seeds into a machine. The zero value
+// asks for the defaults; set a count to -1 to disable that canary class.
+type PlantConfig struct {
+	// Seed varies decoy contents (not names or placement) so two
+	// deployments are distinguishable while each stays reproducible.
+	Seed int64
+	// DecoysPerDir is the number of decoy files planted in each user
+	// content directory (default 2, -1 disables).
+	DecoysPerDir int
+	// RegistryKeys is the number of canary registry keys planted under
+	// HKCU\Software (default 2, -1 disables).
+	RegistryKeys int
+	// NoHoneypot skips the honeypot directory.
+	NoHoneypot bool
+}
+
+func (c PlantConfig) withDefaults() PlantConfig {
+	if c.DecoysPerDir == 0 {
+		c.DecoysPerDir = 2
+	}
+	if c.RegistryKeys == 0 {
+		c.RegistryKeys = 2
+	}
+	return c
+}
+
+// Canary is one planted tripwire.
+type Canary struct {
+	// Kind classifies the canary; Path is the file path or registry key.
+	Kind CanaryKind `json:"kind"`
+	Path string     `json:"path"`
+	// Fingerprint is the FNV-64a hash of the planted content (file bytes
+	// or registry value string); a post-run mismatch means the canary was
+	// tampered with, attributably.
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// Plan is the result of planting: the canary set plus the baseline file
+// inventory used to account real files lost before enforcement fired.
+type Plan struct {
+	// User is the profile owner whose directories were seeded.
+	User string
+	// Canaries lists every planted canary in deterministic order (files
+	// by path, then registry keys by path) — never map-range order.
+	Canaries []Canary
+
+	files    map[string]Canary // normalized file path -> canary
+	keys     map[string]Canary // normalized registry key -> canary
+	baseline map[string]bool   // normalized non-canary regular files at plant time
+}
+
+// CanaryFile returns the canary planted at the given file path, if any.
+// The honeypot directory matches both itself and anything beneath it.
+func (p *Plan) CanaryFile(path string) (Canary, bool) {
+	norm := winsim.NormalizePath(path)
+	if c, ok := p.files[norm]; ok {
+		return c, true
+	}
+	// A path inside the honeypot directory is a honeypot touch too.
+	for i := strings.LastIndexByte(norm, '\\'); i > 0; i = strings.LastIndexByte(norm, '\\') {
+		norm = norm[:i]
+		if c, ok := p.files[norm]; ok && c.Kind == CanaryHoneypotDir {
+			return c, true
+		}
+	}
+	return Canary{}, false
+}
+
+// CanaryKey returns the canary registry key the given path names or sits
+// beneath, if any.
+func (p *Plan) CanaryKey(path string) (Canary, bool) {
+	norm := normalizeRegKey(path)
+	if c, ok := p.keys[norm]; ok {
+		return c, true
+	}
+	for i := strings.LastIndexByte(norm, '\\'); i > 0; i = strings.LastIndexByte(norm, '\\') {
+		norm = norm[:i]
+		if c, ok := p.keys[norm]; ok {
+			return c, true
+		}
+	}
+	return Canary{}, false
+}
+
+// BaselineFile reports whether path named a real (non-canary) regular
+// file when the plan was planted — the population FilesLost counts over.
+func (p *Plan) BaselineFile(path string) bool {
+	return p.baseline[winsim.NormalizePath(path)]
+}
+
+// BaselineCount returns how many real files the baseline holds.
+func (p *Plan) BaselineCount() int { return len(p.baseline) }
+
+// Tampered re-fingerprints every canary against the machine's current
+// state and returns the ones that were modified or destroyed, in plan
+// order. This is the post-run attribution pass.
+func (p *Plan) Tampered(m *winsim.Machine) []Canary {
+	var out []Canary
+	for _, c := range p.Canaries {
+		switch c.Kind {
+		case CanaryDecoyFile:
+			data, ok := m.FS.ReadFile(c.Path)
+			if !ok || fnv64a(data) != c.Fingerprint {
+				out = append(out, c)
+			}
+		case CanaryHoneypotDir:
+			if !m.FS.Exists(c.Path) {
+				out = append(out, c)
+			}
+		case CanaryRegistryKey:
+			v, ok := m.Registry.QueryValue(c.Path, canaryValueName)
+			if !ok || fnv64a([]byte(v.Str)) != c.Fingerprint {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Decoy file names. They start with '!' and '0' so FindFirstFile's sorted
+// listing surfaces them before the user's real documents — a payload that
+// walks a directory in order touches a canary before it costs a file.
+var decoyNames = []string{
+	"!important_passwords.txt",
+	"!wallet_recovery_seed.txt",
+	"0_bank_accounts.csv",
+	"0_bitcoin_keys.dat",
+	"1_tax_return_2025.pdf",
+	"1_insurance_scans.zip",
+}
+
+// honeypotDirName sorts first inside Documents; everything beneath it is
+// a tripwire.
+const honeypotDirName = "!backup_keys"
+
+// Canary registry key paths (planted in order up to RegistryKeys).
+var canaryRegKeys = []string{
+	`HKEY_CURRENT_USER\Software\WalletVault`,
+	`HKEY_CURRENT_USER\Software\CryptoKeyStore`,
+	`HKEY_CURRENT_USER\Software\PasswordSafe9`,
+}
+
+// canaryValueName is the value planted under each canary registry key.
+const canaryValueName = "seed"
+
+// Plant seeds the machine with the configured canaries and captures the
+// baseline file inventory. It must run before the sample launches (the
+// winsim mutators emit no trace events, so planting never pollutes the
+// run's trace). The returned plan is a pure function of the machine's
+// profile content and cfg — two machines built from the same profile and
+// seed yield byte-identical plans.
+func Plant(m *winsim.Machine, cfg PlantConfig) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	user := m.HW.UserName
+	if user == "" {
+		return nil, fmt.Errorf("deter: profile %q has no user to plant canaries for", m.Profile)
+	}
+	p := &Plan{
+		User:     user,
+		files:    make(map[string]Canary),
+		keys:     make(map[string]Canary),
+		baseline: make(map[string]bool),
+	}
+
+	dirs := []string{
+		`C:\Users\` + user + `\Documents`,
+		`C:\Users\` + user + `\Downloads`,
+		`C:\Users\` + user + `\Desktop`,
+	}
+	addFile := func(kind CanaryKind, path string, fp uint64) {
+		c := Canary{Kind: kind, Path: path, Fingerprint: fp}
+		p.files[winsim.NormalizePath(path)] = c
+		p.Canaries = append(p.Canaries, c)
+	}
+
+	if cfg.DecoysPerDir > 0 {
+		n := cfg.DecoysPerDir
+		if n > len(decoyNames) {
+			n = len(decoyNames)
+		}
+		for _, dir := range dirs {
+			for i := 0; i < n; i++ {
+				path := dir + `\` + decoyNames[i]
+				content := decoyContent(cfg.Seed, path)
+				if err := m.FS.WriteFile(path, content); err != nil {
+					return nil, fmt.Errorf("deter: planting %s: %w", path, err)
+				}
+				addFile(CanaryDecoyFile, path, fnv64a(content))
+			}
+		}
+	}
+
+	if !cfg.NoHoneypot {
+		dir := dirs[0] + `\` + honeypotDirName
+		m.FS.MkdirAll(dir)
+		addFile(CanaryHoneypotDir, dir, 0)
+		for i := 0; i < 2 && i < len(decoyNames); i++ {
+			path := dir + `\` + decoyNames[i]
+			content := decoyContent(cfg.Seed, path)
+			if err := m.FS.WriteFile(path, content); err != nil {
+				return nil, fmt.Errorf("deter: planting %s: %w", path, err)
+			}
+			addFile(CanaryDecoyFile, path, fnv64a(content))
+		}
+	}
+
+	if cfg.RegistryKeys > 0 {
+		n := cfg.RegistryKeys
+		if n > len(canaryRegKeys) {
+			n = len(canaryRegKeys)
+		}
+		for i := 0; i < n; i++ {
+			key := canaryRegKeys[i]
+			if _, err := m.Registry.CreateKey(key); err != nil {
+				return nil, fmt.Errorf("deter: planting %s: %w", key, err)
+			}
+			content := decoyContent(cfg.Seed, key)
+			if err := m.Registry.SetValue(key, canaryValueName, winsim.StringValue(string(content))); err != nil {
+				return nil, fmt.Errorf("deter: planting %s: %w", key, err)
+			}
+			c := Canary{Kind: CanaryRegistryKey, Path: key, Fingerprint: fnv64a(content)}
+			p.keys[normalizeRegKey(key)] = c
+			p.Canaries = append(p.Canaries, c)
+		}
+	}
+
+	// Baseline: every real (non-canary) regular file present now. Walk
+	// visits nodes in normalized-path order, so the map's insertion is
+	// deterministic even though only membership matters.
+	m.FS.Walk(func(info winsim.FileInfo) {
+		if info.Kind != winsim.FileRegular {
+			return
+		}
+		norm := winsim.NormalizePath(info.Path)
+		if _, ok := p.files[norm]; ok {
+			return
+		}
+		p.baseline[norm] = true
+	})
+
+	// Canaries were appended files-then-keys in loop order; sort within
+	// kind by path for a stable, documented plan order.
+	sort.SliceStable(p.Canaries, func(i, j int) bool {
+		if p.Canaries[i].Kind != p.Canaries[j].Kind {
+			return kindRank(p.Canaries[i].Kind) < kindRank(p.Canaries[j].Kind)
+		}
+		return p.Canaries[i].Path < p.Canaries[j].Path
+	})
+	return p, nil
+}
+
+func kindRank(k CanaryKind) int {
+	switch k {
+	case CanaryDecoyFile:
+		return 0
+	case CanaryHoneypotDir:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// decoyContent synthesizes deterministic, low-entropy, plausible file
+// content for a canary. Low entropy matters: the entropy-jump signal must
+// fire only when a payload rewrites the decoy with ciphertext.
+func decoyContent(seed int64, path string) []byte {
+	h := fnv64a([]byte(fmt.Sprintf("%d|%s", seed, strings.ToLower(path))))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "account backup %016x\n", h)
+	for i := 0; i < 8; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		fmt.Fprintf(&sb, "entry %d: user john balance %d notes kept offline\n", i, h%100000)
+	}
+	return []byte(sb.String())
+}
+
+// fnv64a hashes bytes with FNV-64a (inline to keep deter dependency-free).
+func fnv64a(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// normalizeRegKey canonicalizes a registry key path for case-insensitive
+// prefix matching: hive aliases expanded, separators collapsed, lowercase.
+func normalizeRegKey(path string) string {
+	p := strings.ToLower(strings.ReplaceAll(path, "/", `\`))
+	p = strings.Trim(p, `\`)
+	parts := strings.Split(p, `\`)
+	if len(parts) > 0 {
+		switch parts[0] {
+		case "hklm":
+			parts[0] = "hkey_local_machine"
+		case "hkcu":
+			parts[0] = "hkey_current_user"
+		case "hkcr":
+			parts[0] = "hkey_classes_root"
+		case "hku":
+			parts[0] = "hkey_users"
+		}
+	}
+	return strings.Join(parts, `\`)
+}

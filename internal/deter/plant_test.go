@@ -1,0 +1,134 @@
+package deter
+
+import (
+	"reflect"
+	"testing"
+
+	"scarecrow/internal/winsim"
+)
+
+// Planting must be a pure function of (profile, seed, config): two
+// machines built alike get byte-identical canaries, so monitored verdicts
+// stay reproducible.
+func TestPlantDeterministic(t *testing.T) {
+	m1 := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 7)
+	m2 := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 7)
+	p1, err := Plant(m1, PlantConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("plant 1: %v", err)
+	}
+	p2, err := Plant(m2, PlantConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("plant 2: %v", err)
+	}
+	if !reflect.DeepEqual(p1.Canaries, p2.Canaries) {
+		t.Fatalf("plans differ:\n%v\nvs\n%v", p1.Canaries, p2.Canaries)
+	}
+	if p1.BaselineCount() != p2.BaselineCount() {
+		t.Fatalf("baselines differ: %d vs %d", p1.BaselineCount(), p2.BaselineCount())
+	}
+	for _, c := range p1.Canaries {
+		if c.Kind == CanaryHoneypotDir {
+			continue
+		}
+		if c.Kind == CanaryDecoyFile {
+			b1, ok1 := m1.FS.ReadFile(c.Path)
+			b2, ok2 := m2.FS.ReadFile(c.Path)
+			if !ok1 || !ok2 || string(b1) != string(b2) {
+				t.Fatalf("decoy %s content differs across machines", c.Path)
+			}
+			if fnv64a(b1) != c.Fingerprint {
+				t.Fatalf("decoy %s fingerprint does not match content", c.Path)
+			}
+		}
+	}
+}
+
+// A planted machine cloned through the snapshot pool must carry identical
+// canaries — the service's pooled labs depend on it.
+func TestPlantSurvivesSnapshotClone(t *testing.T) {
+	m := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 1)
+	plan, err := Plant(m, PlantConfig{})
+	if err != nil {
+		t.Fatalf("plant: %v", err)
+	}
+	snap := m.Snapshot()
+	c1 := snap.Clone(11)
+	c2 := snap.Clone(11)
+	for _, c := range plan.Canaries {
+		if c.Kind != CanaryDecoyFile {
+			continue
+		}
+		b1, ok1 := c1.FS.ReadFile(c.Path)
+		b2, ok2 := c2.FS.ReadFile(c.Path)
+		if !ok1 || !ok2 {
+			t.Fatalf("decoy %s missing from clone", c.Path)
+		}
+		if string(b1) != string(b2) || fnv64a(b1) != c.Fingerprint {
+			t.Fatalf("decoy %s differs across clones of the same snapshot", c.Path)
+		}
+	}
+}
+
+func TestCanaryLookups(t *testing.T) {
+	m := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 1)
+	plan, err := Plant(m, PlantConfig{})
+	if err != nil {
+		t.Fatalf("plant: %v", err)
+	}
+	user := m.HW.UserName
+	if _, ok := plan.CanaryFile(`C:\Users\` + user + `\Documents\` + decoyNames[0]); !ok {
+		t.Fatalf("decoy in Documents not recognized")
+	}
+	// Case-insensitive, and paths inside the honeypot match through it.
+	hp := `c:\users\` + user + `\documents\` + honeypotDirName
+	if c, ok := plan.CanaryFile(hp + `\anything.bin`); !ok || c.Kind != CanaryHoneypotDir {
+		t.Fatalf("honeypot child lookup = %v, %v; want honeypot-dir canary", c, ok)
+	}
+	if plan.BaselineFile(hp + `\anything.bin`) {
+		t.Fatalf("honeypot content must not be baseline")
+	}
+	// Registry canaries match by prefix across hive aliases.
+	if c, ok := plan.CanaryKey(`HKCU\Software\WalletVault\sub`); !ok || c.Kind != CanaryRegistryKey {
+		t.Fatalf("registry canary prefix lookup failed: %v, %v", c, ok)
+	}
+	if _, ok := plan.CanaryKey(`HKLM\SOFTWARE\Microsoft\Windows`); ok {
+		t.Fatalf("unrelated registry key matched a canary")
+	}
+	// The profile's real user files are baseline, not canary.
+	if plan.BaselineCount() == 0 {
+		t.Fatalf("baseline is empty; profile files were not captured")
+	}
+}
+
+// Tampering attribution: a rewritten decoy and a destroyed honeypot show
+// up in the post-run fingerprint pass.
+func TestTamperedAttribution(t *testing.T) {
+	m := winsim.NewProfileMachine(winsim.ProfileBareMetalSandbox, 1)
+	plan, err := Plant(m, PlantConfig{})
+	if err != nil {
+		t.Fatalf("plant: %v", err)
+	}
+	if got := plan.Tampered(m); len(got) != 0 {
+		t.Fatalf("fresh plant reports %d tampered canaries", len(got))
+	}
+	victim := plan.Canaries[0]
+	if victim.Kind != CanaryDecoyFile {
+		t.Fatalf("plan order changed; first canary is %v", victim.Kind)
+	}
+	if err := m.FS.WriteFile(victim.Path, []byte("ciphertext")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got := plan.Tampered(m)
+	if len(got) != 1 || got[0].Path != victim.Path {
+		t.Fatalf("tampered = %v, want exactly %s", got, victim.Path)
+	}
+}
+
+func TestPlantRequiresUser(t *testing.T) {
+	m := winsim.NewMachine("blank", 1)
+	m.HW.UserName = ""
+	if _, err := Plant(m, PlantConfig{}); err == nil {
+		t.Fatalf("plant on a userless machine must error, not panic or succeed")
+	}
+}

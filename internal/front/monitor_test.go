@@ -1,0 +1,77 @@
+package front
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"scarecrow/internal/campaign"
+	"scarecrow/internal/service"
+)
+
+// The front proxies /v1/monitor to the backend that owns the specimen's
+// verdict key and relays the SSE stream untouched: detection frames
+// before the verdict frame, bypass header preserved, bytes identical to
+// a direct backend request.
+func TestMonitorProxyStreams(t *testing.T) {
+	b0 := newTestBackend(t, false, campaign.Options{})
+	b1 := newTestBackend(t, false, campaign.Options{})
+	f := startFront(t, Options{}, b0, b1)
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	spec := "wannacry"
+	key, err := service.RouteKey(service.SubmitRequest{Specimen: spec})
+	if err != nil {
+		t.Fatalf("RouteKey: %v", err)
+	}
+	owner := []*testBackend{b0, b1}[f.ring.owner(key)]
+	body := fmt.Sprintf(`{"specimen":%q, "seed": 42}`, spec)
+
+	resp := postJSON(t, ts.URL+"/v1/monitor", body)
+	front := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("monitor via front = %d: %s", resp.StatusCode, front)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	if cc := resp.Header.Get("X-Scarecrow-Cache"); cc != "bypass" {
+		t.Fatalf("X-Scarecrow-Cache = %q, want bypass", cc)
+	}
+	stream := string(front)
+	det := strings.Index(stream, "event: detection")
+	ver := strings.Index(stream, "event: verdict")
+	if det < 0 || ver < 0 || det > ver {
+		t.Fatalf("stream must carry a detection frame before the verdict:\n%s", stream)
+	}
+	if !strings.Contains(stream, `"category":"deterred"`) {
+		t.Fatalf("verdict frame not deterred:\n%s", stream)
+	}
+
+	direct := readBody(t, postJSON(t, owner.ts.URL+"/v1/monitor", body))
+	if !bytes.Equal(front, direct) {
+		t.Fatalf("front stream differs from backend stream:\n%s\nvs\n%s", front, direct)
+	}
+}
+
+// Malformed monitor bodies are refused at the front without touching a
+// backend.
+func TestMonitorProxyRejectsUnknownFields(t *testing.T) {
+	b0 := newTestBackend(t, false, campaign.Options{})
+	f := startFront(t, Options{}, b0)
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/monitor", `{"specimen": "wannacry", "bogus": true}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d, want 400", resp.StatusCode)
+	}
+	if st := b0.srv.Snapshot(); st.MonitorRuns != 0 {
+		t.Fatalf("bad request reached the backend: %d runs", st.MonitorRuns)
+	}
+}

@@ -38,6 +38,7 @@ func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", f.handleSubmit)
 	mux.HandleFunc("/v1/verdict", f.handleVerdict)
+	mux.HandleFunc("/v1/monitor", f.handleMonitor)
 	mux.HandleFunc("/v1/result/", f.handleResult)
 	mux.HandleFunc("POST /v1/campaign", f.handleCampaignLaunch)
 	mux.HandleFunc("GET /v1/campaign", f.handleCampaignList)
@@ -195,6 +196,78 @@ func (f *Front) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	passthroughHeaders(w, resp, b.idx)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleMonitor routes a streaming deterrence run to the owning backend
+// and relays the SSE frames as they arrive. The monitor body carries an
+// extra "action" field on top of the submit shape, so routing decodes
+// service.MonitorRequest rather than going through routeBody; the shard
+// key is still the embedded submission's canonical verdict key, so a
+// monitored run lands on the same cell that owns the specimen's verdicts.
+func (f *Front) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("reading request: %v", err)})
+		return
+	}
+	var req service.MonitorRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	key, err := service.RouteKey(req.SubmitRequest)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	b := f.backends[f.ring.owner(key)]
+	if !b.isHealthy() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: fmt.Sprintf("backend %d (%s) degraded; key %q parked until it recovers", b.idx, b.base, key),
+		})
+		return
+	}
+	resp, ok := f.proxyPost(w, r, b, "/v1/monitor", raw)
+	if !ok {
+		return
+	}
+	defer resp.Body.Close()
+	passthroughHeaders(w, resp, b.idx)
+	w.WriteHeader(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+	flushCopy(w, resp.Body)
+}
+
+// flushCopy relays a streaming body chunk by chunk, flushing after every
+// read so SSE frames reach the client as they happen instead of pooling
+// in the front's write buffer until the backend run completes.
+func flushCopy(w http.ResponseWriter, body io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 // handleResult routes a poll to the backend encoded in the job ID.

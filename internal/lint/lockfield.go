@@ -18,6 +18,7 @@ var LockFieldScope = []string{
 	"scarecrow/internal/store",
 	"scarecrow/internal/campaign",
 	"scarecrow/internal/front",
+	"scarecrow/internal/deter",
 }
 
 // LockField flags reads and writes of mu-guarded struct fields from code

@@ -27,6 +27,7 @@ var MapOrderScope = []string{
 	"scarecrow/internal/store",
 	"scarecrow/internal/synth",
 	"scarecrow/internal/front",
+	"scarecrow/internal/deter",
 }
 
 // MapOrder extends the virtualclock determinism contract to iteration

@@ -13,20 +13,23 @@ import (
 // sweep down, so panics there are findings. The long-running serving
 // layers — the campaign engine and the scale-out front — make the same
 // promise to their callers: one bad cell or one bad backend must degrade,
-// never crash the process. The only sanctioned panic/recover channels —
-// winsim.BudgetExceeded and the scheduler's exitPanic — live outside
-// this scope.
+// never crash the process. The deterrence tier (internal/deter) runs
+// inside live monitored streams, where a panic would tear down an SSE
+// connection mid-run — planting and detection must return errors. The
+// only sanctioned panic/recover channels — winsim.BudgetExceeded and the
+// scheduler's exitPanic — live outside this scope.
 var NoPanicScope = []string{
 	"scarecrow/internal/analysis",
 	"scarecrow/internal/core",
 	"scarecrow/internal/campaign",
 	"scarecrow/internal/front",
+	"scarecrow/internal/deter",
 }
 
 // NoPanic forbids calls to the panic builtin in the contained packages.
 var NoPanic = &Analyzer{
 	Name: "nopanic",
-	Doc:  "forbid panic in fault-contained packages (internal/analysis, internal/core, internal/campaign, internal/front); return an error instead",
+	Doc:  "forbid panic in fault-contained packages (internal/analysis, internal/core, internal/campaign, internal/front, internal/deter); return an error instead",
 	Run:  runNoPanic,
 }
 

@@ -39,6 +39,7 @@ type errorResponse struct {
 //	POST /v1/submit   — enqueue, return a job id immediately
 //	GET  /v1/result/  — poll a job by id
 //	POST /v1/verdict  — submit and wait for the verdict (synchronous)
+//	POST /v1/monitor  — run under the deterrence tier, stream SSE events
 //	GET  /healthz     — liveness
 //	GET  /statusz     — serving statistics + aggregated run report
 //	GET  /metrics     — expvar-format counters
@@ -47,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/result/", s.handleResult)
 	mux.HandleFunc("/v1/verdict", s.handleVerdict)
+	mux.HandleFunc("/v1/monitor", s.handleMonitor)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -215,6 +217,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	addInt("store_keys", int64(st.StoreKeys))
 	addInt("store_hits", int64(st.StoreHits))
 	addInt("store_errors", int64(st.StoreErrors))
+	addInt("monitor_runs", int64(st.MonitorRuns))
+	addInt("monitor_deterred", int64(st.MonitorDeterred))
+	addInt("monitor_rejected", int64(st.MonitorRejected))
 	addInt("queue_depth", int64(st.QueueDepth))
 	addInt("workers", int64(st.Workers))
 	addInt("verdict_errors", int64(st.Report.VerdictErrors))

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+func parseSSE(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	for _, block := range strings.Split(strings.TrimSpace(body), "\n\n") {
+		var f sseFrame
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+		if f.event == "" {
+			t.Fatalf("frame without event field: %q", block)
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+func monitorPost(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/monitor", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// The headline flow: stock ransomware streams at least one detection
+// frame, then a verdict frame reporting deterred with bounded file loss.
+func TestMonitorStreamsDetectionThenVerdict(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	srv.Start()
+	defer shutdown(t, srv)
+	h := srv.Handler()
+
+	w := monitorPost(t, h, `{"specimen": "wannacry", "seed": 42}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	if cc := w.Header().Get("X-Scarecrow-Cache"); cc != "bypass" {
+		t.Fatalf("X-Scarecrow-Cache = %q, want bypass", cc)
+	}
+
+	frames := parseSSE(t, w.Body.String())
+	if len(frames) < 2 {
+		t.Fatalf("want >= 2 frames (detection then verdict), got %d: %v", len(frames), frames)
+	}
+	if frames[0].event != "detection" {
+		t.Fatalf("first frame is %q, want detection", frames[0].event)
+	}
+	last := frames[len(frames)-1]
+	if last.event != "verdict" {
+		t.Fatalf("final frame is %q, want verdict", last.event)
+	}
+	for _, f := range frames[:len(frames)-1] {
+		if f.event != "detection" {
+			t.Fatalf("interior frame is %q, want detection", f.event)
+		}
+	}
+
+	var doc struct {
+		Category  string `json:"category"`
+		Deterred  bool   `json:"deterred"`
+		FilesLost int    `json:"files_lost_before_kill"`
+		Canaries  int    `json:"canaries_planted"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &doc); err != nil {
+		t.Fatalf("verdict frame is not JSON: %v\n%s", err, last.data)
+	}
+	if doc.Category != "deterred" || !doc.Deterred {
+		t.Fatalf("verdict = %+v, want deterred", doc)
+	}
+	if doc.FilesLost > 5 {
+		t.Fatalf("lost %d files before kill, want <= 5", doc.FilesLost)
+	}
+	if doc.Canaries == 0 {
+		t.Fatalf("verdict reports zero planted canaries")
+	}
+}
+
+// Monitored runs bypass the verdict cache: two identical requests both
+// execute and stream, and neither touches the cache or the store.
+func TestMonitorBypassesCache(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	srv.Start()
+	defer shutdown(t, srv)
+	h := srv.Handler()
+
+	first := monitorPost(t, h, `{"specimen": "wannacry", "seed": 7}`)
+	second := monitorPost(t, h, `{"specimen": "wannacry", "seed": 7}`)
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("statuses = %d, %d", first.Code, second.Code)
+	}
+	// Determinism: identical requests stream byte-identical frames — proof
+	// both actually ran rather than one replaying stale bytes from a cache
+	// (the cache stores verdict JSON, not SSE streams).
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("identical monitor requests diverged:\n%s\nvs\n%s", first.Body.String(), second.Body.String())
+	}
+	st := srv.Snapshot()
+	if st.MonitorRuns != 2 {
+		t.Fatalf("monitor_runs = %d, want 2 (cache must not absorb monitored runs)", st.MonitorRuns)
+	}
+	if st.CacheHits != 0 || st.CacheSize != 0 {
+		t.Fatalf("monitored runs leaked into the verdict cache: hits=%d size=%d", st.CacheHits, st.CacheSize)
+	}
+	if st.MonitorDeterred != 2 {
+		t.Fatalf("monitor_deterred = %d, want 2", st.MonitorDeterred)
+	}
+}
+
+// Observe mode flows through the API and reports survival.
+func TestMonitorObserveAction(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	srv.Start()
+	defer shutdown(t, srv)
+
+	w := monitorPost(t, srv.Handler(), `{"specimen": "wannacry", "seed": 7, "action": "observe"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	frames := parseSSE(t, w.Body.String())
+	last := frames[len(frames)-1]
+	var doc struct {
+		Category string `json:"category"`
+		Detected bool   `json:"detected"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &doc); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	if doc.Category != "survived" || !doc.Detected {
+		t.Fatalf("observe run = %+v, want survived+detected", doc)
+	}
+}
+
+func TestMonitorRejectsBadRequests(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	srv.Start()
+	defer shutdown(t, srv)
+	h := srv.Handler()
+
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"bad action", `{"specimen": "wannacry", "action": "nuke"}`, http.StatusBadRequest},
+		{"unknown field", `{"specimen": "wannacry", "bogus": 1}`, http.StatusBadRequest},
+		{"unknown specimen", `{"specimen": "no-such"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if w := monitorPost(t, h, tc.body); w.Code != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, w.Code, tc.code, w.Body.String())
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/monitor", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status = %d, want 405", w.Code)
+	}
+}

@@ -163,6 +163,12 @@ type Server struct {
 	cache *verdictCache
 	queue chan *Job
 
+	// monitorSem bounds concurrent /v1/monitor streams to the worker
+	// count; it is its own synchronization (channel semantics), as is the
+	// monitored-run lab pool below it.
+	monitorSem  chan struct{}
+	monitorLabs monitorLabs
+
 	mu       sync.Mutex
 	draining bool
 	nextID   uint64
@@ -177,6 +183,8 @@ type Server struct {
 	submitted, completed, coalesced, rejected uint64
 	labRuns, verdictErrors, recoveredPanics   uint64
 	storeHits, storeErrors                    uint64
+	monitorRuns, monitorDeterred              uint64
+	monitorRejected                           uint64
 	virtual                                   time.Duration
 
 	workers sync.WaitGroup
@@ -201,12 +209,13 @@ type commitReq struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:      cfg,
-		cache:    newVerdictCache(cfg.CacheSize),
-		queue:    make(chan *Job, cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		started:  time.Now(),
+		cfg:        cfg,
+		cache:      newVerdictCache(cfg.CacheSize),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		monitorSem: make(chan struct{}, cfg.Workers),
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		started:    time.Now(),
 	}
 }
 
@@ -590,6 +599,11 @@ type Stats struct {
 	StoreHits   uint64 `json:"store_hits"`
 	StoreErrors uint64 `json:"store_errors"`
 
+	// Deterrence-tier counters for the streaming /v1/monitor endpoint.
+	MonitorRuns     uint64 `json:"monitor_runs"`
+	MonitorDeterred uint64 `json:"monitor_deterred"`
+	MonitorRejected uint64 `json:"monitor_rejected"`
+
 	Report      analysis.RunReport `json:"report"`
 	ThroughputS float64            `json:"throughput_exec_per_s"`
 }
@@ -609,24 +623,27 @@ func (s *Server) Snapshot() Stats {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	return Stats{
-		Uptime:         time.Since(s.started),
-		Workers:        s.cfg.Workers,
-		QueueDepth:     len(s.queue),
-		QueueCap:       s.cfg.QueueDepth,
-		Submitted:      s.submitted,
-		Completed:      s.completed,
-		Coalesced:      s.coalesced,
-		Rejected:       s.rejected,
-		LabRuns:        s.labRuns,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheSize:      size,
-		CacheHitRate:   rate,
-		StoreKeys:      storeKeys,
-		StoreHits:      s.storeHits,
-		StoreErrors:    s.storeErrors,
-		Report:         report,
-		ThroughputS:    report.Throughput(),
+		Uptime:          time.Since(s.started),
+		Workers:         s.cfg.Workers,
+		QueueDepth:      len(s.queue),
+		QueueCap:        s.cfg.QueueDepth,
+		Submitted:       s.submitted,
+		Completed:       s.completed,
+		Coalesced:       s.coalesced,
+		Rejected:        s.rejected,
+		LabRuns:         s.labRuns,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		CacheSize:       size,
+		CacheHitRate:    rate,
+		StoreKeys:       storeKeys,
+		StoreHits:       s.storeHits,
+		StoreErrors:     s.storeErrors,
+		MonitorRuns:     s.monitorRuns,
+		MonitorDeterred: s.monitorDeterred,
+		MonitorRejected: s.monitorRejected,
+		Report:          report,
+		ThroughputS:     report.Throughput(),
 	}
 }

@@ -11,6 +11,11 @@ import (
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+	// tap, when non-nil, observes every event synchronously as it is
+	// recorded — the real-time deterrence tier's live view of the trace
+	// (post-run consumers keep using Events/Filter). The tap runs under
+	// the recorder's mutex and must not call back into the recorder.
+	tap func(Event)
 }
 
 // recorderPool recycles recorders — and, more importantly, their event
@@ -34,8 +39,21 @@ func (r *Recorder) Release() {
 	r.mu.Lock()
 	clear(r.events) // drop string references so pooled capacity pins nothing
 	r.events = r.events[:0]
+	r.tap = nil // pooled reuse must never inherit a previous run's observer
 	r.mu.Unlock()
 	recorderPool.Put(r)
+}
+
+// Tap registers fn as the live per-event observer, replacing any previous
+// tap (nil uninstalls). Record invokes the tap synchronously after
+// appending, so a streaming detector sees events in exactly recorded
+// order, at the virtual time they happen — not after the run. The tap is
+// called under the recorder's mutex: it must not call back into the
+// recorder (read the event it was handed instead).
+func (r *Recorder) Tap(fn func(Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tap = fn
 }
 
 // Record appends an event to the trace.
@@ -43,6 +61,9 @@ func (r *Recorder) Record(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = append(r.events, e)
+	if r.tap != nil {
+		r.tap(e)
+	}
 }
 
 // Events returns a copy of all recorded events in order.
@@ -64,7 +85,9 @@ func (r *Recorder) Len() int {
 // Clone returns an independent recorder holding a copy of the events
 // recorded so far. Used by winsim's snapshot subsystem: every machine
 // cloned from a snapshot must own its own recorder, so concurrent cloned
-// runs can never interleave trace events.
+// runs can never interleave trace events. The tap is deliberately not
+// copied: a clone is a different run, and its observer (if any) must be
+// installed explicitly.
 func (r *Recorder) Clone() *Recorder {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,81 @@
+package trace
+
+import "testing"
+
+// The tap is the real-time deterrence tier's view of the trace: it must
+// see every event, in order, synchronously with Record.
+func TestTapObservesEveryEventInOrder(t *testing.T) {
+	r := NewRecorder()
+	defer r.Release()
+
+	var seen []Event
+	r.Tap(func(e Event) { seen = append(seen, e) })
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindFileWrite, PID: i, Target: "x"})
+	}
+	if len(seen) != 10 {
+		t.Fatalf("tap saw %d events, want 10", len(seen))
+	}
+	for i, e := range seen {
+		if e.PID != i {
+			t.Fatalf("tap event %d has PID %d, want %d (order broken)", i, e.PID, i)
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("recorder holds %d events, want 10 (tap must not replace recording)", r.Len())
+	}
+}
+
+func TestTapNilUninstalls(t *testing.T) {
+	r := NewRecorder()
+	defer r.Release()
+
+	calls := 0
+	r.Tap(func(Event) { calls++ })
+	r.Record(Event{Kind: KindFileRead})
+	r.Tap(nil)
+	r.Record(Event{Kind: KindFileRead})
+	if calls != 1 {
+		t.Fatalf("tap called %d times, want 1 (nil must uninstall)", calls)
+	}
+}
+
+// Release returns recorders to the package pool; a future NewRecorder call
+// that happens to reuse one must never inherit a previous run's observer.
+func TestReleaseClearsTap(t *testing.T) {
+	calls := 0
+	r := NewRecorder()
+	r.Tap(func(Event) { calls++ })
+	r.Release()
+
+	// Drain the pool until we (very likely) get the same recorder back;
+	// either way, no recorder from the pool may carry a tap.
+	for i := 0; i < 8; i++ {
+		nr := NewRecorder()
+		nr.Record(Event{Kind: KindAPICall})
+		nr.Release()
+	}
+	if calls != 0 {
+		t.Fatalf("released recorder's tap fired %d times after Release", calls)
+	}
+}
+
+// A clone is a different run: it copies events, not the observer.
+func TestCloneDoesNotCopyTap(t *testing.T) {
+	r := NewRecorder()
+	defer r.Release()
+
+	calls := 0
+	r.Tap(func(Event) { calls++ })
+	r.Record(Event{Kind: KindFileWrite})
+
+	nr := r.Clone()
+	defer nr.Release()
+	nr.Record(Event{Kind: KindFileWrite})
+	if calls != 1 {
+		t.Fatalf("tap fired %d times, want 1 (clone must not inherit the tap)", calls)
+	}
+	if nr.Len() != 2 {
+		t.Fatalf("clone holds %d events, want 2", nr.Len())
+	}
+}

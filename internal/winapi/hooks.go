@@ -292,6 +292,14 @@ func (c *Context) invoke(name string, args []any, genuine func() any) any {
 	if !ok {
 		panic(fmt.Sprintf("winapi: API %q missing from catalog", name))
 	}
+	// Real-time enforcement happens before the call executes: a killed
+	// process never reaches its next API, an isolated one has network
+	// calls denied here, a throttled one pays injected delay first.
+	if out, blocked := c.applyEnforcement(name); blocked {
+		c.M.Clock.Advance(meta.cost)
+		c.recordAPICall(name)
+		return out
+	}
 	c.M.Clock.Advance(meta.cost)
 	c.recordAPICall(name)
 

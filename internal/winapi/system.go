@@ -70,6 +70,12 @@ type System struct {
 	// a backstop against runaway fork bombs.
 	MaxProcesses int
 
+	// Enforcer, when non-nil, is consulted before every API call with the
+	// calling PID and API name; its decision is applied at that boundary
+	// (see enforce.go). The real-time deterrence tier installs it to kill,
+	// throttle, or isolate a flagged payload mid-run. Nil costs nothing.
+	Enforcer func(pid int, api string) Enforcement
+
 	// monitor is the environment's own analysis-monitor hook table (e.g.
 	// the Cuckoo in-guest monitor), built once from the machine profile
 	// and attached to every process created later; nil when the profile

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# monitor-smoke: end-to-end drive of the real-time deterrence tier over
+# localhost.
+#
+#   1. stream a stock ransomware run through POST /v1/monitor and require
+#      at least one `event: detection` frame BEFORE the final
+#      `event: verdict` frame, a "deterred" category in the verdict, and
+#      the X-Scarecrow-Cache: bypass header.
+#   2. replay the identical request and require byte-identical frames —
+#      proof the stream is a deterministic re-run, not a cached replay
+#      (the daemon's monitor_runs counter must advance to 2).
+#   3. observe mode: the same specimen with {"action":"observe"} must
+#      report survived with a nonzero files_lost_before_kill — the loss
+#      the kill path prevented.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18082
+BASE=http://$ADDR
+DATA=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ]; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o scarecrowd ./cmd/scarecrowd
+
+echo "== boot (store $DATA/store)"
+./scarecrowd -addr "$ADDR" -data-dir "$DATA/store" >>"$DATA/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+echo "== stream a monitored wannacry run"
+curl -fsS -N -D "$DATA/headers" "$BASE/v1/monitor" \
+  -d '{"specimen":"wannacry","seed":42}' >"$DATA/stream1"
+
+if ! grep -qi 'Content-Type: text/event-stream' "$DATA/headers"; then
+  echo "FAIL: /v1/monitor did not answer as an SSE stream"
+  cat "$DATA/headers"
+  exit 1
+fi
+if ! grep -qi 'X-Scarecrow-Cache: bypass' "$DATA/headers"; then
+  echo "FAIL: monitored run not marked cache-bypassed"
+  cat "$DATA/headers"
+  exit 1
+fi
+
+DET_LINE=$(grep -n '^event: detection' "$DATA/stream1" | head -1 | cut -d: -f1)
+VER_LINE=$(grep -n '^event: verdict' "$DATA/stream1" | head -1 | cut -d: -f1)
+if [ -z "$DET_LINE" ] || [ -z "$VER_LINE" ] || [ "$DET_LINE" -ge "$VER_LINE" ]; then
+  echo "FAIL: stream must carry a detection frame before the verdict (detection@${DET_LINE:-none}, verdict@${VER_LINE:-none})"
+  cat "$DATA/stream1"
+  exit 1
+fi
+if ! grep -q '"category":"deterred"' "$DATA/stream1"; then
+  echo "FAIL: verdict frame is not deterred"
+  cat "$DATA/stream1"
+  exit 1
+fi
+echo "   detection at line $DET_LINE, verdict at line $VER_LINE, category deterred"
+
+echo "== replay: cache bypassed, stream byte-identical"
+curl -fsS -N "$BASE/v1/monitor" -d '{"specimen":"wannacry","seed":42}' >"$DATA/stream2"
+if ! cmp -s "$DATA/stream1" "$DATA/stream2"; then
+  echo "FAIL: identical monitor requests streamed different bytes"
+  diff "$DATA/stream1" "$DATA/stream2" || true
+  exit 1
+fi
+RUNS=$(curl -fsS "$BASE/statusz" | sed -n 's/.*"monitor_runs":\([0-9]*\).*/\1/p')
+if [ "${RUNS:-0}" -ne 2 ]; then
+  echo "FAIL: monitor_runs = ${RUNS:-0}, want 2 (a cache must not absorb monitored runs)"
+  exit 1
+fi
+
+echo "== observe mode: report-only run shows the prevented loss"
+curl -fsS -N "$BASE/v1/monitor" -d '{"specimen":"wannacry","seed":42,"action":"observe"}' >"$DATA/observe"
+if ! grep -q '"category":"survived"' "$DATA/observe"; then
+  echo "FAIL: observe mode must not deter"
+  tail -1 "$DATA/observe"
+  exit 1
+fi
+if grep -q '"files_lost_before_kill":0,' "$DATA/observe"; then
+  echo "FAIL: unenforced ransomware lost no files; the kill-mode comparison is meaningless"
+  tail -1 "$DATA/observe"
+  exit 1
+fi
+
+echo "monitor-smoke: OK"
